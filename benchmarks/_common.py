@@ -1,0 +1,45 @@
+"""Benchmark helpers: sweep grids and report output.
+
+Reports are printed *and* written to ``benchmarks/results/<name>.txt`` so
+they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import numpy as np
+
+from repro.data.datasets import Dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Frontier-queue sizes swept for SONG / HNSW.
+QUEUE_GRID = (10, 20, 40, 80, 160, 320)
+#: nprobe grid swept for IVFPQ.
+NPROBE_GRID = (1, 2, 4, 8, 16, 32)
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/results/``."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print(f"\n{text}\n[report written to {path}]")
+
+
+def with_saturated_queries(dataset: Dataset, factor: int = 4) -> Dataset:
+    """Same base data with the query batch tiled ``factor`` times."""
+    sat = Dataset(
+        name=dataset.name,
+        data=dataset.data,
+        queries=np.tile(dataset.queries, (factor, 1)),
+        metric=dataset.metric,
+    )
+    # ground truth tiles the same way; reuse the cached one per k on demand
+    return sat
+
+
+def tile_ground_truth(gt: np.ndarray, factor: int) -> np.ndarray:
+    """Ground truth matching a query batch tiled ``factor`` times."""
+    return np.tile(gt, (factor, 1))

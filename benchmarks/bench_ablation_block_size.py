@@ -1,0 +1,63 @@
+"""Ablation — threads per block serving one query (extension).
+
+Section VI of the paper says "all threads in the block are involved" in
+the bulk distance stage, leaving the block size a free design parameter.
+Larger blocks shorten the distance stage's critical path (compute *and*
+vector loads split across the block's warps) but consume more
+issue/occupancy resources and add a cross-warp reduction.  Expected
+shape: a moderate block (64) beats a single warp — consistent with the
+paper's choice of block-wide distance computation — returns diminish by
+128, and the gain is larger on the higher-dimensional dataset.
+"""
+
+import numpy as np
+
+from _common import emit_report
+from repro.core.config import SearchConfig
+from repro.eval.report import format_table
+
+BLOCKS = (32, 64, 128)
+
+
+def _run(assets):
+    results = {}
+    rows = []
+    for name in ("sift", "gist"):
+        ds = assets.dataset(name)
+        gpu = assets.gpu_index(name)
+        queries = np.tile(ds.queries, (4, 1))
+        qps = {}
+        for bs in BLOCKS:
+            cfg = SearchConfig(
+                k=10,
+                queue_size=80,
+                block_size=bs,
+                selected_insertion=True,
+                visited_deletion=True,
+            )
+            _, timing = gpu.search_batch(queries, cfg)
+            qps[bs] = timing.qps(len(queries))
+        results[name] = qps
+        rows.append([name] + [f"{qps[bs]:,.0f}" for bs in BLOCKS])
+    emit_report(
+        "ablation_block_size",
+        format_table(
+            "Block-size ablation (top-10, queue=80)",
+            ["dataset"] + [f"{b} thr" for b in BLOCKS],
+            rows,
+        ),
+    )
+    return results
+
+
+def test_ablation_block_size(benchmark, assets):
+    results = benchmark.pedantic(_run, args=(assets,), rounds=1, iterations=1)
+    for name, qps in results.items():
+        # Block-wide distance computation pays off (the paper's design)...
+        assert qps[64] >= qps[32], name
+        # ...with diminishing returns by 128 threads.
+        assert qps[128] <= qps[64] * 1.05, name
+    # The gain from blocks is larger on the higher-dimensional dataset.
+    sift_gain = results["sift"][64] / results["sift"][32]
+    gist_gain = results["gist"][64] / results["gist"][32]
+    assert gist_gain >= sift_gain - 0.02

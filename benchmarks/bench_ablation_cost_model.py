@@ -1,0 +1,87 @@
+"""Ablation — analytic cost model vs the cycle-level SIMT simulator.
+
+The figure benches price SONG with the analytic model; this ablation
+replays the kernel's primitives on the instruction-level simulator and
+checks the constants the analytic model assumes:
+
+- coalesced : scattered transaction ratio (1 : 32 per warp read),
+- warp-reduction depth (log2(32) = 5 shuffles),
+- latency hiding with resident-warp count,
+- relative cost of a Hamming signature distance vs a float distance.
+"""
+
+import numpy as np
+
+from _common import emit_report
+from repro.eval.report import format_table
+from repro.simt.kernels import (
+    run_distance_kernel,
+    run_hamming_kernel,
+    squared_l2_kernel,
+    strided_read_kernel,
+)
+from repro.simt.simulator import SMSimulator, WarpSimulator
+
+
+def _distance_warp(dim, seed=0):
+    rng = np.random.default_rng(seed)
+    q, v = rng.normal(size=dim), rng.normal(size=dim)
+    shared = np.zeros(max(dim, 32))
+    shared[:dim] = q
+    g = np.zeros(max(dim, 32))
+    g[:dim] = v
+    w = WarpSimulator(squared_l2_kernel(dim), global_mem=g, shared_mem=shared)
+    w.set_register("query_base", 0.0)
+    w.set_register("vec_base", 0.0)
+    return w
+
+
+def _run():
+    rows = []
+    # 1. coalescing
+    txs = {}
+    for stride in (1, 2, 4, 32):
+        sim = WarpSimulator(strided_read_kernel(stride), global_mem=np.zeros(8192))
+        stats = sim.run()
+        txs[stride] = stats.global_transactions
+        rows.append([f"stride-{stride} read", f"{stats.global_transactions} transactions"])
+    # 2. latency hiding
+    hiding = {}
+    for n in (1, 4, 16, 32):
+        res = SMSimulator([_distance_warp(128, seed=i) for i in range(n)]).run()
+        hiding[n] = res.total_cycles / n
+        rows.append([f"{n} resident warps", f"{res.total_cycles / n:.0f} cycles/warp"])
+    # 3. hashing speedup
+    rng = np.random.default_rng(2)
+    _, hamming = run_hamming_kernel(
+        rng.integers(0, 2**32, size=4, dtype=np.uint32),
+        rng.integers(0, 2**32, size=4, dtype=np.uint32),
+    )
+    _, full = run_distance_kernel(rng.normal(size=784), rng.normal(size=784))
+    rows.append(["Hamming-128 distance", f"{hamming.cycles} cycles"])
+    rows.append(["float-784 distance", f"{full.cycles} cycles"])
+    emit_report(
+        "ablation_cost_model",
+        format_table(
+            "Cycle-level validation of the analytic cost model",
+            ["experiment", "measured"],
+            rows,
+        ),
+    )
+    return txs, hiding, hamming.cycles, full.cycles
+
+
+def test_ablation_cost_model(benchmark):
+    txs, hiding, hamming_cycles, full_cycles = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    # coalescing rule the memory model assumes
+    assert txs[1] == 1
+    assert txs[32] == 32
+    assert txs[2] == 2  # stride-2: half the lanes per line
+    # latency hiding grows with residency and saturates near the analytic
+    # overlap factor (x16 streaming)
+    assert hiding[16] < hiding[1] / 5
+    assert hiding[32] <= hiding[16] * 1.1
+    # hashed distances are cheap (Fig. 14's throughput side)
+    assert hamming_cycles * 3 < full_cycles

@@ -1,0 +1,51 @@
+"""The abstract's headline: "SONG accelerated by 1-GPU can obtain about
+3-11x speedup over HNSW on a 16-thread CPU server."
+
+The paper assumes HNSW scales linearly with threads (inter-query
+parallelism), so the 16-thread baseline is the single-thread work model
+divided by 16.  Expected shape: the 1-GPU vs 16-thread ratio lands in the
+low single digits to low tens across datasets.
+"""
+
+from _common import emit_report
+from repro.eval.report import format_table
+from repro.eval.sweep import qps_at_recall
+
+DATASETS = ("sift", "glove200", "nytimes", "gist", "uqv")
+THREADS = 16
+RECALLS = (0.7, 0.8, 0.9)
+
+
+def _run(assets):
+    rows, ratios = [], []
+    for name in DATASETS:
+        song = assets.song_sweep(name, 10)
+        hnsw = assets.hnsw_sweep(name, 10)
+        row = [name]
+        for r in RECALLS:
+            s, h = qps_at_recall(song, r), qps_at_recall(hnsw, r)
+            if s is None or h is None:
+                row.append(None)
+            else:
+                ratio = s / (h * THREADS)
+                ratios.append(ratio)
+                row.append(f"{ratio:.1f}x")
+        rows.append(row)
+    report = format_table(
+        f"1 simulated V100 vs {THREADS}-thread HNSW server (top-10)",
+        ["dataset"] + [f"r={r}" for r in RECALLS],
+        rows,
+    )
+    emit_report("abstract_claim_gpu_vs_server", report)
+    return ratios
+
+
+def test_abstract_claim(benchmark, assets):
+    ratios = benchmark.pedantic(_run, args=(assets,), rounds=1, iterations=1)
+    assert ratios, "no comparable recall levels"
+    # Paper: ~3-11x. Accept the same order of magnitude: every ratio > 1
+    # (the GPU beats the whole server) and the median in low single digits.
+    assert min(ratios) > 1.0
+    ratios.sort()
+    median = ratios[len(ratios) // 2]
+    assert 1.5 < median < 15.0, f"median ratio {median:.1f} out of band"

@@ -1,0 +1,109 @@
+"""Reproduction of the paper's baseline exclusion (Sec. VIII, "Compared
+algorithms"):
+
+    "Other studies have shown that other types of algorithms such as
+     tree-based, hashing-based approaches have inferior performance.
+     We do not include them as competitors."
+
+We implement them anyway — KD-tree (FLANN-family), random-projection
+forest (Annoy-family) and multi-probe LSH (FALCONN-family) — and verify
+the claim: at matched recall on the SIFT analogue, each scans far more of
+the dataset per query than the graph search visits, so even a perfectly
+parallelized implementation starts from a large work handicap.
+"""
+
+import numpy as np
+
+from _common import emit_report
+from repro.baselines.kdtree import KDTreeIndex
+from repro.baselines.lsh import LSHIndex
+from repro.baselines.rp_forest import RPForestIndex
+from repro.core.config import SearchConfig
+from repro.core.song import SearchStats, SongSearcher
+from repro.eval.recall import batch_recall
+from repro.eval.report import format_table
+
+TARGET_RECALL = 0.85
+K = 10
+
+
+def _graph_work(assets, name):
+    """Graph search work: distance computations per query at ~target recall."""
+    ds = assets.dataset(name)
+    searcher = SongSearcher(assets.nsw(name), ds.data)
+    gt = ds.ground_truth(K)
+    for queue in (20, 40, 80, 160, 320, 640):
+        cfg = SearchConfig(k=K, queue_size=queue)
+        stats = SearchStats()
+        results = [
+            searcher.search(q, cfg, stats=stats) for q in ds.queries
+        ]
+        recall = batch_recall(results, gt)
+        if recall >= TARGET_RECALL:
+            return recall, stats.distance_computations / ds.num_queries
+    return recall, stats.distance_computations / ds.num_queries
+
+
+def _tree_work(index, ds, knob_name, knobs, search):
+    gt = ds.ground_truth(K)
+    for knob in knobs:
+        scanned = 0
+        results = []
+        for q in ds.queries:
+            results.append(search(q, knob))
+            scanned += index.last_scanned
+        recall = batch_recall(results, gt)
+        if recall >= TARGET_RECALL:
+            return recall, scanned / ds.num_queries, f"{knob_name}={knob}"
+    return recall, scanned / ds.num_queries, f"{knob_name}={knob}"
+
+
+def _run(assets):
+    name = "sift"
+    ds = assets.dataset(name)
+    rows = []
+    graph_recall, graph_scan = _graph_work(assets, name)
+    rows.append(["graph (SONG search)", f"{graph_recall:.3f}", f"{graph_scan:.0f}", "-"])
+
+    kdtree = KDTreeIndex(ds.data.astype(np.float64), leaf_size=24)
+    r, s, knob = _tree_work(
+        kdtree, ds, "max_leaves", (4, 16, 64, 256),
+        lambda q, knob: kdtree.search(q, K, max_leaves=knob),
+    )
+    rows.append(["KD-tree (FLANN-family)", f"{r:.3f}", f"{s:.0f}", knob])
+
+    forest = RPForestIndex(ds.data, num_trees=12, leaf_size=24, seed=0)
+    r, s, knob = _tree_work(
+        forest, ds, "budget", (100, 400, 1600, 6400),
+        lambda q, knob: forest.search(q, K, search_budget=knob),
+    )
+    rows.append(["RP-forest (Annoy-family)", f"{r:.3f}", f"{s:.0f}", knob])
+
+    lsh = LSHIndex(ds.data, num_tables=10, num_bits=12, seed=0)
+    r, s, knob = _tree_work(
+        lsh, ds, "max_flips", (0, 1, 2, 3),
+        lambda q, knob: lsh.search(q, K, max_flips=knob),
+    )
+    rows.append(["multi-probe LSH (FALCONN-family)", f"{r:.3f}", f"{s:.0f}", knob])
+
+    report = format_table(
+        f"Excluded baselines: points scanned per query at recall ≥ {TARGET_RECALL}",
+        ["method", "recall", "scanned/query", "setting"],
+        rows,
+    )
+    emit_report("excluded_baselines", report)
+    return rows
+
+
+def test_excluded_baselines(benchmark, assets):
+    rows = benchmark.pedantic(_run, args=(assets,), rounds=1, iterations=1)
+    graph_scan = float(rows[0][2].replace(",", ""))
+    for method, recall, scanned, _ in rows[1:]:
+        recall = float(recall)
+        scanned = float(scanned.replace(",", ""))
+        # Either the method failed to reach the target recall, or it had
+        # to scan several times more points than the graph search did.
+        assert recall < TARGET_RECALL or scanned > 2 * graph_scan, (
+            f"{method}: recall {recall} with only {scanned} scans "
+            f"(graph: {graph_scan})"
+        )

@@ -1,0 +1,76 @@
+"""Fig. 10 — where does the time go? (GloVe200 and GIST)
+
+Two breakdowns per top-K in {50, 100, 500, 1000}:
+- HtoD / kernel / DtoH: the kernel dominates (>89% in the paper), HtoD's
+  share shrinks as K grows (kernel time grows, transfer is constant),
+  DtoH's share grows slightly (more results to copy back).
+- Inside the kernel: data-structure maintenance takes the largest share,
+  and distance computation's share is larger on the higher-dimensional
+  dataset (GIST) than on GloVe200.
+"""
+
+import pytest
+
+from _common import emit_report
+from repro.core.config import SearchConfig
+from repro.eval.report import format_table
+from repro.simt.profiler import StageProfiler
+
+KS = (50, 100, 500, 1000)
+
+
+def _run(assets, name):
+    ds = assets.dataset(name)
+    gpu = assets.gpu_index(name)
+    transfer_rows, kernel_rows = [], []
+    breakdowns = {}
+    for k in KS:
+        prof = StageProfiler()
+        cfg = SearchConfig(
+            k=k, queue_size=k, selected_insertion=True, visited_deletion=True
+        )
+        gpu.search_batch(ds.queries, cfg, profiler=prof)
+        tb = prof.transfer_breakdown()
+        kb = prof.kernel_breakdown()
+        breakdowns[k] = (tb, kb)
+        transfer_rows.append(
+            [k] + [f"{100 * tb[s]:.2f}%" for s in ("HtoD", "Kernel", "DtoH")]
+        )
+        kernel_rows.append(
+            [k]
+            + [f"{100 * kb[s]:.2f}%" for s in ("locate", "distance", "maintain")]
+        )
+    report = "\n\n".join(
+        [
+            format_table(
+                f"{name}: transfer vs kernel",
+                ["top-K", "HtoD", "Kernel", "DtoH"],
+                transfer_rows,
+            ),
+            format_table(
+                f"{name}: inside the kernel",
+                ["top-K", "Locating", "Distance", "Maintain"],
+                kernel_rows,
+            ),
+        ]
+    )
+    emit_report(f"fig10_{name}", report)
+    return breakdowns
+
+
+@pytest.mark.parametrize("name", ["glove200", "gist"])
+def test_fig10(benchmark, assets, name):
+    breakdowns = benchmark.pedantic(_run, args=(assets, name), rounds=1, iterations=1)
+    for k, (tb, kb) in breakdowns.items():
+        assert tb["Kernel"] > 0.85, f"kernel should dominate at top-{k}"
+        assert kb["maintain"] > kb["locate"], "maintenance outweighs locating"
+    # HtoD share shrinks as the kernel grows with K.
+    assert breakdowns[1000][0]["HtoD"] < breakdowns[50][0]["HtoD"]
+
+
+def test_fig10_distance_share_larger_on_high_dim(benchmark, assets):
+    glove = _run(assets, "glove200")
+    gist = benchmark.pedantic(_run, args=(assets, "gist"), rounds=1, iterations=1)
+    # GIST has ~2.4x the dimensionality: its distance-stage share is bigger.
+    for k in KS:
+        assert gist[k][1]["distance"] > glove[k][1]["distance"]

@@ -1,0 +1,56 @@
+"""Fig. 11 — query batch size impact (SIFT, top-100).
+
+Paper: QPS climbs with batch size (transfer overhead amortizes, the GPU
+fills up) and saturates around 100k queries; 1m is no better.  Scaled
+here: batches from 25 to 3200 queries, saturation expected once the
+batch exceeds the simulated device's resident-warp capacity.
+"""
+
+import numpy as np
+import pytest
+
+from _common import emit_report
+from repro.core.config import SearchConfig
+from repro.data.datasets import Dataset
+from repro.eval.report import format_table
+
+BATCHES = (25, 100, 400, 1600, 3200)
+
+
+def _run(assets):
+    ds = assets.dataset("sift")
+    gpu = assets.gpu_index("sift")
+    cfg = SearchConfig(
+        k=100, queue_size=150, selected_insertion=True, visited_deletion=True
+    )
+    rows, qps = [], {}
+    for b in BATCHES:
+        reps = -(-b // ds.num_queries)
+        queries = np.tile(ds.queries, (reps, 1))[:b]
+        _, timing = gpu.search_batch(queries, cfg)
+        qps[b] = timing.qps(b)
+        rows.append(
+            [
+                b,
+                f"{qps[b]:,.0f}",
+                f"{1e3 * timing.htod_seconds:.3f} ms",
+                f"{1e3 * timing.kernel_seconds:.3f} ms",
+            ]
+        )
+    report = format_table(
+        "Fig. 11 analogue: batch size vs throughput (SIFT, top-100)",
+        ["batch", "QPS", "HtoD", "kernel"],
+        rows,
+    )
+    emit_report("fig11_batch_size", report)
+    return qps
+
+
+def test_fig11(benchmark, assets):
+    qps = benchmark.pedantic(_run, args=(assets,), rounds=1, iterations=1)
+    # Throughput grows with batch size...
+    assert qps[100] > qps[25]
+    assert qps[1600] > qps[100]
+    # ...and saturates: the last doubling buys little.
+    assert qps[3200] < qps[1600] * 1.5
+    assert qps[3200] >= qps[1600] * 0.75

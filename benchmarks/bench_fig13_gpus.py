@@ -1,0 +1,36 @@
+"""Fig. 13 — SONG on V100 / P40 / TITAN X (SIFT and GloVe200, top-10).
+
+Paper: the curves share the same trend; the gaps track the cards'
+compute power (V100 > P40 ≳ TITAN X).  Expected shape: identical recall
+per setting (same algorithm), throughput ordered by device capability.
+"""
+
+import pytest
+
+from _common import QUEUE_GRID, emit_report, with_saturated_queries
+from repro.eval import format_curve, sweep_gpu_song
+
+DEVICES = ("v100", "p40", "titanx")
+
+
+def _run(assets, name):
+    sat = with_saturated_queries(assets.dataset(name))
+    curves = {}
+    sections = [f"== {name}: top-10 on different GPUs =="]
+    for dev in DEVICES:
+        pts = sweep_gpu_song(sat, assets.gpu_index(name, device=dev), QUEUE_GRID, k=10)
+        curves[dev] = pts
+        sections.append(format_curve(f"SONG-{dev.upper()}", pts))
+    emit_report(f"fig13_{name}", "\n".join(sections))
+    return curves
+
+
+@pytest.mark.parametrize("name", ["sift", "glove200"])
+def test_fig13(benchmark, assets, name):
+    curves = benchmark.pedantic(_run, args=(assets, name), rounds=1, iterations=1)
+    for v, p, t in zip(curves["v100"], curves["p40"], curves["titanx"]):
+        # identical algorithm -> identical recall on every device
+        assert v.recall == p.recall == t.recall
+        # V100 is the fastest card
+        assert v.qps >= p.qps
+        assert v.qps >= t.qps

@@ -1,0 +1,45 @@
+"""Fig. 15 — SONG's engineered CPU implementation vs HNSW (top-10).
+
+Paper: on NYTimes and UQ_V, the tuned CPU SONG outperforms HNSW.
+Expected shape: CPU-SONG's QPS-recall curve sits above HNSW's at matched
+recall (both single-thread, both costed with the same work model; SONG's
+advantage comes from batched distance evaluation and bounded
+structures).
+"""
+
+import pytest
+
+from _common import QUEUE_GRID, emit_report
+from repro.eval import format_curve, sweep_cpu_song, sweep_hnsw
+from repro.eval.sweep import qps_at_recall
+
+
+def _run(assets, name):
+    ds = assets.dataset(name)
+    song_pts = sweep_cpu_song(ds, assets.cpu_index(name), QUEUE_GRID, k=10)
+    hnsw_pts = sweep_hnsw(ds, assets.hnsw(name), QUEUE_GRID, k=10)
+    report = "\n".join(
+        [
+            f"== {name}: top-10, single-thread CPU ==",
+            format_curve("SONG-cpu", song_pts),
+            format_curve("HNSW", hnsw_pts),
+        ]
+    )
+    emit_report(f"fig15_{name}", report)
+    return song_pts, hnsw_pts
+
+
+@pytest.mark.parametrize("name", ["nytimes", "uqv"])
+def test_fig15(benchmark, assets, name):
+    song_pts, hnsw_pts = benchmark.pedantic(
+        _run, args=(assets, name), rounds=1, iterations=1
+    )
+    wins = checked = 0
+    for r in (0.6, 0.7, 0.8, 0.9):
+        s, h = qps_at_recall(song_pts, r), qps_at_recall(hnsw_pts, r)
+        if s is not None and h is not None:
+            checked += 1
+            if s > h:
+                wins += 1
+    assert checked > 0
+    assert wins == checked, f"{name}: CPU-SONG should beat HNSW at every level"

@@ -1,0 +1,53 @@
+"""Fig. 6 — SONG speedup over single-thread HNSW vs recall (top-10/100).
+
+Paper: 50–180x across datasets, larger on the high-dimensional GIST
+(more parallelizable distance work per hop).  Expected shape here:
+a large (tens-of-x) ratio across the recall range, with the
+highest-dimensional dataset showing the biggest speedup.
+"""
+
+import pytest
+
+from _common import emit_report
+from repro.eval.report import format_table
+from repro.eval.sweep import qps_at_recall
+
+DATASETS = ("sift", "glove200", "nytimes", "gist", "uqv")
+RECALLS = (0.6, 0.7, 0.8, 0.9)
+
+
+def _run(assets, k):
+    speedups = {}
+    for name in DATASETS:
+        song = assets.song_sweep(name, k)
+        hnsw = assets.hnsw_sweep(name, k)
+        row = []
+        for r in RECALLS:
+            s, h = qps_at_recall(song, r), qps_at_recall(hnsw, r)
+            row.append(None if (s is None or h is None) else s / h)
+        speedups[name] = row
+    rows = [
+        [name] + [None if v is None else f"{v:.0f}x" for v in vals]
+        for name, vals in speedups.items()
+    ]
+    report = format_table(
+        f"Fig. 6 analogue: SONG speedup over 1-thread HNSW (top-{k})",
+        ["dataset"] + [f"r={r}" for r in RECALLS],
+        rows,
+    )
+    emit_report(f"fig6_speedup_hnsw_top{k}", report)
+    return speedups
+
+
+@pytest.mark.parametrize("k", [10, 100])
+def test_fig6(benchmark, assets, k):
+    speedups = benchmark.pedantic(_run, args=(assets, k), rounds=1, iterations=1)
+    defined = [v for row in speedups.values() for v in row if v is not None]
+    assert defined, "no overlapping recall levels"
+    assert min(defined) > 5, "SONG should be many times faster than HNSW"
+    assert max(defined) > 25, "peak speedup should be tens of x"
+    # GIST (highest dim) should show a larger speedup than SIFT (lowest dim)
+    gist = [v for v in speedups["gist"] if v is not None]
+    sift = [v for v in speedups["sift"] if v is not None]
+    if gist and sift:
+        assert max(gist) > 0.8 * max(sift)

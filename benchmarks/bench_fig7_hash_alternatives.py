@@ -1,0 +1,49 @@
+"""Fig. 7 — visited-set alternatives at top-100 on SIFT and NYTimes.
+
+Series: plain hash table, +selected insertion, +sel+visited deletion,
+Bloom filter, Cuckoo filter.  Expected shape: sel-del is the fastest at
+large queue sizes (bounded visited set stays in shared memory → higher
+occupancy); the probabilistic filters sit between the baseline and
+sel-del.
+"""
+
+import pytest
+
+from _common import emit_report, with_saturated_queries
+from repro.core.config import OptimizationLevel, SearchConfig
+from repro.eval import format_curve, sweep_gpu_song
+
+QUEUES = (100, 200, 400, 800)
+
+
+def _run(assets, name):
+    ds = assets.dataset(name)
+    sat = with_saturated_queries(ds)
+    gpu = assets.gpu_index(name)
+    curves = {}
+    sections = [f"== {name}: top-100, visited-set alternatives =="]
+    for level in OptimizationLevel:
+        cfg = SearchConfig.from_level(level, k=100, queue_size=100)
+        pts = sweep_gpu_song(sat, gpu, QUEUES, k=100, config=cfg)
+        curves[level.value] = pts
+        sections.append(format_curve(f"SONG-{level.value}", pts))
+    emit_report(f"fig7_{name}", "\n".join(sections))
+    return curves
+
+
+@pytest.mark.parametrize("name", ["sift", "nytimes"])
+def test_fig7(benchmark, assets, name):
+    curves = benchmark.pedantic(_run, args=(assets, name), rounds=1, iterations=1)
+    base = curves[OptimizationLevel.BASELINE.value]
+    seldel = curves[OptimizationLevel.SELECTED_AND_DELETION.value]
+    # At the largest queue size sel-del should beat the plain hash table.
+    assert seldel[-1].qps > base[-1].qps, (
+        f"{name}: sel-del {seldel[-1].qps:.0f} <= baseline {base[-1].qps:.0f}"
+    )
+    # Recall must stay comparable across all variants (within 5 points).
+    recalls = {lvl: pts[-1].recall for lvl, pts in curves.items()}
+    assert max(recalls.values()) - min(recalls.values()) < 0.05, recalls
+    # Bloom and Cuckoo should not be slower than the plain baseline at the
+    # largest queue setting (they keep the visited set tiny).
+    for lvl in (OptimizationLevel.BLOOM.value, OptimizationLevel.CUCKOO.value):
+        assert curves[lvl][-1].qps > 0.7 * base[-1].qps

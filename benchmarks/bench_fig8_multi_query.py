@@ -1,0 +1,49 @@
+"""Fig. 8 — multi-query in a warp (1, 2, 4) at top-100, SIFT and GloVe200.
+
+Paper: more queries per warp *hurts* — the adjacency reads stop
+coalescing, the per-warp data structures multiply, and occupancy drops.
+Expected shape: QPS(mq=1) >= QPS(mq=2) >= QPS(mq=4) at matched settings.
+"""
+
+import pytest
+
+from _common import emit_report, with_saturated_queries
+from repro.core.config import SearchConfig
+from repro.eval import format_curve, sweep_gpu_song
+
+QUEUES = (100, 200, 400)
+
+
+def _run(assets, name):
+    sat = with_saturated_queries(assets.dataset(name))
+    gpu = assets.gpu_index(name)
+    curves = {}
+    sections = [f"== {name}: top-100, queries per warp =="]
+    for mq in (1, 2, 4):
+        cfg = SearchConfig(
+            k=100,
+            queue_size=100,
+            multi_query=mq,
+            selected_insertion=True,
+            visited_deletion=True,
+        )
+        pts = sweep_gpu_song(sat, gpu, QUEUES, k=100, config=cfg)
+        curves[mq] = pts
+        sections.append(format_curve(f"SONG-MulQuery={mq}", pts))
+    emit_report(f"fig8_{name}", "\n".join(sections))
+    return curves
+
+
+@pytest.mark.parametrize("name", ["sift", "glove200"])
+def test_fig8(benchmark, assets, name):
+    curves = benchmark.pedantic(_run, args=(assets, name), rounds=1, iterations=1)
+    for a, b in ((1, 2), (2, 4)):
+        for pa, pb in zip(curves[a], curves[b]):
+            assert pb.qps <= pa.qps * 1.05, (
+                f"{name} q={pa.param}: mq={b} ({pb.qps:.0f}) should not beat "
+                f"mq={a} ({pa.qps:.0f})"
+            )
+    # Recall is unchanged: multi-query only repartitions work.
+    for mq in (2, 4):
+        for p1, pm in zip(curves[1], curves[mq]):
+            assert abs(p1.recall - pm.recall) < 1e-9

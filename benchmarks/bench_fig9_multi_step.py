@@ -1,0 +1,48 @@
+"""Fig. 9 — multi-step probing (1, 2, 4) at top-100, SIFT and GloVe200.
+
+Paper: probing several frontier vertices per iteration wastes distance
+computations on suboptimal candidates; the gap narrows in the high-recall
+region where deep exploration is needed anyway.  Expected shape:
+QPS(probe=1) >= QPS(probe>1) at matched queue sizes, with recall roughly
+preserved (probing more can only explore more).
+"""
+
+import pytest
+
+from _common import emit_report, with_saturated_queries
+from repro.core.config import SearchConfig
+from repro.eval import format_curve, sweep_gpu_song
+
+QUEUES = (100, 200, 400)
+
+
+def _run(assets, name):
+    sat = with_saturated_queries(assets.dataset(name))
+    gpu = assets.gpu_index(name)
+    curves = {}
+    sections = [f"== {name}: top-100, probe steps =="]
+    for steps in (1, 2, 4):
+        cfg = SearchConfig(
+            k=100,
+            queue_size=100,
+            probe_steps=steps,
+            selected_insertion=True,
+            visited_deletion=True,
+        )
+        pts = sweep_gpu_song(sat, gpu, QUEUES, k=100, config=cfg)
+        curves[steps] = pts
+        sections.append(format_curve(f"SONG-Probe={steps}", pts))
+    emit_report(f"fig9_{name}", "\n".join(sections))
+    return curves
+
+
+@pytest.mark.parametrize("name", ["sift", "glove200"])
+def test_fig9(benchmark, assets, name):
+    curves = benchmark.pedantic(_run, args=(assets, name), rounds=1, iterations=1)
+    for steps in (2, 4):
+        for p1, pp in zip(curves[1], curves[steps]):
+            assert pp.qps <= p1.qps * 1.05, (
+                f"{name} q={p1.param}: probe={steps} should not beat probe=1"
+            )
+            # probing more vertices explores at least as much of the graph
+            assert pp.recall >= p1.recall - 0.05

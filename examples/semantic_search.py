@@ -1,0 +1,66 @@
+"""Semantic search over word-embedding-style vectors.
+
+The paper's motivating regime: GloVe-like embeddings are heavily
+clustered, which makes quantization methods (Faiss-IVFPQ) saturate below
+high recall while graph search keeps climbing.  This example builds both
+indexes over a synthetic embedding cloud and prints the trade-off, then
+answers a few "nearest concept" queries with SONG.
+
+Run:  python examples/semantic_search.py
+"""
+
+import numpy as np
+
+from repro import GpuSongIndex, SearchConfig, build_nsw
+from repro.baselines import IVFPQIndex
+from repro.data import make_dataset
+from repro.eval import batch_recall, sweep_gpu_song, sweep_ivfpq
+from repro.eval.report import format_curve
+
+
+def main() -> None:
+    # A GloVe200-like dataset: 200-d, skewed cluster sizes.
+    dataset = make_dataset("glove200", n=4000, num_queries=100, seed=1)
+    print(
+        f"dataset: {dataset.name}, {dataset.num_data} x {dataset.dim}d, "
+        f"{dataset.num_queries} queries"
+    )
+
+    print("\nbuilding NSW graph ...")
+    graph = build_nsw(dataset.data, m=8, ef_construction=64, seed=0)
+    song = GpuSongIndex(graph, dataset.data, device="v100")
+
+    print("training IVFPQ baseline ...")
+    ivf = IVFPQIndex(dataset.dim, nlist=32, m=8, ksub=64, seed=0)
+    ivf.train(dataset.data)
+    ivf.add(dataset.data)
+
+    print("\nsweeping both methods (top-10):\n")
+    song_pts = sweep_gpu_song(dataset, song, [10, 40, 160, 640], k=10)
+    ivf_pts = sweep_ivfpq(dataset, ivf, [1, 4, 16, 32], k=10)
+    print(format_curve("SONG (graph, simulated GPU)", song_pts))
+    print(format_curve("IVFPQ (quantization, simulated GPU)", ivf_pts))
+
+    best_song = max(p.recall for p in song_pts)
+    best_ivf = max(p.recall for p in ivf_pts)
+    print(
+        f"\nrecall ceiling: SONG {best_song:.3f} vs IVFPQ {best_ivf:.3f} "
+        "(quantization saturates on clustered embeddings)"
+    )
+
+    # Answer a few queries at a high-recall operating point.
+    config = SearchConfig(
+        k=5, queue_size=200, selected_insertion=True, visited_deletion=True
+    )
+    results, timing = song.search_batch(dataset.queries[:3], config)
+    print("\nsample queries at the high-recall setting:")
+    for i, res in enumerate(results):
+        ids = [v for _, v in res]
+        print(f"  query {i}: nearest concepts {ids}")
+    print(f"\nrecall of the full batch at this setting:")
+    full, _ = song.search_batch(dataset.queries, config)
+    print(f"  recall@5 = {batch_recall(full, dataset.ground_truth(5)):.3f}")
+
+
+if __name__ == "__main__":
+    main()

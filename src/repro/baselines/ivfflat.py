@@ -1,0 +1,134 @@
+"""IVF-Flat: inverted file over exact vectors (Faiss's other workhorse).
+
+Same coarse quantizer as IVFPQ but lists store raw vectors, so list scans
+compute exact distances — no quantization ceiling, more memory and more
+distance work per candidate.  Useful as a quantization-free contrast to
+IVFPQ in the comparison harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.baselines.kmeans import kmeans
+from repro.simt.device import get_device
+from repro.simt.kernel import KernelLauncher, KernelResult
+from repro.simt.warp import Warp
+
+
+class IVFFlatIndex:
+    """Inverted file with exact residual-free storage."""
+
+    def __init__(self, dim: int, nlist: int = 64, seed: int = 0) -> None:
+        if nlist <= 0:
+            raise ValueError("nlist must be positive")
+        self.dim = dim
+        self.nlist = nlist
+        self.seed = seed
+        self.centroids: np.ndarray = None
+        self.lists: List[np.ndarray] = []
+        self.vectors: List[np.ndarray] = []
+        self.ntotal = 0
+        self.trained = False
+
+    def train(self, data: np.ndarray) -> "IVFFlatIndex":
+        data = np.asarray(data, dtype=np.float64)
+        nlist = min(self.nlist, len(data))
+        self.centroids, _ = kmeans(data, nlist, seed=self.seed)
+        self.nlist = nlist
+        self.trained = True
+        return self
+
+    def add(self, data: np.ndarray) -> None:
+        if not self.trained:
+            raise RuntimeError("index not trained; call train() first")
+        data = np.asarray(data, dtype=np.float64)
+        d = (
+            np.einsum("ij,ij->i", data, data)[:, None]
+            - 2.0 * data @ self.centroids.T
+            + np.einsum("ij,ij->i", self.centroids, self.centroids)[None, :]
+        )
+        labels = np.argmin(d, axis=1)
+        base = self.ntotal
+        if not self.lists:
+            self.lists = [np.empty(0, dtype=np.int64) for _ in range(self.nlist)]
+            self.vectors = [
+                np.empty((0, self.dim)) for _ in range(self.nlist)
+            ]
+        for c in range(self.nlist):
+            members = np.flatnonzero(labels == c)
+            if not len(members):
+                continue
+            self.lists[c] = np.concatenate([self.lists[c], members + base])
+            self.vectors[c] = np.vstack([self.vectors[c], data[members]])
+        self.ntotal += len(data)
+
+    def search(
+        self, query: np.ndarray, k: int, nprobe: int = 1
+    ) -> List[Tuple[float, int]]:
+        """Exact top-``k`` over the ``nprobe`` nearest lists."""
+        if not self.trained or self.ntotal == 0:
+            raise RuntimeError("index empty; train() and add() first")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        nprobe = min(max(1, nprobe), self.nlist)
+        query = np.asarray(query, dtype=np.float64)
+        coarse = ((self.centroids - query) ** 2).sum(axis=1)
+        order = np.argsort(coarse, kind="stable")[:nprobe]
+        ids, dists = [], []
+        for c in order:
+            vecs = self.vectors[int(c)]
+            if not len(vecs):
+                continue
+            ids.append(self.lists[int(c)])
+            dists.append(((vecs - query) ** 2).sum(axis=1))
+        if not ids:
+            return []
+        ids = np.concatenate(ids)
+        dists = np.concatenate(dists)
+        take = min(k, len(ids))
+        top = np.argpartition(dists, take - 1)[:take]
+        o = np.argsort(dists[top], kind="stable")
+        return [(float(dists[top[i]]), int(ids[top[i]])) for i in o]
+
+    def gpu_search_batch(
+        self, queries: np.ndarray, k: int, nprobe: int = 1, device: str = "v100"
+    ) -> Tuple[list, KernelResult]:
+        """Metered batch search on the SIMT simulator."""
+        dev = get_device(device)
+        launcher = KernelLauncher(dev)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+
+        def kernel(qi: int, warp: Warp):
+            query = queries[qi]
+            warp.set_stage("distance")
+            warp.global_read_coalesced(self.nlist * self.dim * 4)
+            warp.simd_compute(self.nlist * 3 * self.dim)
+            coarse = ((self.centroids - query) ** 2).sum(axis=1)
+            order = np.argsort(coarse, kind="stable")[: min(nprobe, self.nlist)]
+            scanned = sum(len(self.lists[int(c)]) for c in order)
+            warp.global_read_coalesced(scanned * self.dim * 4)
+            warp.simd_compute(scanned * 3 * self.dim)
+            warp.warp_reduce(scanned)
+            warp.set_stage("maintain")
+            warp.sequential(max(1, scanned.bit_length()) * k)
+            return self.search(query, k, nprobe)
+
+        result = launcher.launch(
+            kernel,
+            num_queries=len(queries),
+            htod_bytes=int(queries.nbytes),
+            dtoh_bytes=len(queries) * k * 8,
+            shared_bytes_per_warp=self.dim * 4,
+        )
+        return result.outputs, result
+
+    def memory_bytes(self) -> int:
+        """Centroids + full float32 vectors + ids."""
+        if not self.trained:
+            return 0
+        vec_bytes = sum(v.shape[0] * self.dim * 4 for v in self.vectors)
+        id_bytes = sum(4 * len(ids) for ids in self.lists)
+        return int(self.nlist * self.dim * 4) + vec_bytes + id_bytes

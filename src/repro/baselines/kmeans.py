@@ -1,0 +1,85 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+The substrate under both the IVF coarse quantizer and each PQ sub-space
+codebook.  Deterministic given the seed; empty clusters are re-seeded
+from the points farthest from their assigned centroid.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def kmeans_pp_init(data: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by D² sampling."""
+    n = len(data)
+    centroids = np.empty((k, data.shape[1]), dtype=data.dtype)
+    first = int(rng.integers(n))
+    centroids[0] = data[first]
+    d2 = ((data - centroids[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = float(d2.sum())
+        if total <= 0:
+            centroids[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = d2 / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[i] = data[choice]
+        d2 = np.minimum(d2, ((data - centroids[i]) ** 2).sum(axis=1))
+    return centroids
+
+
+def assign(data: np.ndarray, centroids: np.ndarray, block: int = 4096) -> np.ndarray:
+    """Nearest-centroid assignment for each row of ``data``."""
+    n = len(data)
+    out = np.empty(n, dtype=np.int32)
+    c_sq = np.einsum("ij,ij->i", centroids, centroids)
+    for start in range(0, n, block):
+        stop = min(start + block, n)
+        cross = data[start:stop] @ centroids.T
+        d = c_sq[None, :] - 2.0 * cross  # ||x||² constant per row, omit
+        out[start:stop] = np.argmin(d, axis=1)
+    return out
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    max_iters: int = 25,
+    tol: float = 1e-4,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Cluster ``data`` into ``k`` groups.
+
+    Returns
+    -------
+    ``(centroids, assignments)`` — ``(k, d)`` float array and ``(n,)``
+    int32 labels.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = len(data)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > n:
+        raise ValueError(f"k={k} exceeds the number of points {n}")
+    rng = np.random.default_rng(seed)
+    centroids = kmeans_pp_init(data, k, rng)
+    labels = assign(data, centroids)
+    for _ in range(max_iters):
+        new_centroids = centroids.copy()
+        for c in range(k):
+            members = data[labels == c]
+            if len(members):
+                new_centroids[c] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the worst-served point.
+                d2 = ((data - centroids[labels]) ** 2).sum(axis=1)
+                new_centroids[c] = data[int(np.argmax(d2))]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        labels = assign(data, centroids)
+        if shift < tol:
+            break
+    return centroids, labels

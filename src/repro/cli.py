@@ -1,0 +1,210 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro datasets
+    python -m repro devices
+    python -m repro build  --dataset sift --n 3000 --graph nsw --out sift.npz
+    python -m repro search --dataset sift --n 3000 --index sift.npz \
+            --k 10 --queue 80 --device v100
+    python -m repro sweep  --dataset sift --n 2000 --methods song hnsw ivfpq \
+            --plot
+
+Everything runs on the synthetic dataset analogues (see
+``repro.data.DATASET_SPECS``); ``build`` persists the proximity graph so
+``search``/``sweep`` can reuse it, mirroring how the paper's system loads
+pre-built NSW indexes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+from repro import __version__
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, help="dataset analogue name")
+    parser.add_argument("--n", type=int, default=None, help="number of base points")
+    parser.add_argument("--queries", type=int, default=None, help="number of queries")
+    parser.add_argument("--seed", type=int, default=0, help="generator seed")
+
+
+def _load_dataset(args):
+    from repro.data import make_dataset
+
+    return make_dataset(args.dataset, n=args.n, num_queries=args.queries, seed=args.seed)
+
+
+def cmd_datasets(_args) -> int:
+    from repro.data import DATASET_SPECS
+
+    print(f"{'name':<10} {'dim':>5} {'default n':>10} {'regime'}")
+    for name, spec in DATASET_SPECS.items():
+        regime = spec.generator.__name__.replace("_dataset", "")
+        print(f"{name:<10} {spec.dim:>5} {spec.default_n:>10} {regime}")
+    return 0
+
+
+def cmd_devices(_args) -> int:
+    from repro.simt.device import DEVICE_PRESETS
+
+    print(f"{'key':<8} {'name':<26} {'cores':>6} {'mem':>6} {'BW GB/s':>8}")
+    for key, dev in DEVICE_PRESETS.items():
+        print(
+            f"{key:<8} {dev.name:<26} {dev.total_cores:>6} "
+            f"{dev.global_memory_gb:>5.0f}G {dev.global_bandwidth_gbs:>8.0f}"
+        )
+    return 0
+
+
+def cmd_build(args) -> int:
+    from repro.graphs import build_nsg, build_nsw, save_graph
+
+    dataset = _load_dataset(args)
+    start = time.time()
+    if args.graph == "nsw":
+        graph = build_nsw(
+            dataset.data, m=args.m, ef_construction=args.ef_construction, seed=7
+        )
+    elif args.graph == "nsg":
+        graph = build_nsg(dataset.data, degree=2 * args.m, knn=2 * args.m)
+    else:
+        from repro.graphs import build_knn_graph
+
+        graph = build_knn_graph(dataset.data, 2 * args.m)
+    elapsed = time.time() - start
+    save_graph(graph, args.out)
+    print(f"built {args.graph} over {dataset.num_data} points in {elapsed:.1f}s")
+    print(f"  {graph}")
+    print(f"  index size: {graph.memory_bytes() / 1024:.0f} KB -> {args.out}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro import GpuSongIndex, SearchConfig
+    from repro.eval import batch_recall
+    from repro.graphs import build_nsw, load_graph
+
+    dataset = _load_dataset(args)
+    if args.index:
+        graph = load_graph(args.index)
+        if graph.num_vertices != dataset.num_data:
+            print(
+                f"error: index has {graph.num_vertices} vertices but the dataset "
+                f"has {dataset.num_data} points (match --n/--seed with build)",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+    index = GpuSongIndex(graph, dataset.data, device=args.device)
+    config = SearchConfig(
+        k=args.k,
+        queue_size=max(args.queue, args.k),
+        selected_insertion=True,
+        visited_deletion=True,
+    )
+    results, timing = index.search_batch(dataset.queries, config)
+    recall = batch_recall(results, dataset.ground_truth(args.k))
+    print(f"device   : {index.device.name}")
+    print(f"queries  : {dataset.num_queries}")
+    print(f"recall@{args.k:<3}: {recall:.4f}")
+    print(f"QPS      : {timing.qps(dataset.num_queries):,.0f} (modelled)")
+    print(f"kernel   : {1e3 * timing.kernel_seconds:.3f} ms")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro import GpuSongIndex, HNSWIndex
+    from repro.baselines import IVFPQIndex
+    from repro.eval import format_curve, sweep_gpu_song, sweep_hnsw, sweep_ivfpq
+    from repro.graphs import build_nsw
+
+    dataset = _load_dataset(args)
+    queues = [int(q) for q in args.grid]
+    series = {}
+    if "song" in args.methods:
+        graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+        gpu = GpuSongIndex(graph, dataset.data, device=args.device)
+        series["SONG"] = sweep_gpu_song(dataset, gpu, queues, k=args.k)
+    if "hnsw" in args.methods:
+        hnsw = HNSWIndex(dataset.data, m=8, ef_construction=48, seed=1).build()
+        series["HNSW"] = sweep_hnsw(dataset, hnsw, queues, k=args.k)
+    if "ivfpq" in args.methods:
+        ivf = IVFPQIndex(dataset.dim, nlist=32, m=8, ksub=64, seed=0)
+        ivf.train(dataset.data)
+        ivf.add(dataset.data)
+        series["IVFPQ"] = sweep_ivfpq(
+            dataset, ivf, [1, 2, 4, 8, 16, 32], k=args.k, device=args.device
+        )
+    for name, pts in series.items():
+        print(format_curve(name, pts))
+    if args.plot and series:
+        from repro.eval.plot import ascii_qps_recall
+
+        print()
+        print(ascii_qps_recall(series, title=f"{args.dataset}: top-{args.k}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SONG reproduction: graph ANN search on a simulated GPU",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list dataset analogues").set_defaults(
+        func=cmd_datasets
+    )
+    sub.add_parser("devices", help="list simulated GPU presets").set_defaults(
+        func=cmd_devices
+    )
+
+    p_build = sub.add_parser("build", help="build and save a proximity graph")
+    _add_dataset_args(p_build)
+    p_build.add_argument("--graph", choices=["nsw", "nsg", "knn"], default="nsw")
+    p_build.add_argument("--m", type=int, default=8, help="NSW connections per point")
+    p_build.add_argument("--ef-construction", type=int, default=48)
+    p_build.add_argument("--out", required=True, help="output .npz path")
+    p_build.set_defaults(func=cmd_build)
+
+    p_search = sub.add_parser("search", help="batch-search a dataset")
+    _add_dataset_args(p_search)
+    p_search.add_argument("--index", help="graph .npz from `build` (else build NSW)")
+    p_search.add_argument("--k", type=int, default=10)
+    p_search.add_argument("--queue", type=int, default=80)
+    p_search.add_argument("--device", default="v100")
+    p_search.set_defaults(func=cmd_search)
+
+    p_sweep = sub.add_parser("sweep", help="QPS-recall sweep of one or more methods")
+    _add_dataset_args(p_sweep)
+    p_sweep.add_argument(
+        "--methods", nargs="+", choices=["song", "hnsw", "ivfpq"], default=["song"]
+    )
+    p_sweep.add_argument("--k", type=int, default=10)
+    p_sweep.add_argument(
+        "--grid", nargs="+", default=["10", "20", "40", "80", "160"],
+        help="queue sizes to sweep",
+    )
+    p_sweep.add_argument("--device", default="v100")
+    p_sweep.add_argument("--plot", action="store_true", help="render an ASCII plot")
+    p_sweep.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

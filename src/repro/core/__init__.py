@@ -1,0 +1,35 @@
+"""SONG's core: the 3-stage decoupled graph search and its optimizations.
+
+Public entry points:
+
+- :class:`~repro.core.config.SearchConfig` — every knob of the paper
+  (queue size, visited backend, bounded queue / selected insertion /
+  visited deletion, multi-query, multi-step probing).
+- :func:`~repro.core.algorithm1.algorithm1_search` — the reference CPU
+  best-first search, exactly Algorithm 1 of the paper.
+- :class:`~repro.core.song.SongSearcher` — the decoupled searcher
+  (functional result + operation metering).
+- :class:`~repro.core.gpu_kernel.GpuSongIndex` — SONG on the SIMT
+  simulator: batch queries, kernel timing, stage profiles.
+- :class:`~repro.core.cpu_song.CpuSongIndex` — the engineered CPU variant
+  of Fig. 15.
+"""
+
+from repro.core.config import OptimizationLevel, SearchConfig
+from repro.core.algorithm1 import algorithm1_search
+from repro.core.song import SongSearcher
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.core.cpu_song import CpuSongIndex
+from repro.core.sharding import ShardedSongIndex
+from repro.core.online import OnlineSongIndex
+
+__all__ = [
+    "ShardedSongIndex",
+    "OnlineSongIndex",
+    "SearchConfig",
+    "OptimizationLevel",
+    "algorithm1_search",
+    "SongSearcher",
+    "GpuSongIndex",
+    "CpuSongIndex",
+]

@@ -1,0 +1,102 @@
+"""Algorithm 1 of the paper: the reference best-first graph search.
+
+Implemented exactly as printed — unbounded min-heap frontier ``q``,
+max-heap ``topk``, hash-set ``visited`` — so every optimized searcher can
+be validated against it.  The one necessary reading of the pseudocode:
+``topk`` receives only extracted vertices, and the loop stops when the
+extracted vertex is worse than the current K-th best.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.distances import OpCounter, get_metric
+from repro.graphs.storage import FixedDegreeGraph
+from repro.structures.heap import MinHeap, TopKMaxHeap
+
+
+def algorithm1_search(
+    graph: FixedDegreeGraph,
+    data: np.ndarray,
+    query: np.ndarray,
+    k: int,
+    queue_size: Optional[int] = None,
+    metric: str = "l2",
+    counter: Optional[OpCounter] = None,
+) -> List[Tuple[float, int]]:
+    """Top-``k`` search on a proximity graph (paper Algorithm 1).
+
+    Parameters
+    ----------
+    graph:
+        Proximity graph over ``data``.
+    data:
+        ``(n, d)`` dataset.
+    query:
+        Query vector.
+    k:
+        Number of results.
+    queue_size:
+        Size of the result pool explored before stopping (``ef``); the
+        literal Algorithm 1 uses ``k`` itself, which is the default.
+    metric:
+        Distance measure name.
+    counter:
+        Optional work meter.
+
+    Returns
+    -------
+    ``(distance, vertex)`` pairs ascending by distance, at most ``k``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    pool = max(queue_size or k, k)
+    m = get_metric(metric)
+    dim = data.shape[1]
+
+    def charge_distance(n: int = 1) -> None:
+        if counter is not None:
+            counter.distance_calls += n
+            counter.distance_flops += n * m.flops_per_distance(dim)
+            counter.vector_reads += n
+
+    start = graph.entry_point
+    q = MinHeap()
+    topk = TopKMaxHeap(pool)
+    visited = {start}
+    d0 = m.single(query, data[start])
+    charge_distance()
+    q.push(d0, start)
+    if counter is not None:
+        counter.queue_ops += 1
+        counter.hash_ops += 1
+
+    while q:
+        now_dist, now_idx = q.pop()
+        if counter is not None:
+            counter.queue_ops += 1
+            counter.hops += 1
+        if topk.is_full() and topk.worst_distance() < now_dist:
+            break
+        topk.push_bounded(now_dist, now_idx)
+        if counter is not None:
+            counter.queue_ops += 1
+        for v in graph.neighbors(now_idx):
+            v = int(v)
+            if counter is not None:
+                counter.graph_reads += 1
+                counter.hash_ops += 1
+            if v in visited:
+                continue
+            d = m.single(query, data[v])
+            charge_distance()
+            visited.add(v)
+            q.push(d, v)
+            if counter is not None:
+                counter.hash_ops += 1
+                counter.queue_ops += 1
+
+    return sorted(topk.to_sorted_list())[:k]

@@ -1,0 +1,77 @@
+"""SONG's CPU implementation (paper Section VIII-I, Fig. 15).
+
+The same 3-stage search as the GPU kernel, metered with a CPU machine
+model instead of warp costs.  Its edge over plain HNSW search comes from
+exactly what the paper engineered: batched distance evaluation (SIMD
+friendly) and the bounded data structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.machine import TUNED_CPU, CpuModel
+from repro.core.song import SongSearcher
+from repro.core.stages import CountingMeter
+from repro.distances import OpCounter, get_metric
+from repro.graphs.storage import FixedDegreeGraph
+
+
+@dataclass
+class CpuBatchResult:
+    """Results plus the modelled single-thread execution time."""
+
+    results: List[List[Tuple[float, int]]]
+    seconds: float
+    counter: OpCounter
+
+    def qps(self) -> float:
+        if self.seconds == 0:
+            return float("inf")
+        return len(self.results) / self.seconds
+
+
+class CpuSongIndex:
+    """Single-thread CPU SONG over a fixed-degree proximity graph."""
+
+    def __init__(
+        self,
+        graph: FixedDegreeGraph,
+        data: np.ndarray,
+        model: CpuModel = TUNED_CPU,
+    ) -> None:
+        self.graph = graph
+        self.data = np.asarray(data, dtype=np.float32)
+        self.model = model
+        self.searcher = SongSearcher(graph, self.data)
+
+    def search(
+        self, query: np.ndarray, config: SearchConfig
+    ) -> Tuple[List[Tuple[float, int]], float]:
+        """One query; returns ``(results, modelled_seconds)``."""
+        metric = get_metric(config.metric)
+        counter = OpCounter()
+        dim = self.data.shape[1]
+        meter = CountingMeter(counter, dim, metric.flops_per_distance(dim))
+        out = self.searcher.search(query, config, meter=meter)
+        seconds = self.model.seconds(counter, bytes_read=4 * dim * counter.vector_reads)
+        return out, seconds
+
+    def search_batch(self, queries: np.ndarray, config: SearchConfig) -> CpuBatchResult:
+        """Search every query; seconds accumulate (single thread)."""
+        queries = np.asarray(queries, dtype=self.data.dtype)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        metric = get_metric(config.metric)
+        counter = OpCounter()
+        dim = self.data.shape[1]
+        meter = CountingMeter(counter, dim, metric.flops_per_distance(dim))
+        results = [
+            self.searcher.search(q, config, meter=meter) for q in queries
+        ]
+        seconds = self.model.seconds(counter, bytes_read=4 * dim * counter.vector_reads)
+        return CpuBatchResult(results=results, seconds=seconds, counter=counter)

@@ -1,0 +1,297 @@
+"""SONG on the simulated GPU: the warp meter and the batch index.
+
+:class:`WarpMeter` translates the algorithm's primitive events into SIMT
+warp costs (Section II/III of the paper):
+
+- bulk distance → lock-step SIMD lanes + ``shfl_down`` warp reduction,
+  coalesced vector reads;
+- adjacency fetch → one coalesced fixed-degree row read (scattered when
+  several queries share the warp and pull different rows);
+- queue/visited maintenance → single-lane sequential work, priced higher
+  when the structure spilled to global memory.
+
+:class:`GpuSongIndex` owns placement decisions (what fits in shared
+memory), launches the metered search over a query batch, and converts the
+result into QPS via the cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.song import SearchStats, SongSearcher
+from repro.core.stages import NullMeter
+from repro.distances import get_metric
+from repro.graphs.storage import FixedDegreeGraph
+from repro.simt.device import DeviceSpec, get_device
+from repro.simt.kernel import KernelLauncher, KernelResult
+from repro.simt.memory import SharedMemoryBudget
+from repro.simt.profiler import StageProfiler
+from repro.simt.warp import Warp
+from repro.structures.visited import VisitedBackend, VisitedSet
+
+
+#: Sequential visited-set op cost in abstract steps, per backend.  The
+#: open-addressing table parallelizes its linear probing across warp
+#: lanes (Section IV-B), so one step usually suffices; the Bloom filter's
+#: k hash positions and the Cuckoo filter's two buckets are touched by the
+#: single maintaining thread, hence cost more steps per op.
+_VISITED_OP_STEPS = {
+    VisitedBackend.HASH_TABLE: 1,
+    VisitedBackend.BLOOM: 4,  # k ≈ 7 positions touched sequentially
+    VisitedBackend.CUCKOO: 3,  # fingerprint + two 4-slot buckets
+    VisitedBackend.PYSET: 1,
+}
+
+
+@dataclass
+class Placement:
+    """Where each search structure lives on the device."""
+
+    frontier_in_shared: bool
+    topk_in_shared: bool
+    visited_in_shared: bool
+    shared_bytes_per_warp: int
+
+
+class WarpMeter(NullMeter):
+    """Maps search events onto a :class:`~repro.simt.warp.Warp`."""
+
+    def __init__(
+        self,
+        warp: Warp,
+        config: SearchConfig,
+        placement: Placement,
+        flops_per_distance_fn,
+    ) -> None:
+        self.warp = warp
+        self.config = config
+        self.placement = placement
+        self._flops = flops_per_distance_fn
+        self._queue_depth = max(2, int(math.log2(config.queue_size)) + 1)
+        self._visited_steps = _VISITED_OP_STEPS[config.visited_backend]
+
+    def stage(self, name: str) -> None:
+        self.warp.set_stage(name)
+
+    # -- frontier / topk -------------------------------------------------
+
+    def pop_frontier(self, n: int = 1) -> None:
+        self.warp.sequential(
+            n * self._queue_depth, in_shared=self.placement.frontier_in_shared
+        )
+
+    def push_frontier(self, n: int = 1) -> None:
+        self.warp.sequential(
+            n * self._queue_depth, in_shared=self.placement.frontier_in_shared
+        )
+
+    def topk_update(self, n: int = 1) -> None:
+        self.warp.sequential(
+            n * self._queue_depth, in_shared=self.placement.topk_in_shared
+        )
+
+    # -- graph / visited -------------------------------------------------------
+
+    def read_graph_row(self, degree_slots: int) -> None:
+        if self.config.multi_query > 1:
+            # Several queries pull unrelated rows at once: no coalescing.
+            self.warp.global_read_scattered(degree_slots)
+        else:
+            self.warp.global_read_coalesced(4 * degree_slots)
+
+    def visited_test(self, n: int = 1) -> None:
+        self.warp.sequential(
+            n * self._visited_steps, in_shared=self.placement.visited_in_shared
+        )
+
+    def visited_insert(self, n: int = 1) -> None:
+        self.warp.sequential(
+            n * self._visited_steps, in_shared=self.placement.visited_in_shared
+        )
+
+    def visited_delete(self, n: int = 1) -> None:
+        self.warp.sequential(
+            n * self._visited_steps, in_shared=self.placement.visited_in_shared
+        )
+
+    # -- distances ---------------------------------------------------------------
+
+    def bulk_distance(self, num_candidates: int, dim: int) -> None:
+        warp = self.warp
+        lanes = max(1, warp.device.warp_size // self.config.multi_query)
+        warps_per_block = max(1, self.config.block_size // warp.device.warp_size)
+        total_bytes = 4 * dim * num_candidates
+        if warps_per_block == 1:
+            warp.global_read_coalesced(total_bytes)
+        else:
+            # The block's warps fetch disjoint dimension slices in
+            # parallel: the group's critical path sees 1/warps of the
+            # transactions, while the full traffic still counts against
+            # device bandwidth.
+            per_warp = -(-total_bytes // warps_per_block)
+            warp.global_read_coalesced(per_warp)
+            warp.memory.read_coalesced(total_bytes - per_warp)
+        total_ops = num_candidates * self._flops(dim)
+        # The block's warps split the dimensions: the per-group critical
+        # path shrinks by the warp count (paper Sec. VI: "all threads in
+        # the block are involved in this stage").
+        warp.simd_compute(-(-total_ops // warps_per_block), active_lanes=lanes)
+        warp.warp_reduce(num_candidates)
+        if warps_per_block > 1:
+            # Cross-warp aggregation goes through shared memory, then
+            # thread 0 folds the per-warp partials.
+            warp.shared_access(num_candidates * warps_per_block)
+            warp.sequential(num_candidates * (warps_per_block - 1))
+        warp.shared_access(num_candidates)  # dist buffer writes
+
+
+class GpuSongIndex:
+    """Batch ANN queries over a proximity graph on a simulated GPU.
+
+    Parameters
+    ----------
+    graph:
+        Fixed-degree proximity graph (NSW in the paper's experiments).
+    data:
+        ``(n, d)`` dataset, resident in simulated global memory.
+    device:
+        Device preset name or :class:`DeviceSpec`.
+    """
+
+    def __init__(
+        self,
+        graph: FixedDegreeGraph,
+        data: np.ndarray,
+        device: str = "v100",
+    ) -> None:
+        self.graph = graph
+        data = np.asarray(data)
+        # Float data is stored single-precision as on the GPU; packed
+        # bit-signature datasets (uint32) pass through untouched.
+        if data.dtype.kind == "f":
+            data = data.astype(np.float32, copy=False)
+        self.data = data
+        self.device: DeviceSpec = get_device(device)
+        self.searcher = SongSearcher(graph, self.data)
+        self.launcher = KernelLauncher(self.device)
+
+    # -- memory accounting ----------------------------------------------------
+
+    def index_memory_bytes(self) -> int:
+        """Graph-index footprint in global memory (Table III)."""
+        return self.graph.memory_bytes()
+
+    def dataset_memory_bytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def fits_in_device_memory(self) -> bool:
+        total = self.index_memory_bytes() + self.dataset_memory_bytes()
+        return self.launcher.cost_model.fits_in_memory(total)
+
+    def placement(self, config: SearchConfig) -> Placement:
+        """Decide which structures fit in shared memory (Sec. VIII)."""
+        dim = self.data.shape[1]
+        limit = self.device.shared_mem_per_sm_kb * 1024
+        # An open-addressing table without visited deletion grows without
+        # bound, so it must live in global memory (paper Sec. VIII).  The
+        # probabilistic filters have *fixed* allocations — they saturate
+        # rather than grow — so they qualify for shared memory, as does
+        # the 2K-bounded table under visited deletion.
+        visited_bounded = config.visited_deletion or config.visited_backend in (
+            VisitedBackend.BLOOM,
+            VisitedBackend.CUCKOO,
+        )
+        visited_bytes = 0
+        if visited_bounded:
+            probe = VisitedSet(
+                backend=config.visited_backend,
+                capacity=config.effective_visited_capacity(self.graph.degree),
+                fp_rate=config.bloom_fp_rate,
+            )
+            visited_bytes = probe.memory_bytes()
+
+        def budget(queue_shared: bool, visited_shared: bool) -> SharedMemoryBudget:
+            return SharedMemoryBudget.for_search(
+                dim=dim,
+                degree=self.graph.degree,
+                queue_capacity=config.queue_size if queue_shared else 0,
+                topk=config.queue_size if queue_shared else 0,
+                visited_bytes=visited_bytes if visited_shared else 0,
+                multi_query=config.multi_query,
+            )
+
+        queue_shared = config.bounded_queue
+        visited_shared = visited_bounded
+        plan = budget(queue_shared, visited_shared)
+        if plan.total > limit and visited_shared:
+            visited_shared = False
+            plan = budget(queue_shared, visited_shared)
+        if plan.total > limit and queue_shared:
+            queue_shared = False
+            plan = budget(queue_shared, visited_shared)
+        return Placement(
+            frontier_in_shared=queue_shared,
+            topk_in_shared=queue_shared,
+            visited_in_shared=visited_shared,
+            shared_bytes_per_warp=plan.total,
+        )
+
+    # -- search --------------------------------------------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        profiler: Optional[StageProfiler] = None,
+        collect_stats: bool = False,
+        distance_fn=None,
+    ) -> Tuple[List[List[Tuple[float, int]]], KernelResult]:
+        """Run the batch and return ``(results, kernel_result)``.
+
+        ``kernel_result`` carries the estimated timing; use
+        ``kernel_result.qps(len(queries))`` for throughput.
+        """
+        queries = np.asarray(queries, dtype=self.data.dtype)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        placement = self.placement(config)
+        metric = get_metric(config.metric)
+        stats_list: List[SearchStats] = []
+
+        def kernel(q_index: int, warp: Warp):
+            meter = WarpMeter(warp, config, placement, metric.flops_per_distance)
+            # The query vector is staged into shared memory once.
+            warp.set_stage("locate")
+            warp.global_read_coalesced(queries.shape[1] * 4)
+            warp.shared_access(queries.shape[1])
+            stats = SearchStats() if collect_stats else None
+            out = self.searcher.search(
+                queries[q_index],
+                config,
+                meter=meter,
+                stats=stats,
+                distance_fn=distance_fn,
+            )
+            if stats is not None:
+                stats_list.append(stats)
+            return out
+
+        result = self.launcher.launch(
+            kernel,
+            num_queries=len(queries),
+            htod_bytes=int(queries.nbytes),
+            dtoh_bytes=len(queries) * config.k * 8,
+            shared_bytes_per_warp=placement.shared_bytes_per_warp,
+            queries_per_warp=config.multi_query,
+            warps_per_query=max(1, config.block_size // self.device.warp_size),
+            profiler=profiler,
+        )
+        if collect_stats:
+            result.stats = stats_list  # type: ignore[attr-defined]
+        return result.outputs, result

@@ -1,0 +1,60 @@
+"""CPU machine model: converts operation counts into single-thread time.
+
+The paper compares GPU SONG against *single-thread* HNSW and reports
+speedup factors.  Wall-clocking a Python prototype would measure the
+interpreter, not the algorithm, so CPU time is derived from the same
+operation counts the GPU cost model uses, priced with conventional
+single-core constants.  Only the *ratios* between methods matter for the
+reproduced figures, and those are driven by the counted work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distances import OpCounter
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """Single-core cost constants.
+
+    Attributes
+    ----------
+    flops_per_second:
+        Sustained scalar+SIMD floating throughput of one core on the
+        distance inner loop.
+    seq_op_seconds:
+        Cost of one pointer-chasing data-structure operation (heap sift
+        step, hash probe).
+    bytes_per_second:
+        Memory bandwidth available to the single core.
+    """
+
+    name: str = "xeon-e5-2660-1t"
+    flops_per_second: float = 1.0e10
+    seq_op_seconds: float = 1.5e-8
+    bytes_per_second: float = 1.2e10
+
+    def seconds(self, counter: OpCounter, bytes_read: int = 0) -> float:
+        """Estimated single-thread seconds for the counted work."""
+        compute = counter.distance_flops / self.flops_per_second
+        sequential = (
+            counter.queue_ops + counter.hash_ops + counter.graph_reads
+        ) * self.seq_op_seconds
+        memory = bytes_read / self.bytes_per_second
+        return compute + sequential + memory
+
+
+#: Default model for the paper's Xeon E5-2660 single-thread baseline.
+DEFAULT_CPU = CpuModel()
+
+#: SONG's "heavily engineered" CPU implementation (Sec. VIII-I): tighter
+#: batched distance loops and cheaper maintenance thanks to the bounded
+#: structures — modelled as better sustained throughput per op.
+TUNED_CPU = CpuModel(
+    name="song-cpu-tuned",
+    flops_per_second=1.6e10,
+    seq_op_seconds=0.9e-8,
+    bytes_per_second=1.6e10,
+)

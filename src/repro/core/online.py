@@ -1,0 +1,140 @@
+"""Online (incremental) index: insert points into a live SONG index.
+
+The paper's pipeline is static — build offline, search on GPU.  Real
+deployments also ingest new vectors.  :class:`OnlineSongIndex` keeps the
+NSW insertion discipline (search the current graph for each new point's
+neighbors, connect bidirectionally, prune by distance), maintains the
+fixed-degree storage in place, and re-exposes the GPU batch search after
+every insertion.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.distances import get_metric
+from repro.graphs._search import greedy_search
+from repro.graphs.storage import FixedDegreeGraph
+
+
+class OnlineSongIndex:
+    """A growable SONG index.
+
+    Parameters
+    ----------
+    dim:
+        Vector dimensionality.
+    m:
+        Connections created per inserted point (NSW's ``m``).
+    max_degree:
+        Per-vertex degree bound (default ``2 * m``).
+    ef_construction:
+        Candidate-list width for insertion searches.
+    capacity:
+        Initial storage capacity; grows by doubling.
+    metric:
+        Distance measure name.
+    device:
+        Simulated device for searches.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 8,
+        max_degree: Optional[int] = None,
+        ef_construction: int = 48,
+        capacity: int = 1024,
+        metric: str = "l2",
+        device: str = "v100",
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if m <= 0:
+            raise ValueError("m must be positive")
+        self.dim = dim
+        self.m = m
+        self.max_degree = max_degree or 2 * m
+        self.ef_construction = max(ef_construction, m)
+        self.metric = get_metric(metric)
+        self.device = device
+        self._data = np.zeros((max(capacity, 8), dim), dtype=np.float32)
+        self._adjacency: List[List[int]] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data[: self._size]
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add(self, vectors: np.ndarray) -> List[int]:
+        """Insert one or more vectors; returns their assigned ids."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        ids = []
+        for vec in vectors:
+            ids.append(self._insert(vec))
+        return ids
+
+    def _insert(self, vec: np.ndarray) -> int:
+        if self._size >= len(self._data):
+            grown = np.zeros((2 * len(self._data), self.dim), dtype=np.float32)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+        v = self._size
+        self._data[v] = vec
+        self._adjacency.append([])
+        self._size += 1
+        if v == 0:
+            return v
+        found = greedy_search(
+            self._data[: self._size],
+            lambda u: self._adjacency[u],
+            vec,
+            ef=self.ef_construction,
+            entry_points=[0],
+            metric=self.metric,
+        )
+        for _, u in found[: self.m]:
+            self._adjacency[v].append(u)
+            self._adjacency[u].append(v)
+            self._prune(u)
+        self._prune(v)
+        return v
+
+    def _prune(self, v: int) -> None:
+        row = list(dict.fromkeys(self._adjacency[v]))
+        if len(row) > self.max_degree:
+            dists = self.metric.batch(self._data[v], self._data[row])
+            keep = np.argsort(dists, kind="stable")[: self.max_degree]
+            row = [row[i] for i in sorted(keep.tolist())]
+        self._adjacency[v] = row
+
+    # -- search -------------------------------------------------------------
+
+    def snapshot_graph(self) -> FixedDegreeGraph:
+        """Freeze the current adjacency into fixed-degree storage."""
+        if self._size == 0:
+            raise RuntimeError("index is empty")
+        graph = FixedDegreeGraph(self._size, self.max_degree, entry_point=0)
+        for v in range(self._size):
+            graph.set_neighbors(v, self._adjacency[v])
+        return graph
+
+    def search_batch(
+        self, queries: np.ndarray, config: SearchConfig
+    ) -> Tuple[list, object]:
+        """GPU batch search over the current contents."""
+        gpu = GpuSongIndex(
+            self.snapshot_graph(), self._data[: self._size], device=self.device
+        )
+        return gpu.search_batch(queries, config)

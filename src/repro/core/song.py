@@ -1,0 +1,252 @@
+"""The decoupled 3-stage SONG search (Sections III–V of the paper).
+
+Each iteration:
+
+1. **Candidate locating** — pop the best vertex (or ``probe_steps``
+   vertices) from the frontier, fetch their fixed-degree adjacency rows,
+   and filter against ``visited`` into a candidate buffer.
+2. **Bulk distance computation** — one batched distance evaluation of
+   every candidate against the query (the GPU's warp-parallel reduction).
+3. **Data-structure maintenance** — update ``topk``, apply selected
+   insertion, push survivors into the frontier, and apply visited
+   deletion.
+
+The implementation is functional and machine-agnostic: plug in a meter
+(:mod:`repro.core.stages`) to obtain CPU work units or GPU cycles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.stages import NullMeter
+from repro.distances import get_metric
+from repro.graphs.storage import FixedDegreeGraph
+from repro.structures.heap import MinHeap, TopKMaxHeap
+from repro.structures.minmax_heap import BoundedPriorityQueue
+from repro.structures.visited import VisitedSet
+
+
+class SearchStats:
+    """Per-query statistics the experiments report."""
+
+    __slots__ = ("iterations", "distance_computations", "visited_peak", "visited_inserts")
+
+    def __init__(self) -> None:
+        self.iterations = 0
+        self.distance_computations = 0
+        self.visited_peak = 0
+        self.visited_inserts = 0
+
+
+class SongSearcher:
+    """Searches a fixed-degree proximity graph with SONG's algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The proximity graph (NSW, HNSW layer 0, NSG, ...).
+    data:
+        ``(n, d)`` dataset the graph indexes.  For hashed (bit-packed)
+        datasets pass the packed array and ``metric="hamming"`` via a
+        :class:`~repro.hashing.hamming.HammingSpace` — see
+        :mod:`repro.hashing`.
+    """
+
+    def __init__(self, graph: FixedDegreeGraph, data: np.ndarray) -> None:
+        if graph.num_vertices != len(data):
+            raise ValueError(
+                f"graph has {graph.num_vertices} vertices but data has "
+                f"{len(data)} rows"
+            )
+        self.graph = graph
+        self.data = data
+
+    # -- public API -----------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        config: SearchConfig,
+        meter=None,
+        stats: Optional[SearchStats] = None,
+        distance_fn=None,
+    ) -> List[Tuple[float, int]]:
+        """Top-``config.k`` neighbors of ``query`` (ascending distance).
+
+        Parameters
+        ----------
+        query:
+            Query vector (same dimensionality as the dataset).
+        config:
+            Search parameters and optimization switches.
+        meter:
+            Event meter (defaults to a no-op :class:`NullMeter`).
+        stats:
+            Optional :class:`SearchStats` to fill.
+        distance_fn:
+            Override for the batch distance: ``f(query, rows) -> array``.
+            Used by the Hamming-space search over hashed datasets.
+        """
+        meter = meter if meter is not None else NullMeter()
+        metric = get_metric(config.metric)
+        batch_dist = distance_fn if distance_fn is not None else metric.batch
+        graph = self.graph
+        data = self.data
+        dim = data.shape[1]
+        pool = config.queue_size
+
+        frontier = self._make_frontier(config)
+        topk = TopKMaxHeap(pool)
+        visited = VisitedSet(
+            backend=config.visited_backend,
+            capacity=config.effective_visited_capacity(graph.degree),
+            fp_rate=config.bloom_fp_rate,
+        )
+
+        # Seed with the entry point.
+        start = graph.entry_point
+        meter.stage("distance")
+        d0 = float(batch_dist(query, data[start : start + 1])[0])
+        meter.bulk_distance(1, dim)
+        meter.stage("maintain")
+        visited.insert(start)
+        meter.visited_insert()
+        self._frontier_push(frontier, d0, start, topk, visited, config, meter)
+
+        while len(frontier):
+            # ---- Stage 1: candidate locating -------------------------------
+            meter.stage("locate")
+            popped: List[Tuple[float, int]] = []
+            stop = False
+            for _ in range(config.probe_steps):
+                if not len(frontier):
+                    break
+                d, v = self._frontier_pop(frontier)
+                meter.pop_frontier()
+                if topk.is_full() and topk.worst_distance() < d:
+                    stop = True
+                    break
+                popped.append((d, v))
+            if not popped:
+                break
+
+            candidates: List[int] = []
+            seen_this_round = set()
+            for _, v in popped:
+                meter.read_graph_row(graph.degree)
+                for u in graph.neighbors(v):
+                    u = int(u)
+                    meter.visited_test()
+                    if u in seen_this_round or visited.contains(u):
+                        continue
+                    seen_this_round.add(u)
+                    candidates.append(u)
+
+            # ---- Stage 2: bulk distance computation -------------------------
+            meter.stage("distance")
+            if candidates:
+                dists = batch_dist(query, data[candidates])
+                meter.bulk_distance(len(candidates), dim)
+            else:
+                dists = ()
+            if stats is not None:
+                stats.iterations += 1
+                stats.distance_computations += len(candidates)
+
+            # ---- Stage 3: data-structure maintenance ------------------------
+            meter.stage("maintain")
+            for d, v in popped:
+                self._topk_push(topk, d, v, visited, config, meter)
+            for u, d in zip(candidates, np.asarray(dists, dtype=float).tolist()):
+                if (
+                    config.selected_insertion
+                    and topk.is_full()
+                    and d >= topk.worst_distance()
+                ):
+                    continue  # filtered out: not marked visited, not enqueued
+                visited.insert(u)
+                meter.visited_insert()
+                if stats is not None:
+                    stats.visited_inserts += 1
+                self._frontier_push(frontier, d, u, topk, visited, config, meter)
+            if stats is not None:
+                stats.visited_peak = max(stats.visited_peak, len(visited))
+            if stop:
+                break
+
+        # With a probabilistic deletable filter (Cuckoo + visited deletion)
+        # a fingerprint collision can false-delete another key, letting a
+        # vertex re-enter the frontier; keep only its best appearance.
+        out: List[Tuple[float, int]] = []
+        seen_ids = set()
+        for d, v in sorted(topk.to_sorted_list()):
+            if v not in seen_ids:
+                seen_ids.add(v)
+                out.append((d, v))
+            if len(out) == config.k:
+                break
+        return out
+
+    # -- frontier helpers ------------------------------------------------------
+
+    @staticmethod
+    def _make_frontier(config: SearchConfig):
+        if config.bounded_queue:
+            return BoundedPriorityQueue(config.queue_size)
+        return MinHeap()
+
+    @staticmethod
+    def _frontier_pop(frontier) -> Tuple[float, int]:
+        if isinstance(frontier, BoundedPriorityQueue):
+            return frontier.pop_min()
+        return frontier.pop()
+
+    def _frontier_push(
+        self,
+        frontier,
+        dist: float,
+        vertex: int,
+        topk: TopKMaxHeap,
+        visited: VisitedSet,
+        config: SearchConfig,
+        meter,
+    ) -> None:
+        meter.push_frontier()
+        if isinstance(frontier, BoundedPriorityQueue):
+            evicted = frontier.push(dist, vertex)
+            if evicted is not None and config.visited_deletion:
+                # The evicted vertex left q and was never in topk: it can be
+                # safely re-marked unvisited (it is outside the top-K radius).
+                visited.delete(evicted[1])
+                meter.visited_delete()
+        else:
+            frontier.push(dist, vertex)
+
+    def _topk_push(
+        self,
+        topk: TopKMaxHeap,
+        dist: float,
+        vertex: int,
+        visited: VisitedSet,
+        config: SearchConfig,
+        meter,
+    ) -> None:
+        evicted = topk.push_bounded(dist, vertex)
+        meter.topk_update()
+        if evicted is not None and config.visited_deletion:
+            # Either the candidate itself failed to enter topk, or a previous
+            # result was displaced; both are now outside q ∪ topk.
+            visited.delete(evicted[1])
+            meter.visited_delete()
+
+    # -- conveniences ------------------------------------------------------------
+
+    def search_batch(
+        self, queries: np.ndarray, config: SearchConfig
+    ) -> List[List[Tuple[float, int]]]:
+        """Search every row of ``queries`` (no metering)."""
+        return [self.search(q, config) for q in queries]

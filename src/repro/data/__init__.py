@@ -1,0 +1,29 @@
+"""Dataset substrate: synthetic analogues of the paper's 6 benchmarks.
+
+The originals (NYTimes, SIFT, GloVe200, UQ_V, GIST, MNIST8m) are
+multi-GB downloads; this package generates laptop-scale synthetic stand-ins
+that preserve the property the paper's analysis leans on — *distribution
+shape*: NYTimes and GloVe200 are heavily skewed/clustered (hard for ANN,
+IVFPQ hits a recall ceiling), SIFT and UQ_V are diffuse (easy), GIST is
+the high-dimensional case, and MNIST is the out-of-memory hashing case.
+"""
+
+from repro.data.synthetic import (
+    DATASET_SPECS,
+    clustered_dataset,
+    diffuse_dataset,
+    lowrank_dataset,
+    make_dataset,
+)
+from repro.data.datasets import Dataset
+from repro.data.ground_truth import ground_truth
+
+__all__ = [
+    "Dataset",
+    "DATASET_SPECS",
+    "make_dataset",
+    "clustered_dataset",
+    "diffuse_dataset",
+    "lowrank_dataset",
+    "ground_truth",
+]

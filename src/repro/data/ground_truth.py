@@ -1,0 +1,35 @@
+"""Exact nearest-neighbor ground truth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances import get_metric
+
+
+def ground_truth(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    metric: str = "l2",
+    block: int = 256,
+) -> np.ndarray:
+    """Exact top-``k`` ids for each query, as an ``(q, k)`` int array.
+
+    Computed in query blocks so the distance matrix stays small.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if k > len(data):
+        raise ValueError("k exceeds the dataset size")
+    m = get_metric(metric)
+    q = len(queries)
+    out = np.empty((q, k), dtype=np.int64)
+    for start in range(0, q, block):
+        stop = min(start + block, q)
+        d = m.pairwise(queries[start:stop], data)
+        idx = np.argpartition(d, k - 1, axis=1)[:, :k]
+        part = np.take_along_axis(d, idx, axis=1)
+        order = np.argsort(part, axis=1, kind="stable")
+        out[start:stop] = np.take_along_axis(idx, order, axis=1)
+    return out

@@ -1,0 +1,85 @@
+"""Vector file formats used by the ANN benchmark corpora.
+
+The datasets in the paper's Table I ship as TEXMEX ``.fvecs`` /
+``.ivecs`` / ``.bvecs`` files (SIFT, GIST) or ann-benchmarks HDF5.  This
+module reads and writes the TEXMEX family so the library can ingest the
+real corpora when they are available; the synthetic analogues remain the
+default for offline runs.
+
+Format: each vector is stored as a little-endian int32 dimension header
+followed by ``dim`` components (float32 / int32 / uint8).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+_COMPONENT = {
+    ".fvecs": np.float32,
+    ".ivecs": np.int32,
+    ".bvecs": np.uint8,
+}
+
+
+def _dtype_for(path: str) -> np.dtype:
+    ext = os.path.splitext(path)[1].lower()
+    if ext not in _COMPONENT:
+        raise ValueError(
+            f"unsupported extension {ext!r}; expected one of {sorted(_COMPONENT)}"
+        )
+    return np.dtype(_COMPONENT[ext])
+
+
+def read_vecs(path: str, count: int = None) -> np.ndarray:
+    """Read a ``.fvecs`` / ``.ivecs`` / ``.bvecs`` file into ``(n, d)``.
+
+    Parameters
+    ----------
+    path:
+        Input file; the extension selects the component type.
+    count:
+        Optional cap on the number of vectors read.
+    """
+    dtype = _dtype_for(path)
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size == 0:
+        return np.empty((0, 0), dtype=dtype)
+    dim = int(np.frombuffer(raw[:4].tobytes(), dtype="<i4")[0])
+    if dim <= 0:
+        raise ValueError(f"{path}: corrupt header (dim={dim})")
+    record = 4 + dim * dtype.itemsize
+    if raw.size % record != 0:
+        raise ValueError(
+            f"{path}: size {raw.size} is not a multiple of the record size "
+            f"{record} (dim={dim})"
+        )
+    n = raw.size // record
+    if count is not None:
+        n = min(n, count)
+    records = raw[: n * record].reshape(n, record)
+    headers = records[:, :4].copy().view("<i4").ravel()
+    if not (headers == dim).all():
+        raise ValueError(f"{path}: inconsistent per-record dimensions")
+    return records[:, 4:].copy().view(dtype).reshape(n, dim)
+
+
+def write_vecs(path: str, data: np.ndarray) -> None:
+    """Write ``(n, d)`` vectors in the TEXMEX format for ``path``'s extension."""
+    dtype = _dtype_for(path)
+    data = np.asarray(data)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-d")
+    n, dim = data.shape
+    headers = np.full((n, 1), dim, dtype="<i4")
+    body = np.ascontiguousarray(data.astype(dtype))
+    with open(path, "wb") as f:
+        for i in range(n):
+            f.write(headers[i].tobytes())
+            f.write(body[i].tobytes())
+
+
+def read_ground_truth_ivecs(path: str) -> np.ndarray:
+    """Ground-truth files are ``.ivecs`` of neighbor ids per query."""
+    return read_vecs(path).astype(np.int64)

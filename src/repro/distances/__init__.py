@@ -1,0 +1,29 @@
+"""Distance kernels used throughout the library.
+
+The paper's bulk-distance-computation stage supports the common ANN
+measures: p-norm (we implement squared L2), inner product, and cosine
+similarity.  :mod:`repro.distances.metrics` provides batched numpy
+implementations; :mod:`repro.distances.counted` wraps them with operation
+accounting used by the SIMT cost model and the CPU work-unit timer.
+"""
+
+from repro.distances.metrics import (
+    METRICS,
+    Metric,
+    batch_distance,
+    get_metric,
+    pairwise_distance,
+    single_distance,
+)
+from repro.distances.counted import CountedDistance, OpCounter
+
+__all__ = [
+    "METRICS",
+    "Metric",
+    "batch_distance",
+    "get_metric",
+    "pairwise_distance",
+    "single_distance",
+    "CountedDistance",
+    "OpCounter",
+]

@@ -1,0 +1,108 @@
+"""Operation accounting for distance evaluation.
+
+Throughput comparisons in the paper hinge on *how much work* each method
+does, not on wall-clock noise of a Python prototype.  Every searcher in
+this library therefore routes its distance evaluations through a
+:class:`CountedDistance`, and the evaluation harness converts the recorded
+counts into time through a machine model (CPU work units or the SIMT cost
+model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.distances.metrics import Metric
+
+
+@dataclass
+class OpCounter:
+    """Tally of the work a search performed.
+
+    Attributes
+    ----------
+    distance_calls:
+        Number of distance evaluations (pairs).
+    distance_flops:
+        Floating-point operations spent in distance evaluations.
+    vector_reads:
+        Data vectors fetched from the dataset (global-memory traffic).
+    graph_reads:
+        Adjacency rows fetched from the graph index.
+    queue_ops:
+        Priority-queue pushes/pops (sequential work).
+    hash_ops:
+        Visited-set insert/lookup/delete operations (sequential work).
+    hops:
+        Search iterations (vertices expanded).
+    """
+
+    distance_calls: int = 0
+    distance_flops: int = 0
+    vector_reads: int = 0
+    graph_reads: int = 0
+    queue_ops: int = 0
+    hash_ops: int = 0
+    hops: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.distance_calls = 0
+        self.distance_flops = 0
+        self.vector_reads = 0
+        self.graph_reads = 0
+        self.queue_ops = 0
+        self.hash_ops = 0
+        self.hops = 0
+
+    def merge(self, other: "OpCounter") -> None:
+        """Accumulate ``other`` into this counter."""
+        self.distance_calls += other.distance_calls
+        self.distance_flops += other.distance_flops
+        self.vector_reads += other.vector_reads
+        self.graph_reads += other.graph_reads
+        self.queue_ops += other.queue_ops
+        self.hash_ops += other.hash_ops
+        self.hops += other.hops
+
+    def snapshot(self) -> dict:
+        """Return the counters as a plain dict (for reports)."""
+        return {
+            "distance_calls": self.distance_calls,
+            "distance_flops": self.distance_flops,
+            "vector_reads": self.vector_reads,
+            "graph_reads": self.graph_reads,
+            "queue_ops": self.queue_ops,
+            "hash_ops": self.hash_ops,
+            "hops": self.hops,
+        }
+
+
+@dataclass
+class CountedDistance:
+    """A :class:`~repro.distances.metrics.Metric` that meters its own use."""
+
+    metric: Metric
+    counter: OpCounter = field(default_factory=OpCounter)
+
+    @property
+    def name(self) -> str:
+        return self.metric.name
+
+    def single(self, u: np.ndarray, v: np.ndarray) -> float:
+        self.counter.distance_calls += 1
+        self.counter.distance_flops += self.metric.flops_per_distance(len(u))
+        self.counter.vector_reads += 1
+        return self.metric.single(u, v)
+
+    def batch(self, query: np.ndarray, points: np.ndarray) -> np.ndarray:
+        n = len(points)
+        self.counter.distance_calls += n
+        if n:
+            self.counter.distance_flops += n * self.metric.flops_per_distance(
+                points.shape[1]
+            )
+        self.counter.vector_reads += n
+        return self.metric.batch(query, points)

@@ -1,0 +1,140 @@
+"""Batched distance metrics.
+
+All functions take ``float32``/``float64`` numpy arrays.  Distances are
+returned so that *smaller is better* — inner product and cosine similarity
+are negated, which lets every search structure in the library order
+candidates with a single convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Registered metric names.
+METRICS = ("l2", "ip", "cosine")
+
+
+class Metric:
+    """A distance measure with single, batch and pairwise evaluators.
+
+    Parameters
+    ----------
+    name:
+        One of ``"l2"`` (squared Euclidean), ``"ip"`` (negative inner
+        product) or ``"cosine"`` (negative cosine similarity).
+    """
+
+    def __init__(self, name: str):
+        if name not in METRICS:
+            raise ValueError(f"unknown metric {name!r}; expected one of {METRICS}")
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"Metric({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Metric) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Metric", self.name))
+
+    # -- evaluators ---------------------------------------------------------
+
+    def single(self, u: np.ndarray, v: np.ndarray) -> float:
+        """Distance between two vectors."""
+        if self.name == "l2":
+            diff = u - v
+            return float(np.dot(diff, diff))
+        if self.name == "ip":
+            return float(-np.dot(u, v))
+        # cosine
+        denom = float(np.linalg.norm(u) * np.linalg.norm(v))
+        if denom == 0.0:
+            return 0.0
+        return float(-np.dot(u, v) / denom)
+
+    def batch(self, query: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Distances from one query to each row of ``points``.
+
+        This is the bulk-distance-computation primitive: the equivalent of
+        SONG's warp-parallel reduction over candidate vectors.
+        """
+        if points.ndim != 2:
+            raise ValueError("points must be a 2-d array")
+        if self.name == "l2":
+            diff = points - query
+            return np.einsum("ij,ij->i", diff, diff)
+        if self.name == "ip":
+            return -points @ query
+        norms = np.linalg.norm(points, axis=1) * np.linalg.norm(query)
+        dots = points @ query
+        out = np.zeros(len(points), dtype=dots.dtype)
+        nz = norms > 0
+        out[nz] = -dots[nz] / norms[nz]
+        return out
+
+    def pairwise(self, queries: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """All-pairs distance matrix of shape ``(len(queries), len(points))``."""
+        if self.name == "l2":
+            q_sq = np.einsum("ij,ij->i", queries, queries)[:, None]
+            p_sq = np.einsum("ij,ij->i", points, points)[None, :]
+            cross = queries @ points.T
+            d = q_sq + p_sq - 2.0 * cross
+            np.maximum(d, 0.0, out=d)
+            return d
+        if self.name == "ip":
+            return -(queries @ points.T)
+        qn = np.linalg.norm(queries, axis=1)[:, None]
+        pn = np.linalg.norm(points, axis=1)[None, :]
+        denom = qn * pn
+        dots = queries @ points.T
+        out = np.zeros_like(dots)
+        nz = denom > 0
+        out[nz] = -dots[nz] / denom[nz]
+        return out
+
+    # -- cost accounting ----------------------------------------------------
+
+    def flops_per_distance(self, dim: int) -> int:
+        """Floating-point operations to evaluate one distance.
+
+        Used by the SIMT cost model to charge the bulk-distance stage.
+        """
+        if self.name == "l2":
+            return 3 * dim  # sub, mul, add per dimension
+        if self.name == "ip":
+            return 2 * dim  # mul, add
+        return 6 * dim  # dot + two norms
+
+
+_METRIC_CACHE: Dict[str, Metric] = {}
+
+
+def get_metric(name: str) -> Metric:
+    """Return the shared :class:`Metric` instance for ``name``."""
+    if isinstance(name, Metric):
+        return name
+    if name not in _METRIC_CACHE:
+        _METRIC_CACHE[name] = Metric(name)
+    return _METRIC_CACHE[name]
+
+
+def single_distance(u: np.ndarray, v: np.ndarray, metric: str = "l2") -> float:
+    """Convenience wrapper: distance between two vectors."""
+    return get_metric(metric).single(u, v)
+
+
+def batch_distance(
+    query: np.ndarray, points: np.ndarray, metric: str = "l2"
+) -> np.ndarray:
+    """Convenience wrapper: one query vs. many points."""
+    return get_metric(metric).batch(query, points)
+
+
+def pairwise_distance(
+    queries: np.ndarray, points: np.ndarray, metric: str = "l2"
+) -> np.ndarray:
+    """Convenience wrapper: all-pairs distance matrix."""
+    return get_metric(metric).pairwise(queries, points)

@@ -1,0 +1,29 @@
+"""Evaluation harness: recall, QPS sweeps and paper-shaped reports."""
+
+from repro.eval.recall import batch_recall, recall_at_k
+from repro.eval.sweep import (
+    SweepPoint,
+    qps_at_recall,
+    sweep_gpu_song,
+    sweep_cpu_song,
+    sweep_hnsw,
+    sweep_ivfpq,
+)
+from repro.eval.report import format_curve, format_table
+from repro.eval.stats import bootstrap_ci, paired_bootstrap_pvalue, per_query_recall
+
+__all__ = [
+    "bootstrap_ci",
+    "paired_bootstrap_pvalue",
+    "per_query_recall",
+    "recall_at_k",
+    "batch_recall",
+    "SweepPoint",
+    "sweep_gpu_song",
+    "sweep_cpu_song",
+    "sweep_hnsw",
+    "sweep_ivfpq",
+    "qps_at_recall",
+    "format_curve",
+    "format_table",
+]

@@ -1,0 +1,86 @@
+"""Terminal plots for QPS-recall curves.
+
+The paper's figures are log-scale QPS vs recall scatter plots; this
+module renders the same shape as ASCII so reports and examples can show
+curves without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.eval.sweep import SweepPoint
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "o*x+#@%&"
+
+
+def _log10(value: float) -> float:
+    return math.log10(max(value, 1e-12))
+
+
+def ascii_qps_recall(
+    series: Dict[str, List[SweepPoint]],
+    width: int = 68,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Render QPS-recall curves as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name → sweep points.  Up to 8 series.
+    width / height:
+        Plot area size in characters.
+    title:
+        Optional heading line.
+
+    Returns the multi-line plot; y is log10(QPS), x is recall in [0, 1].
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ValueError(f"at most {len(SERIES_GLYPHS)} series supported")
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ValueError("series contain no points")
+
+    y_vals = [_log10(p.qps) for p in all_points]
+    y_min = math.floor(min(y_vals))
+    y_max = math.ceil(max(y_vals))
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, pts) in zip(SERIES_GLYPHS, series.items()):
+        for p in pts:
+            x = min(width - 1, max(0, int(round(p.recall * (width - 1)))))
+            frac = (_log10(p.qps) - y_min) / (y_max - y_min)
+            y = min(height - 1, max(0, int(round(frac * (height - 1)))))
+            grid[height - 1 - y][x] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        frac = (height - 1 - row_idx) / (height - 1)
+        y_val = y_min + frac * (y_max - y_min)
+        label = f"1e{y_val:4.1f} |" if row_idx % 3 == 0 else " " * 7 + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * 7 + "+" + "-" * width)
+    axis = [" "] * (width + 8)
+    for tick in (0.0, 0.25, 0.5, 0.75, 1.0):
+        pos = 8 + int(round(tick * (width - 1)))
+        text = f"{tick:g}"
+        for i, ch in enumerate(text):
+            if pos + i < len(axis):
+                axis[pos + i] = ch
+    lines.append("".join(axis))
+    lines.append(" " * 7 + "recall".center(width))
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(SERIES_GLYPHS, series)
+    )
+    lines.append("  " + legend)
+    return "\n".join(lines)

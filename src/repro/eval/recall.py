@@ -1,0 +1,39 @@
+"""Recall measurement (the paper's retrieval-quality metric).
+
+``Recall(A) = |A ∩ B| / |B|`` for returned set ``A`` and true top-K ``B``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+def recall_at_k(returned_ids: Iterable[int], true_ids: Sequence[int]) -> float:
+    """Recall of one query's result against the true top-K ids."""
+    truth = set(int(i) for i in true_ids)
+    if not truth:
+        raise ValueError("ground truth is empty")
+    hits = sum(1 for i in returned_ids if int(i) in truth)
+    return hits / len(truth)
+
+
+def batch_recall(
+    results: List[List[Tuple[float, int]]], ground_truth: np.ndarray
+) -> float:
+    """Average recall over a batch.
+
+    Parameters
+    ----------
+    results:
+        Per query, ``(distance, id)`` pairs as returned by the searchers.
+    ground_truth:
+        ``(q, k)`` exact ids.
+    """
+    if len(results) != len(ground_truth):
+        raise ValueError("results/ground-truth length mismatch")
+    total = 0.0
+    for res, truth in zip(results, ground_truth):
+        total += recall_at_k((v for _, v in res), truth)
+    return total / len(results)

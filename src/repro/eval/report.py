@@ -1,0 +1,64 @@
+"""Plain-text reports shaped like the paper's tables and figures."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.eval.sweep import SweepPoint
+
+
+def format_curve(name: str, points: List[SweepPoint]) -> str:
+    """One method's QPS-recall series, one row per sweep setting."""
+    lines = [f"{name}"]
+    lines.append(f"  {'param':>8}  {'recall':>8}  {'QPS':>12}")
+    for p in sorted(points, key=lambda p: p.param):
+        lines.append(f"  {p.param:>8.0f}  {p.recall:>8.4f}  {p.qps:>12.1f}")
+    return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: List[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule."""
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [_fmt(c) for c in row]
+        widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+        text_rows.append(cells)
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(header_line)
+    lines = [title, rule, header_line, rule]
+    for cells in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_speedup_table(
+    title: str,
+    recall_levels: Sequence[float],
+    speedups: Dict[str, List[Optional[float]]],
+) -> str:
+    """Table II-shaped report: rows are datasets, columns recall levels."""
+    headers = ["dataset"] + [f"{r:g}" for r in recall_levels]
+    rows = []
+    for dataset, values in speedups.items():
+        rows.append([dataset] + [None if v is None else round(v, 1) for v in values])
+    return format_table(title, headers, rows)

@@ -1,0 +1,38 @@
+"""Proximity-graph construction and storage.
+
+SONG searches a pre-built proximity graph.  The paper loads an NSW index
+and also demonstrates generalization to NSG; HNSW is the CPU baseline.
+This package implements all of them from scratch:
+
+- :class:`~repro.graphs.storage.FixedDegreeGraph` — the flat fixed-degree
+  adjacency array SONG keeps in GPU global memory.
+- :func:`~repro.graphs.bruteforce_knn.build_knn_graph` — exact kNN graph.
+- :func:`~repro.graphs.nn_descent.nn_descent` — approximate kNN graph.
+- :class:`~repro.graphs.nsw.NSWBuilder` — navigable small-world graph.
+- :class:`~repro.graphs.hnsw.HNSWIndex` — hierarchical NSW with heuristic
+  neighbor selection (the CPU comparator).
+- :class:`~repro.graphs.nsg.NSGBuilder` — navigating spreading-out graph.
+"""
+
+from repro.graphs.storage import FixedDegreeGraph
+from repro.graphs.bruteforce_knn import build_knn_graph
+from repro.graphs.nn_descent import nn_descent
+from repro.graphs.nsw import NSWBuilder, build_nsw
+from repro.graphs.hnsw import HNSWIndex
+from repro.graphs.nsg import NSGBuilder, build_nsg
+from repro.graphs.io import load_graph, save_graph
+from repro.graphs.dpg import build_dpg
+
+__all__ = [
+    "load_graph",
+    "save_graph",
+    "build_dpg",
+    "FixedDegreeGraph",
+    "build_knn_graph",
+    "nn_descent",
+    "NSWBuilder",
+    "build_nsw",
+    "HNSWIndex",
+    "NSGBuilder",
+    "build_nsg",
+]

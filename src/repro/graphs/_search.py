@@ -1,0 +1,80 @@
+"""Internal best-first search over in-construction adjacency lists.
+
+Graph builders (NSW, HNSW, NSG) all need Algorithm-1-style searches over a
+*mutable* adjacency structure while the index is being built.  This module
+provides that shared primitive; the public, optimized searchers live in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.distances.metrics import Metric
+
+
+def greedy_search(
+    data: np.ndarray,
+    neighbors_of: Callable[[int], Sequence[int]],
+    query: np.ndarray,
+    ef: int,
+    entry_points: Sequence[int],
+    metric: Metric,
+) -> List[Tuple[float, int]]:
+    """Best-first search (Algorithm 1) returning up to ``ef`` candidates.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset the graph is built over.
+    neighbors_of:
+        Callable returning the adjacency list of a vertex.
+    query:
+        Query vector.
+    ef:
+        Size of the dynamic candidate list (and of the result).
+    entry_points:
+        Starting vertices.
+    metric:
+        Distance measure.
+
+    Returns
+    -------
+    list of ``(distance, vertex)`` sorted ascending by distance.
+    """
+    if ef <= 0:
+        raise ValueError("ef must be positive")
+    visited = set()
+    frontier: List[Tuple[float, int]] = []  # min-heap
+    results: List[Tuple[float, int]] = []  # max-heap via negated distance
+    for ep in entry_points:
+        if ep in visited:
+            continue
+        visited.add(ep)
+        d = metric.single(query, data[ep])
+        heapq.heappush(frontier, (d, ep))
+        heapq.heappush(results, (-d, ep))
+        if len(results) > ef:
+            heapq.heappop(results)
+
+    while frontier:
+        dist, v = heapq.heappop(frontier)
+        if results and dist > -results[0][0] and len(results) >= ef:
+            break
+        neigh = [u for u in neighbors_of(v) if u not in visited]
+        if not neigh:
+            continue
+        visited.update(neigh)
+        dists = metric.batch(query, data[neigh])
+        for u, d in zip(neigh, dists.tolist()):
+            if len(results) < ef or d < -results[0][0]:
+                heapq.heappush(frontier, (d, u))
+                heapq.heappush(results, (-d, u))
+                if len(results) > ef:
+                    heapq.heappop(results)
+
+    out = sorted((-nd, v) for nd, v in results)
+    return out

@@ -1,0 +1,100 @@
+"""Diversified proximity graph (DPG — Li et al., referenced by the paper).
+
+DPG diversifies a kNN graph by angular coverage — among a vertex's kNN
+candidates it keeps the subset that maximizes pairwise angles (greedy
+max-min-angle selection) — then makes the graph undirected.  The paper
+lists DPG among the graph family SONG accelerates; building it here lets
+the generality experiment (Fig. 12) extend beyond NSG.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.distances import get_metric
+from repro.graphs.bruteforce_knn import knn_neighbors, medoid
+from repro.graphs.storage import FixedDegreeGraph
+
+
+def _angular_diversify(
+    data: np.ndarray, v: int, candidates: np.ndarray, keep: int
+) -> List[int]:
+    """Greedy max-min-angle subset of ``candidates`` around vertex ``v``."""
+    directions = data[candidates] - data[v]
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms[norms == 0] = 1.0
+    directions = directions / norms
+    chosen: List[int] = [0]  # nearest neighbor always kept
+    while len(chosen) < min(keep, len(candidates)):
+        chosen_dirs = directions[chosen]
+        # cosine of the closest chosen direction, per remaining candidate
+        cos = directions @ chosen_dirs.T
+        worst = cos.max(axis=1)
+        worst[chosen] = np.inf  # never re-pick
+        pick = int(np.argmin(worst))
+        if not np.isfinite(worst[pick]):
+            break
+        chosen.append(pick)
+    return [int(candidates[i]) for i in chosen]
+
+
+def build_dpg(
+    data: np.ndarray,
+    degree: int = 16,
+    knn: int = None,
+    metric: str = "l2",
+    knn_table: np.ndarray = None,
+) -> FixedDegreeGraph:
+    """Build a DPG: angular diversification of a kNN graph + undirection.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset.
+    degree:
+        Out-degree bound of the final graph.  Half the slots are filled
+        by diversified out-edges, the rest by reverse edges.
+    knn:
+        Candidate-pool size (default ``2 * degree``).
+    knn_table:
+        Optional precomputed neighbor table.
+    """
+    data = np.asarray(data)
+    if degree < 2:
+        raise ValueError("degree must be at least 2")
+    knn = knn or 2 * degree
+    table = (
+        knn_table if knn_table is not None else knn_neighbors(data, knn, metric)
+    )
+    n = len(data)
+    half = max(1, degree // 2)
+    adjacency: List[List[int]] = []
+    for v in range(n):
+        adjacency.append(_angular_diversify(data, v, table[v], half))
+
+    # Undirect: add reverse edges while slots remain.
+    m = get_metric(metric)
+    for v in range(n):
+        for u in adjacency[v]:
+            row = adjacency[u]
+            if v in row or len(row) >= degree:
+                continue
+            row.append(v)
+    # Fill any remaining slack with the next-nearest unused kNN candidates.
+    for v in range(n):
+        row = adjacency[v]
+        if len(row) >= degree:
+            continue
+        for u in table[v]:
+            u = int(u)
+            if u != v and u not in row:
+                row.append(u)
+                if len(row) >= degree:
+                    break
+
+    graph = FixedDegreeGraph(n, degree, entry_point=medoid(data, metric))
+    for v in range(n):
+        graph.set_neighbors(v, adjacency[v][:degree])
+    return graph

@@ -1,0 +1,269 @@
+"""Hierarchical navigable small world graphs (Malkov & Yashunin, 2018).
+
+The paper's CPU comparator.  Full implementation: exponential layer
+assignment, greedy descent through upper layers, ef-bounded best-first
+search at layer 0, and the heuristic neighbor-selection rule (keep a
+candidate only if it is closer to the inserted point than to every
+already-kept neighbor) that gives HNSW its pruned, diverse edges.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.distances import OpCounter, get_metric
+from repro.graphs.storage import FixedDegreeGraph
+
+
+class HNSWIndex:
+    """In-memory HNSW index.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset (kept by reference).
+    m:
+        Out-degree target for layers above 0; layer 0 allows ``2 * m``.
+    ef_construction:
+        Candidate-list width used while inserting.
+    metric:
+        Distance measure name.
+    seed:
+        RNG seed for level assignment.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        m: int = 8,
+        ef_construction: int = 64,
+        metric: str = "l2",
+        seed: int = 0,
+    ) -> None:
+        if m <= 1:
+            raise ValueError("m must be at least 2")
+        self.data = np.asarray(data)
+        self.m = m
+        self.m0 = 2 * m
+        self.ef_construction = max(ef_construction, m)
+        self.metric = get_metric(metric)
+        self._mult = 1.0 / math.log(m)
+        self._rng = np.random.default_rng(seed)
+        # layers[l][v] -> neighbor list; vertex present iff v in layers[l]
+        self._layers: List[dict] = []
+        self.entry_point: Optional[int] = None
+        self._levels: List[int] = []
+        self.built = False
+
+    # -- construction ----------------------------------------------------
+
+    def build(self) -> "HNSWIndex":
+        """Insert every data point."""
+        for v in range(len(self.data)):
+            self._insert(v)
+        self.built = True
+        return self
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._mult)
+
+    def _insert(self, v: int) -> None:
+        level = self._random_level()
+        self._levels.append(level)
+        while len(self._layers) <= level:
+            self._layers.append({})
+        for l in range(level + 1):
+            self._layers[l][v] = []
+
+        if self.entry_point is None:
+            self.entry_point = v
+            return
+
+        ep = self.entry_point
+        top = self._levels[self.entry_point]  # highest layer ep exists on
+        query = self.data[v]
+        # descend greedily through layers above the insertion level
+        for l in range(top, level, -1):
+            ep = self._greedy_closest(query, ep, l)
+        # insert with ef search on each layer from min(level, old top) down
+        for l in range(min(level, top), -1, -1):
+            cands = self._search_layer(query, [ep], self.ef_construction, l)
+            max_deg = self.m0 if l == 0 else self.m
+            chosen = self._select_heuristic(query, cands, self.m)
+            self._layers[l][v] = [u for _, u in chosen]
+            for du, u in chosen:
+                row = self._layers[l][u]
+                row.append(v)
+                if len(row) > max_deg:
+                    # re-select u's neighbors with the same heuristic
+                    pairs = [
+                        (self.metric.single(self.data[u], self.data[w]), w)
+                        for w in row
+                    ]
+                    pairs.sort()
+                    kept = self._select_heuristic(self.data[u], pairs, max_deg)
+                    self._layers[l][u] = [w for _, w in kept]
+            ep = cands[0][1]
+        if level > self._levels[self.entry_point]:
+            self.entry_point = v
+
+    def _greedy_closest(self, query: np.ndarray, ep: int, layer: int) -> int:
+        """Hill-climb to the local minimum on one layer."""
+        cur = ep
+        cur_d = self.metric.single(query, self.data[cur])
+        improved = True
+        while improved:
+            improved = False
+            for u in self._layers[layer].get(cur, []):
+                d = self.metric.single(query, self.data[u])
+                if d < cur_d:
+                    cur, cur_d = u, d
+                    improved = True
+        return cur
+
+    def _search_layer(
+        self,
+        query: np.ndarray,
+        entry_points: Sequence[int],
+        ef: int,
+        layer: int,
+        counter: Optional[OpCounter] = None,
+    ) -> List[Tuple[float, int]]:
+        """ef-bounded best-first search on one layer; ascending result."""
+        visited = set()
+        frontier: List[Tuple[float, int]] = []
+        results: List[Tuple[float, int]] = []
+        dim = self.data.shape[1]
+        for ep in entry_points:
+            if ep in visited:
+                continue
+            visited.add(ep)
+            d = self.metric.single(query, self.data[ep])
+            if counter is not None:
+                counter.distance_calls += 1
+                counter.distance_flops += self.metric.flops_per_distance(dim)
+                counter.vector_reads += 1
+            heapq.heappush(frontier, (d, ep))
+            heapq.heappush(results, (-d, ep))
+        while frontier:
+            dist, v = heapq.heappop(frontier)
+            if counter is not None:
+                counter.hops += 1
+                counter.queue_ops += 1
+            if len(results) >= ef and dist > -results[0][0]:
+                break
+            for u in self._layers[layer].get(v, []):
+                if counter is not None:
+                    counter.graph_reads += 1
+                    counter.hash_ops += 1
+                if u in visited:
+                    continue
+                visited.add(u)
+                d = self.metric.single(query, self.data[u])
+                if counter is not None:
+                    counter.distance_calls += 1
+                    counter.distance_flops += self.metric.flops_per_distance(dim)
+                    counter.vector_reads += 1
+                if len(results) < ef or d < -results[0][0]:
+                    heapq.heappush(frontier, (d, u))
+                    heapq.heappush(results, (-d, u))
+                    if counter is not None:
+                        counter.queue_ops += 2
+                    if len(results) > ef:
+                        heapq.heappop(results)
+        return sorted((-nd, v) for nd, v in results)
+
+    def _select_heuristic(
+        self, point: np.ndarray, candidates: List[Tuple[float, int]], m: int
+    ) -> List[Tuple[float, int]]:
+        """HNSW's diverse-neighbor selection (Algorithm 4 of the paper)."""
+        chosen: List[Tuple[float, int]] = []
+        for d, u in candidates:
+            if len(chosen) >= m:
+                break
+            ok = True
+            for _, w in chosen:
+                if self.metric.single(self.data[u], self.data[w]) < d:
+                    ok = False
+                    break
+            if ok:
+                chosen.append((d, u))
+        if len(chosen) < m:  # backfill with nearest rejected candidates
+            picked = {u for _, u in chosen}
+            for d, u in candidates:
+                if len(chosen) >= m:
+                    break
+                if u not in picked:
+                    chosen.append((d, u))
+        return chosen
+
+    # -- queries -----------------------------------------------------------
+
+    def search(
+        self, query: np.ndarray, k: int, ef: int = None, counter: OpCounter = None
+    ) -> List[Tuple[float, int]]:
+        """Top-``k`` nearest neighbors of ``query`` (ascending distance).
+
+        ``counter``, when given, accumulates the work performed — this is
+        what the evaluation harness converts into single-thread CPU time.
+        """
+        if not self.built:
+            raise RuntimeError("index not built; call build() first")
+        if k <= 0:
+            raise ValueError("k must be positive")
+        ef = max(ef or k, k)
+        ep = self.entry_point
+        q = np.asarray(query)
+        for l in range(len(self._layers) - 1, 0, -1):
+            ep = self._greedy_closest_counted(q, ep, l, counter)
+        cands = self._search_layer(q, [ep], ef, 0, counter)
+        return cands[:k]
+
+    def _greedy_closest_counted(
+        self, query: np.ndarray, ep: int, layer: int, counter: Optional[OpCounter]
+    ) -> int:
+        cur = ep
+        dim = self.data.shape[1]
+        cur_d = self.metric.single(query, self.data[cur])
+        if counter is not None:
+            counter.distance_calls += 1
+            counter.distance_flops += self.metric.flops_per_distance(dim)
+            counter.vector_reads += 1
+        improved = True
+        while improved:
+            improved = False
+            for u in self._layers[layer].get(cur, []):
+                d = self.metric.single(query, self.data[u])
+                if counter is not None:
+                    counter.distance_calls += 1
+                    counter.distance_flops += self.metric.flops_per_distance(dim)
+                    counter.vector_reads += 1
+                    counter.graph_reads += 1
+                if d < cur_d:
+                    cur, cur_d = u, d
+                    improved = True
+        return cur
+
+    # -- export ---------------------------------------------------------------
+
+    def base_layer_graph(self) -> FixedDegreeGraph:
+        """Layer-0 adjacency as a fixed-degree graph (what SONG searches)."""
+        if not self.built:
+            raise RuntimeError("index not built; call build() first")
+        n = len(self.data)
+        graph = FixedDegreeGraph(n, self.m0, entry_point=self.entry_point)
+        for v in range(n):
+            graph.set_neighbors(v, self._layers[0][v][: self.m0])
+        return graph
+
+    def num_layers(self) -> int:
+        return len(self._layers)
+
+    def memory_bytes(self) -> int:
+        """Index size: 4 bytes per stored edge across all layers."""
+        edges = sum(len(row) for layer in self._layers for row in layer.values())
+        return 4 * edges

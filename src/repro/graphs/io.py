@@ -1,0 +1,61 @@
+"""Graph index persistence.
+
+The paper's SONG loads pre-built NSW indexes from disk; this module
+provides the equivalent: a fixed-degree graph serializes to a single
+``.npz`` with its adjacency array, per-vertex counts, and entry point.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graphs.storage import FixedDegreeGraph
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: FixedDegreeGraph, path: str) -> None:
+    """Serialize ``graph`` to ``path`` (``.npz`` appended if missing)."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        adjacency=graph.adjacency_array,
+        counts=graph._counts,
+        entry_point=np.int64(graph.entry_point),
+    )
+
+
+def load_graph(path: str) -> FixedDegreeGraph:
+    """Load a graph previously written by :func:`save_graph`.
+
+    Raises
+    ------
+    FileNotFoundError
+        If the file does not exist (``.npz`` suffix is tried too).
+    ValueError
+        On version mismatch or structural corruption.
+    """
+    if not os.path.exists(path):
+        alt = path + ".npz"
+        if os.path.exists(alt):
+            path = alt
+        else:
+            raise FileNotFoundError(path)
+    with np.load(path) as payload:
+        version = int(payload["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        adjacency = payload["adjacency"]
+        counts = payload["counts"]
+        entry_point = int(payload["entry_point"])
+    n, degree = adjacency.shape
+    graph = FixedDegreeGraph(n, degree, entry_point=entry_point)
+    for v in range(n):
+        graph.set_neighbors(v, adjacency[v, : counts[v]].tolist())
+    graph.validate()
+    return graph

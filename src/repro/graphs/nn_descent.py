@@ -1,0 +1,125 @@
+"""NN-descent: approximate kNN-graph construction (Dong et al., WWW 2011).
+
+EFANNA and NSG bootstrap from an approximate kNN graph; building it exactly
+is quadratic, so this module provides the standard local-join refinement:
+start from random neighbor lists and repeatedly try "my neighbor's neighbor
+is probably my neighbor".
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.distances import get_metric
+
+
+def nn_descent(
+    data: np.ndarray,
+    k: int,
+    metric: str = "l2",
+    max_iters: int = 12,
+    sample_rate: float = 0.6,
+    delta: float = 0.001,
+    seed: int = 0,
+) -> np.ndarray:
+    """Return an ``(n, k)`` approximate kNN table.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset.
+    k:
+        Neighbors per point.
+    max_iters:
+        Refinement round bound.
+    sample_rate:
+        Fraction of new neighbors joined per round.
+    delta:
+        Early-exit threshold: stop when fewer than ``delta * n * k``
+        updates happened in a round.
+    """
+    n = len(data)
+    if k >= n:
+        raise ValueError(f"k={k} must be smaller than the dataset size {n}")
+    rng = np.random.default_rng(seed)
+    m = get_metric(metric)
+
+    # neighbor lists: per vertex a list of (dist, id, is_new) kept sorted
+    heaps: List[List[Tuple[float, int, bool]]] = []
+    for v in range(n):
+        cand = rng.choice(n - 1, size=k, replace=False)
+        cand[cand >= v] += 1  # skip self
+        dists = m.batch(data[v], data[cand])
+        entries = sorted(zip(dists.tolist(), cand.tolist(), [True] * k))
+        heaps.append(entries)
+
+    def try_insert(v: int, u: int, dist: float) -> int:
+        """Insert u into v's list if it improves it; returns 1 on change."""
+        heap = heaps[v]
+        if dist >= heap[-1][0]:
+            return 0
+        if any(e[1] == u for e in heap):
+            return 0
+        heap.pop()
+        lo, hi = 0, len(heap)
+        key = (dist, u, True)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if heap[mid][0] < dist:
+                lo = mid + 1
+            else:
+                hi = mid
+        heap.insert(lo, key)
+        return 1
+
+    for _ in range(max_iters):
+        new_lists: List[List[int]] = [[] for _ in range(n)]
+        old_lists: List[List[int]] = [[] for _ in range(n)]
+        for v in range(n):
+            for i, (d, u, is_new) in enumerate(heaps[v]):
+                if is_new and rng.random() < sample_rate:
+                    new_lists[v].append(u)
+                    heaps[v][i] = (d, u, False)
+                else:
+                    old_lists[v].append(u)
+        # reverse lists
+        rev_new: List[Set[int]] = [set() for _ in range(n)]
+        rev_old: List[Set[int]] = [set() for _ in range(n)]
+        for v in range(n):
+            for u in new_lists[v]:
+                rev_new[u].add(v)
+            for u in old_lists[v]:
+                rev_old[u].add(v)
+
+        updates = 0
+        for v in range(n):
+            new_set = list(set(new_lists[v]) | rev_new[v])
+            old_set = list(set(old_lists[v]) | rev_old[v])
+            # local join: new x new, and new x old
+            for i, u1 in enumerate(new_set):
+                for u2 in new_set[i + 1 :]:
+                    d = m.single(data[u1], data[u2])
+                    updates += try_insert(u1, u2, d)
+                    updates += try_insert(u2, u1, d)
+                for u2 in old_set:
+                    if u1 == u2:
+                        continue
+                    d = m.single(data[u1], data[u2])
+                    updates += try_insert(u1, u2, d)
+                    updates += try_insert(u2, u1, d)
+        if updates <= delta * n * k:
+            break
+
+    return np.array([[u for (_, u, _) in heap] for heap in heaps], dtype=np.int32)
+
+
+def graph_recall(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Fraction of exact kNN edges recovered by the approximate table."""
+    if approx.shape != exact.shape:
+        raise ValueError("shape mismatch between approximate and exact tables")
+    hits = 0
+    for a_row, e_row in zip(approx, exact):
+        hits += len(set(a_row.tolist()) & set(e_row.tolist()))
+    return hits / exact.size

@@ -1,0 +1,181 @@
+"""Navigating spreading-out graph construction (Fu et al., VLDB 2019).
+
+Fig. 12 of the SONG paper shows SONG accelerating a pre-built NSG index.
+NSG refines an (approximate) kNN graph: a single navigating node (the
+medoid) is the fixed search entry, each vertex's candidate pool is pruned
+by the monotonic-RNG rule ("keep an edge unless a kept neighbor is closer
+to the candidate than the vertex is"), and a spanning tree from the
+navigating node is patched in so every vertex stays reachable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.distances import get_metric
+from repro.graphs._search import greedy_search
+from repro.graphs.bruteforce_knn import knn_neighbors, medoid
+from repro.graphs.storage import FixedDegreeGraph
+
+
+class NSGBuilder:
+    """NSG construction over a base kNN graph.
+
+    Parameters
+    ----------
+    data:
+        ``(n, d)`` dataset.
+    degree:
+        Out-degree bound ``R`` of the final graph.
+    knn:
+        Neighbors in the bootstrap kNN graph.
+    search_len:
+        Candidate-pool size ``L`` gathered per vertex before pruning.
+    metric:
+        Distance measure name.
+    knn_table:
+        Optional precomputed ``(n, knn)`` neighbor table (e.g. from
+        NN-descent); computed exactly when omitted.
+    """
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        degree: int = 16,
+        knn: int = 16,
+        search_len: int = 48,
+        metric: str = "l2",
+        knn_table: np.ndarray = None,
+    ) -> None:
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.data = np.asarray(data)
+        self.degree = degree
+        self.knn = knn
+        self.search_len = max(search_len, degree)
+        self.metric = get_metric(metric)
+        self._knn_table = knn_table
+
+    def build(self) -> FixedDegreeGraph:
+        """Run the full NSG pipeline and return the fixed-degree graph."""
+        n = len(self.data)
+        if n <= self.knn:
+            raise ValueError("dataset too small for the requested knn")
+        table = (
+            self._knn_table
+            if self._knn_table is not None
+            else knn_neighbors(self.data, self.knn, self.metric.name)
+        )
+        nav = medoid(self.data, self.metric.name)
+        adj: List[List[int]] = [[] for _ in range(n)]
+
+        for v in range(n):
+            pool = self._candidate_pool(v, nav, table)
+            adj[v] = self._prune(v, pool)
+
+        self._fix_connectivity(adj, nav)
+        graph = FixedDegreeGraph(n, self.degree, entry_point=nav)
+        for v in range(n):
+            graph.set_neighbors(v, adj[v][: self.degree])
+        return graph
+
+    # -- internals ------------------------------------------------------------
+
+    def _candidate_pool(
+        self, v: int, nav: int, table: np.ndarray
+    ) -> List[Tuple[float, int]]:
+        """Candidates for v: search path from the navigating node + kNN row."""
+        found = greedy_search(
+            self.data,
+            lambda u: table[u],
+            self.data[v],
+            ef=self.search_len,
+            entry_points=[nav],
+            metric=self.metric,
+        )
+        pool = {u: d for d, u in found if u != v}
+        for u in table[v]:
+            u = int(u)
+            if u != v and u not in pool:
+                pool[u] = self.metric.single(self.data[v], self.data[u])
+        return sorted((d, u) for u, d in pool.items())
+
+    def _prune(self, v: int, pool: List[Tuple[float, int]]) -> List[int]:
+        """Monotonic-RNG edge selection (NSG Algorithm 2)."""
+        chosen: List[Tuple[float, int]] = []
+        for d, u in pool:
+            if len(chosen) >= self.degree:
+                break
+            ok = True
+            for _, w in chosen:
+                if self.metric.single(self.data[u], self.data[w]) < d:
+                    ok = False
+                    break
+            if ok:
+                chosen.append((d, u))
+        return [u for _, u in chosen]
+
+    def _fix_connectivity(self, adj: List[List[int]], nav: int) -> None:
+        """Attach unreachable vertices so a DFS tree from ``nav`` spans all."""
+        n = len(adj)
+        while True:
+            seen = self._reachable(adj, nav)
+            missing = [v for v in range(n) if v not in seen]
+            if not missing:
+                return
+            v = missing[0]
+            # link v from its nearest reachable vertex with slack; if none has
+            # slack, replace the farthest edge of the nearest reachable vertex.
+            reachable = sorted(seen)
+            dists = self.metric.batch(self.data[v], self.data[reachable])
+            order = np.argsort(dists, kind="stable")
+            attached = False
+            for idx in order:
+                u = reachable[int(idx)]
+                if len(adj[u]) < self.degree:
+                    adj[u].append(v)
+                    attached = True
+                    break
+            if not attached:
+                u = reachable[int(order[0])]
+                drop = max(
+                    range(len(adj[u])),
+                    key=lambda i: self.metric.single(
+                        self.data[u], self.data[adj[u][i]]
+                    ),
+                )
+                adj[u][drop] = v
+
+    @staticmethod
+    def _reachable(adj: List[List[int]], start: int) -> set:
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in adj[v]:
+                if u not in seen:
+                    seen.add(u)
+                    queue.append(u)
+        return seen
+
+
+def build_nsg(
+    data: np.ndarray,
+    degree: int = 16,
+    knn: int = 16,
+    search_len: int = 48,
+    metric: str = "l2",
+    knn_table: np.ndarray = None,
+) -> FixedDegreeGraph:
+    """One-call NSG construction (see :class:`NSGBuilder`)."""
+    return NSGBuilder(
+        data,
+        degree=degree,
+        knn=knn,
+        search_len=search_len,
+        metric=metric,
+        knn_table=knn_table,
+    ).build()

@@ -1,0 +1,94 @@
+"""Diagnostics for proximity graphs.
+
+Index quality drives search quality; these helpers quantify the
+properties the paper's graph choices aim at: bounded degree, strong
+connectivity from the entry point, and short hop distances.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graphs.storage import FixedDegreeGraph
+
+
+@dataclass
+class GraphStats:
+    """Summary statistics of a fixed-degree proximity graph."""
+
+    num_vertices: int
+    num_edges: int
+    degree_limit: int
+    mean_out_degree: float
+    min_out_degree: int
+    max_out_degree: int
+    reachable_from_entry: int
+    mean_hops_from_entry: float
+    max_hops_from_entry: int
+
+    @property
+    def fully_reachable(self) -> bool:
+        return self.reachable_from_entry == self.num_vertices
+
+
+def bfs_hops(graph: FixedDegreeGraph, start: int) -> Dict[int, int]:
+    """Hop distance from ``start`` to every reachable vertex."""
+    hops = {start: 0}
+    queue = deque([start])
+    while queue:
+        v = queue.popleft()
+        for u in graph.neighbors(v):
+            u = int(u)
+            if u not in hops:
+                hops[u] = hops[v] + 1
+                queue.append(u)
+    return hops
+
+
+def compute_stats(graph: FixedDegreeGraph) -> GraphStats:
+    """Degree and reachability statistics (one BFS from the entry point)."""
+    degrees = [graph.out_degree(v) for v in range(graph.num_vertices)]
+    hops = bfs_hops(graph, graph.entry_point)
+    hop_values = list(hops.values())
+    return GraphStats(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges(),
+        degree_limit=graph.degree,
+        mean_out_degree=float(np.mean(degrees)),
+        min_out_degree=int(min(degrees)),
+        max_out_degree=int(max(degrees)),
+        reachable_from_entry=len(hops),
+        mean_hops_from_entry=float(np.mean(hop_values)),
+        max_hops_from_entry=int(max(hop_values)),
+    )
+
+
+def edge_length_percentiles(
+    graph: FixedDegreeGraph,
+    data: np.ndarray,
+    percentiles=(50, 90, 99),
+    sample: int = 2000,
+    seed: int = 0,
+) -> List[float]:
+    """Percentiles of edge lengths (L2), sampled for large graphs.
+
+    Navigable small-world graphs keep a mix of short and long edges; a
+    long tail here is the signature of the 'highway' links that make
+    greedy routing work.
+    """
+    rng = np.random.default_rng(seed)
+    edges = []
+    for v in range(graph.num_vertices):
+        for u in graph.neighbors(v):
+            edges.append((v, int(u)))
+    if len(edges) > sample:
+        picks = rng.choice(len(edges), size=sample, replace=False)
+        edges = [edges[i] for i in picks]
+    lengths = [
+        float(np.sqrt(((data[v] - data[u]) ** 2).sum())) for v, u in edges
+    ]
+    return [float(np.percentile(lengths, p)) for p in percentiles]

@@ -1,0 +1,152 @@
+"""Fixed-degree graph storage (Section IV-A of the paper).
+
+SONG stores the proximity graph as a flat array with exactly ``degree``
+slots per vertex, padded with ``-1``.  Locating a vertex's adjacency list
+is a single multiply — no offset index lookup — and every row occupies the
+same amount of memory, which is what makes coalesced GPU reads possible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+PAD = -1
+
+
+class FixedDegreeGraph:
+    """Adjacency structure with a hard per-vertex degree bound.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices (dataset points).
+    degree:
+        Fixed number of neighbor slots per vertex.
+    entry_point:
+        Default starting vertex for searches.
+    """
+
+    def __init__(self, num_vertices: int, degree: int, entry_point: int = 0) -> None:
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        if not 0 <= entry_point < num_vertices:
+            raise ValueError("entry_point out of range")
+        self.num_vertices = num_vertices
+        self.degree = degree
+        self.entry_point = entry_point
+        self._adj = np.full((num_vertices, degree), PAD, dtype=np.int32)
+        self._counts = np.zeros(num_vertices, dtype=np.int32)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Sequence[Sequence[int]],
+        degree: int = None,
+        entry_point: int = 0,
+    ) -> "FixedDegreeGraph":
+        """Build from per-vertex neighbor lists, truncating to ``degree``.
+
+        When ``degree`` is omitted it is the maximum list length.
+        """
+        n = len(adjacency)
+        if n == 0:
+            raise ValueError("adjacency must be non-empty")
+        if degree is None:
+            degree = max(1, max(len(a) for a in adjacency))
+        graph = cls(n, degree, entry_point)
+        for v, neighbors in enumerate(adjacency):
+            graph.set_neighbors(v, list(neighbors)[:degree])
+        return graph
+
+    def set_neighbors(self, vertex: int, neighbors: Iterable[int]) -> None:
+        """Replace the adjacency row of ``vertex``."""
+        row = list(neighbors)
+        if len(row) > self.degree:
+            raise ValueError(
+                f"vertex {vertex}: {len(row)} neighbors exceed degree {self.degree}"
+            )
+        for u in row:
+            if not 0 <= u < self.num_vertices:
+                raise ValueError(f"neighbor {u} out of range")
+            if u == vertex:
+                raise ValueError(f"vertex {vertex} cannot be its own neighbor")
+        self._adj[vertex, :] = PAD
+        if row:
+            self._adj[vertex, : len(row)] = row
+        self._counts[vertex] = len(row)
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Append ``v`` to u's row if there is a free slot and no duplicate.
+
+        Returns True if the edge was added.
+        """
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        c = int(self._counts[u])
+        if c >= self.degree:
+            return False
+        if v in self._adj[u, :c]:
+            return False
+        self._adj[u, c] = v
+        self._counts[u] = c + 1
+        return True
+
+    # -- queries --------------------------------------------------------------
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Valid neighbor ids of ``vertex`` (a view, do not mutate)."""
+        return self._adj[vertex, : self._counts[vertex]]
+
+    def out_degree(self, vertex: int) -> int:
+        return int(self._counts[vertex])
+
+    def row(self, vertex: int) -> np.ndarray:
+        """The full padded row, as the GPU kernel would read it."""
+        return self._adj[vertex]
+
+    @property
+    def adjacency_array(self) -> np.ndarray:
+        """The underlying ``(num_vertices, degree)`` int32 array."""
+        return self._adj
+
+    def num_edges(self) -> int:
+        """Total directed edges stored."""
+        return int(self._counts.sum())
+
+    def memory_bytes(self) -> int:
+        """Index size: the flat adjacency array (int32 per slot)."""
+        return int(self._adj.nbytes)
+
+    def reverse_adjacency(self) -> List[List[int]]:
+        """In-neighbors of each vertex (used by NSG's tree-fixing step)."""
+        rev: List[List[int]] = [[] for _ in range(self.num_vertices)]
+        for v in range(self.num_vertices):
+            for u in self.neighbors(v):
+                rev[int(u)].append(v)
+        return rev
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on violation."""
+        for v in range(self.num_vertices):
+            row = self.neighbors(v)
+            if len(set(int(u) for u in row)) != len(row):
+                raise ValueError(f"vertex {v} has duplicate neighbors")
+            if any(u == v for u in row):
+                raise ValueError(f"vertex {v} has a self-loop")
+            if any(not 0 <= u < self.num_vertices for u in row):
+                raise ValueError(f"vertex {v} has out-of-range neighbor")
+            pad_zone = self._adj[v, self._counts[v] :]
+            if not np.all(pad_zone == PAD):
+                raise ValueError(f"vertex {v} has non-PAD values past its count")
+
+    def __repr__(self) -> str:
+        return (
+            f"FixedDegreeGraph(num_vertices={self.num_vertices}, "
+            f"degree={self.degree}, edges={self.num_edges()})"
+        )

@@ -1,0 +1,250 @@
+"""A miniature SIMT instruction set.
+
+The analytic cost model (:mod:`repro.simt.cost`) prices SONG's kernel from
+aggregate event counts.  This module and :mod:`repro.simt.simulator`
+provide the ground truth underneath it: a small register-machine ISA whose
+programs execute lane-by-lane on a 32-lane warp interpreter with explicit
+divergence masks, a latency/bandwidth memory pipeline and shared-memory
+bank conflicts.  Microkernels for SONG's primitives live in
+:mod:`repro.simt.kernels`; validation tests cross-check the cycle counts
+against the analytic model's assumptions.
+
+Programs are lists of instruction dataclasses.  Registers are named
+strings (``"r0"``, ``"acc"``, ...); each register holds one value per
+lane.  Control flow is structured (``If``/``Else``/``EndIf``,
+``While``/``EndWhile``) and the interpreter maintains an active-mask
+stack, exactly the reconvergence discipline real SIMT hardware applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+Operand = Union[str, int, float]  # register name or immediate
+
+
+# --------------------------------------------------------------------------
+# arithmetic / data movement
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mov:
+    """dst ← src (register or immediate)."""
+
+    dst: str
+    src: Operand
+
+
+@dataclass(frozen=True)
+class Binary:
+    """dst ← src_a (op) src_b, element-wise across active lanes."""
+
+    op: str  # add / sub / mul / div / min / max / and / or / xor / shl / shr
+    dst: str
+    a: Operand
+    b: Operand
+
+
+@dataclass(frozen=True)
+class Fma:
+    """dst ← a * b + c — one cycle, the GPU's bread and butter."""
+
+    dst: str
+    a: Operand
+    b: Operand
+    c: Operand
+
+
+@dataclass(frozen=True)
+class Unary:
+    """dst ← op(a); op ∈ {sqrt, rsqrt, abs, neg, floor}."""
+
+    op: str
+    dst: str
+    a: Operand
+
+
+@dataclass(frozen=True)
+class Cmp:
+    """dst ← a (rel) b as a boolean predicate per lane."""
+
+    rel: str  # lt / le / gt / ge / eq / ne
+    dst: str
+    a: Operand
+    b: Operand
+
+
+@dataclass(frozen=True)
+class LaneId:
+    """dst ← this lane's index (0..31)."""
+
+    dst: str
+
+
+@dataclass(frozen=True)
+class Popc:
+    """dst ← popcount(a) — the GPU ``__popc`` used for Hamming distance."""
+
+    dst: str
+    a: Operand
+
+
+# --------------------------------------------------------------------------
+# memory
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Ldg:
+    """dst ← global[addr] per active lane.
+
+    The interpreter groups the active lanes' addresses into 128-byte
+    transactions; perfectly consecutive addresses coalesce into one.
+    """
+
+    dst: str
+    addr: Operand
+
+
+@dataclass(frozen=True)
+class Stg:
+    """global[addr] ← src per active lane."""
+
+    addr: Operand
+    src: Operand
+
+
+@dataclass(frozen=True)
+class Lds:
+    """dst ← shared[addr]; cost grows with bank conflicts."""
+
+    dst: str
+    addr: Operand
+
+
+@dataclass(frozen=True)
+class Sts:
+    """shared[addr] ← src."""
+
+    addr: Operand
+    src: Operand
+
+
+# --------------------------------------------------------------------------
+# warp intrinsics
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShflDown:
+    """dst ← src taken from lane (lane_id + delta); identity past the edge.
+
+    The primitive behind SONG's bulk-distance warp reduction.
+    """
+
+    dst: str
+    src: str
+    delta: int
+
+
+@dataclass(frozen=True)
+class Vote:
+    """Warp vote: ``dst`` gets the same value on every active lane.
+
+    ``mode``:
+    - ``"any"`` / ``"all"`` — 1.0 iff any/all active lanes have a nonzero
+      ``src``;
+    - ``"ballot_ffs"`` — index of the first active lane with nonzero
+      ``src``, or −1 (the ``__ballot_sync`` + ``__ffs`` idiom behind
+      SONG's warp-parallel hash probing).
+    """
+
+    mode: str
+    dst: str
+    src: str
+
+
+# --------------------------------------------------------------------------
+# structured control flow
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class If:
+    """Open a divergence region on predicate register ``pred``."""
+
+    pred: str
+
+
+@dataclass(frozen=True)
+class Else:
+    """Flip to the complementary mask of the innermost ``If``."""
+
+
+@dataclass(frozen=True)
+class EndIf:
+    """Reconverge the innermost ``If``."""
+
+
+@dataclass(frozen=True)
+class While:
+    """Loop while any active lane's ``pred`` is true (re-evaluated at top)."""
+
+    pred: str
+
+
+@dataclass(frozen=True)
+class EndWhile:
+    """Close the innermost ``While``."""
+
+
+Instruction = Union[
+    Mov,
+    Binary,
+    Unary,
+    Fma,
+    Cmp,
+    LaneId,
+    Popc,
+    Ldg,
+    Stg,
+    Lds,
+    Sts,
+    ShflDown,
+    Vote,
+    If,
+    Else,
+    EndIf,
+    While,
+    EndWhile,
+]
+
+
+def validate_program(program) -> None:
+    """Check structural well-formedness of control flow.
+
+    Raises ``ValueError`` on unbalanced If/EndIf or While/EndWhile, or an
+    ``Else`` outside an ``If`` region.
+    """
+    stack = []
+    for i, ins in enumerate(program):
+        if isinstance(ins, If):
+            stack.append("if")
+        elif isinstance(ins, While):
+            stack.append("while")
+        elif isinstance(ins, Else):
+            if not stack or stack[-1] not in ("if",):
+                raise ValueError(f"instruction {i}: Else outside If")
+            stack[-1] = "if-else"
+        elif isinstance(ins, EndIf):
+            if not stack or stack[-1] not in ("if", "if-else"):
+                raise ValueError(f"instruction {i}: unmatched EndIf")
+            stack.pop()
+        elif isinstance(ins, EndWhile):
+            if not stack or stack[-1] != "while":
+                raise ValueError(f"instruction {i}: unmatched EndWhile")
+            stack.pop()
+    if stack:
+        raise ValueError(f"unterminated control region(s): {stack}")

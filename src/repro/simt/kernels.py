@@ -1,0 +1,361 @@
+"""Microkernels for SONG's primitives, written in the SIMT ISA.
+
+Each builder returns an instruction list for the cycle-level simulator
+(:mod:`repro.simt.simulator`).  These are the device-side inner loops the
+paper describes:
+
+- :func:`squared_l2_kernel` / :func:`dot_product_kernel` — the bulk
+  distance computation: each lane accumulates a strided slice of the
+  dimensions, then a ``shfl_down`` tree folds the 32 partials.
+- :func:`hamming_kernel` — XOR + popcount over packed signatures (the
+  out-of-memory path's distance).
+- :func:`warp_reduce_kernel` — the bare 5-step butterfly reduction.
+- :func:`single_lane_scan_kernel` — sequential data-structure work on
+  lane 0 while 31 lanes idle: the divergence cost of the maintenance
+  stage, measurable in cycles.
+- :func:`strided_read_kernel` — a configurable-stride global read used
+  to measure coalescing (stride 1 → one transaction; stride ≥ 32 → one
+  transaction per lane).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.simt import isa
+from repro.simt.simulator import WARP_SIZE, WarpSimulator
+
+
+def warp_reduce_kernel(src: str = "acc") -> List[isa.Instruction]:
+    """Fold 32 per-lane partials into lane 0 of ``src`` (sum)."""
+    program: List[isa.Instruction] = []
+    delta = WARP_SIZE // 2
+    while delta >= 1:
+        program.append(isa.ShflDown(dst="shfl_tmp", src=src, delta=delta))
+        program.append(isa.Binary(op="add", dst=src, a=src, b="shfl_tmp"))
+        delta //= 2
+    return program
+
+
+def squared_l2_kernel(dim: int) -> List[isa.Instruction]:
+    """Squared L2 distance between a shared-memory query and a global
+    candidate vector.
+
+    Inputs: ``query_base`` (shared word offset, same for all lanes) and
+    ``vec_base`` (global word offset of the candidate).  Output: lane 0 of
+    ``acc``.
+    """
+    program: List[isa.Instruction] = [
+        isa.LaneId(dst="lane"),
+        isa.Mov(dst="acc", src=0.0),
+        isa.Mov(dst="i", src="lane"),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(dim)),
+        isa.While(pred="more"),
+        isa.Binary(op="add", dst="q_addr", a="query_base", b="i"),
+        isa.Binary(op="add", dst="v_addr", a="vec_base", b="i"),
+        isa.Lds(dst="q", addr="q_addr"),
+        isa.Ldg(dst="v", addr="v_addr"),
+        isa.Binary(op="sub", dst="diff", a="q", b="v"),
+        isa.Fma(dst="acc", a="diff", b="diff", c="acc"),
+        isa.Binary(op="add", dst="i", a="i", b=float(WARP_SIZE)),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(dim)),
+        isa.EndWhile(),
+    ]
+    program.extend(warp_reduce_kernel("acc"))
+    return program
+
+
+def dot_product_kernel(dim: int) -> List[isa.Instruction]:
+    """Inner product between shared query and global candidate."""
+    program: List[isa.Instruction] = [
+        isa.LaneId(dst="lane"),
+        isa.Mov(dst="acc", src=0.0),
+        isa.Mov(dst="i", src="lane"),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(dim)),
+        isa.While(pred="more"),
+        isa.Binary(op="add", dst="q_addr", a="query_base", b="i"),
+        isa.Binary(op="add", dst="v_addr", a="vec_base", b="i"),
+        isa.Lds(dst="q", addr="q_addr"),
+        isa.Ldg(dst="v", addr="v_addr"),
+        isa.Fma(dst="acc", a="q", b="v", c="acc"),
+        isa.Binary(op="add", dst="i", a="i", b=float(WARP_SIZE)),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(dim)),
+        isa.EndWhile(),
+    ]
+    program.extend(warp_reduce_kernel("acc"))
+    return program
+
+
+def hamming_kernel(num_words: int) -> List[isa.Instruction]:
+    """Hamming distance over ``num_words`` packed words (global vs shared)."""
+    program: List[isa.Instruction] = [
+        isa.LaneId(dst="lane"),
+        isa.Mov(dst="acc", src=0.0),
+        isa.Mov(dst="i", src="lane"),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(num_words)),
+        isa.While(pred="more"),
+        isa.Binary(op="add", dst="q_addr", a="query_base", b="i"),
+        isa.Binary(op="add", dst="v_addr", a="vec_base", b="i"),
+        isa.Lds(dst="q", addr="q_addr"),
+        isa.Ldg(dst="v", addr="v_addr"),
+        isa.Binary(op="xor", dst="x", a="q", b="v"),
+        isa.Popc(dst="bits", a="x"),
+        isa.Binary(op="add", dst="acc", a="acc", b="bits"),
+        isa.Binary(op="add", dst="i", a="i", b=float(WARP_SIZE)),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(num_words)),
+        isa.EndWhile(),
+    ]
+    program.extend(warp_reduce_kernel("acc"))
+    return program
+
+
+def cosine_kernel(dim: int) -> List[isa.Instruction]:
+    """Negative cosine similarity (shared query vs global candidate).
+
+    Accumulates dot, ‖q‖² and ‖v‖² per lane, reduces all three across the
+    warp, then lane-0 math finishes ``-dot / sqrt(qq * vv)``.
+    """
+    program: List[isa.Instruction] = [
+        isa.LaneId(dst="lane"),
+        isa.Mov(dst="dot", src=0.0),
+        isa.Mov(dst="qq", src=0.0),
+        isa.Mov(dst="vv", src=0.0),
+        isa.Mov(dst="i", src="lane"),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(dim)),
+        isa.While(pred="more"),
+        isa.Binary(op="add", dst="q_addr", a="query_base", b="i"),
+        isa.Binary(op="add", dst="v_addr", a="vec_base", b="i"),
+        isa.Lds(dst="q", addr="q_addr"),
+        isa.Ldg(dst="v", addr="v_addr"),
+        isa.Fma(dst="dot", a="q", b="v", c="dot"),
+        isa.Fma(dst="qq", a="q", b="q", c="qq"),
+        isa.Fma(dst="vv", a="v", b="v", c="vv"),
+        isa.Binary(op="add", dst="i", a="i", b=float(WARP_SIZE)),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(dim)),
+        isa.EndWhile(),
+    ]
+    program.extend(warp_reduce_kernel("dot"))
+    program.extend(warp_reduce_kernel("qq"))
+    program.extend(warp_reduce_kernel("vv"))
+    program.extend(
+        [
+            isa.Binary(op="mul", dst="norm2", a="qq", b="vv"),
+            isa.Unary(op="rsqrt", dst="inv", a="norm2"),
+            isa.Binary(op="mul", dst="cos", a="dot", b="inv"),
+            isa.Unary(op="neg", dst="acc", a="cos"),
+        ]
+    )
+    return program
+
+
+def heap_push_kernel() -> List[isa.Instruction]:
+    """Binary min-heap push, single-lane (the maintenance stage in IR).
+
+    The heap lives in shared memory as parallel arrays: distances at
+    ``heap_base`` and ids at ``heap_base + heap_capacity``.  Inputs:
+    ``heap_size`` (current entries), ``new_dist``, ``new_id``.  Lane 0
+    appends the entry and sifts it up; all other lanes idle — the warp
+    divergence the paper's Fig. 10 charges to maintenance.  Outputs the
+    new size in ``heap_size_out``.
+    """
+    return [
+        isa.LaneId(dst="lane"),
+        isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+        isa.Mov(dst="heap_size_out", src="heap_size"),
+        isa.If(pred="is0"),
+        # append at index i = heap_size
+        isa.Mov(dst="i", src="heap_size"),
+        isa.Binary(op="add", dst="addr_d", a="heap_base", b="i"),
+        isa.Sts(addr="addr_d", src="new_dist"),
+        isa.Binary(op="add", dst="addr_i", a="addr_d", b="heap_capacity"),
+        isa.Sts(addr="addr_i", src="new_id"),
+        isa.Binary(op="add", dst="heap_size_out", a="heap_size", b=1.0),
+        # sift up while i > 0 and dist[parent] > dist[i]
+        isa.Cmp(rel="gt", dst="loop", a="i", b=0.0),
+        isa.While(pred="loop"),
+        isa.Binary(op="sub", dst="pm1", a="i", b=1.0),
+        isa.Binary(op="mul", dst="parent", a="pm1", b=0.5),
+        isa.Unary(op="floor", dst="parent", a="parent"),
+        isa.Binary(op="add", dst="p_addr", a="heap_base", b="parent"),
+        isa.Binary(op="add", dst="c_addr", a="heap_base", b="i"),
+        isa.Lds(dst="p_dist", addr="p_addr"),
+        isa.Lds(dst="c_dist", addr="c_addr"),
+        isa.Cmp(rel="gt", dst="swap", a="p_dist", b="c_dist"),
+        isa.If(pred="swap"),
+        # swap distances
+        isa.Sts(addr="p_addr", src="c_dist"),
+        isa.Sts(addr="c_addr", src="p_dist"),
+        # swap ids
+        isa.Binary(op="add", dst="p_iaddr", a="p_addr", b="heap_capacity"),
+        isa.Binary(op="add", dst="c_iaddr", a="c_addr", b="heap_capacity"),
+        isa.Lds(dst="p_id", addr="p_iaddr"),
+        isa.Lds(dst="c_id", addr="c_iaddr"),
+        isa.Sts(addr="p_iaddr", src="c_id"),
+        isa.Sts(addr="c_iaddr", src="p_id"),
+        isa.Mov(dst="i", src="parent"),
+        isa.Else(),
+        isa.Mov(dst="i", src=0.0),  # heap property holds: stop
+        isa.EndIf(),
+        isa.Cmp(rel="gt", dst="loop", a="i", b=0.0),
+        isa.EndWhile(),
+        isa.EndIf(),
+    ]
+
+
+def run_heap_push(
+    dists: np.ndarray, ids: np.ndarray, size: int, new_dist: float, new_id: int,
+    capacity: int,
+) -> tuple:
+    """Execute one IR heap push; returns ``(dists, ids, new_size, stats)``."""
+    shared = np.zeros(2 * capacity + 32)
+    shared[:size] = dists[:size]
+    shared[capacity : capacity + size] = ids[:size]
+    sim = WarpSimulator(heap_push_kernel(), global_mem=np.zeros(8), shared_mem=shared)
+    sim.set_register("heap_base", 0.0)
+    sim.set_register("heap_capacity", float(capacity))
+    sim.set_register("heap_size", float(size))
+    sim.set_register("new_dist", float(new_dist))
+    sim.set_register("new_id", float(new_id))
+    stats = sim.run()
+    new_size = int(sim.register("heap_size_out")[0])
+    return (
+        shared[:new_size].copy(),
+        shared[capacity : capacity + new_size].astype(int).copy(),
+        new_size,
+        stats,
+    )
+
+
+def single_lane_scan_kernel(count: int) -> List[isa.Instruction]:
+    """Lane 0 walks ``count`` shared-memory slots; 31 lanes idle.
+
+    The ISA rendition of the maintenance stage's sequential probing —
+    useful to measure the divergence cost the paper's Fig. 10 attributes
+    to data-structure maintenance.
+    """
+    return [
+        isa.LaneId(dst="lane"),
+        isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+        isa.Mov(dst="acc", src=0.0),
+        isa.If(pred="is0"),
+        isa.Mov(dst="i", src=0.0),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(count)),
+        isa.While(pred="more"),
+        isa.Lds(dst="slot", addr="i"),
+        isa.Binary(op="add", dst="acc", a="acc", b="slot"),
+        isa.Binary(op="add", dst="i", a="i", b=1.0),
+        isa.Cmp(rel="lt", dst="more", a="i", b=float(count)),
+        isa.EndWhile(),
+        isa.EndIf(),
+    ]
+
+
+def warp_parallel_probe_kernel() -> List[isa.Instruction]:
+    """Warp-parallel linear probing (paper Sec. IV-B).
+
+    "The linear probing step can be paralleled in the warp level — all
+    threads in a warp probe the memory and locate the insertion/deletion
+    location by a warp reduction.  Probing one memory location for each
+    thread in a warp is usually sufficient."
+
+    Inputs: ``table_base`` (shared), ``home`` (the key's home slot, all
+    lanes), ``key``.  Each lane probes slot ``(home + lane) % table_size``
+    (``table_size`` must be a power of two passed as ``table_mask``); a
+    ballot finds the first lane holding the key (→ ``found_at``) and the
+    first empty slot (→ ``empty_at``), each −1 when absent.  One probe
+    round covers a 32-slot window in O(1) warp steps.
+    """
+    return [
+        isa.LaneId(dst="lane"),
+        isa.Binary(op="add", dst="slot", a="home", b="lane"),
+        isa.Binary(op="and", dst="slot", a="slot", b="table_mask"),
+        isa.Binary(op="add", dst="addr", a="table_base", b="slot"),
+        isa.Lds(dst="val", addr="addr"),
+        isa.Cmp(rel="eq", dst="is_key", a="val", b="key"),
+        isa.Cmp(rel="eq", dst="is_empty", a="val", b=-1.0),
+        isa.Vote(mode="ballot_ffs", dst="found_at", src="is_key"),
+        isa.Vote(mode="ballot_ffs", dst="empty_at", src="is_empty"),
+    ]
+
+
+def run_warp_probe(table: np.ndarray, home: int, key: int) -> tuple:
+    """Execute one probe round; returns ``(found_lane, empty_lane, stats)``.
+
+    ``table`` is the shared-memory slot array (−1 = empty); slots are
+    probed cyclically starting at ``home``.
+    """
+    size = len(table)
+    if size & (size - 1):
+        raise ValueError("table size must be a power of two")
+    shared = np.zeros(max(size, 32))
+    shared[:size] = table
+    sim = WarpSimulator(
+        warp_parallel_probe_kernel(), global_mem=np.zeros(8), shared_mem=shared
+    )
+    sim.set_register("table_base", 0.0)
+    sim.set_register("table_mask", float(size - 1))
+    sim.set_register("home", float(home))
+    sim.set_register("key", float(key))
+    stats = sim.run()
+    return (
+        int(sim.register("found_at")[0]),
+        int(sim.register("empty_at")[0]),
+        stats,
+    )
+
+
+def strided_read_kernel(stride: int) -> List[isa.Instruction]:
+    """One warp-wide global read at lane addresses ``lane * stride``."""
+    return [
+        isa.LaneId(dst="lane"),
+        isa.Binary(op="mul", dst="addr", a="lane", b=float(stride)),
+        isa.Ldg(dst="val", addr="addr"),
+        # touch the value so the load's latency is observed
+        isa.Binary(op="add", dst="sink", a="val", b=0.0),
+    ]
+
+
+# --------------------------------------------------------------------------
+# runners
+# --------------------------------------------------------------------------
+
+
+def run_distance_kernel(
+    query: np.ndarray, candidate: np.ndarray, metric: str = "l2"
+) -> tuple:
+    """Execute the distance microkernel; returns ``(value, stats)``."""
+    dim = len(query)
+    if metric == "l2":
+        program = squared_l2_kernel(dim)
+    elif metric == "ip":
+        program = dot_product_kernel(dim)
+    else:
+        raise ValueError(f"unsupported metric for the microkernel: {metric}")
+    shared = np.zeros(max(dim, 32))
+    shared[:dim] = query
+    global_mem = np.zeros(max(dim, 32))
+    global_mem[:dim] = candidate
+    sim = WarpSimulator(program, global_mem=global_mem, shared_mem=shared)
+    sim.set_register("query_base", 0.0)
+    sim.set_register("vec_base", 0.0)
+    stats = sim.run()
+    value = float(sim.register("acc")[0])
+    if metric == "ip":
+        value = -value  # library convention: smaller is better
+    return value, stats
+
+
+def run_hamming_kernel(query_words: np.ndarray, cand_words: np.ndarray) -> tuple:
+    """Execute the Hamming microkernel on packed uint32 words."""
+    n = len(query_words)
+    shared = np.zeros(max(n, 32))
+    shared[:n] = query_words.astype(np.float64)
+    global_mem = np.zeros(max(n, 32))
+    global_mem[:n] = cand_words.astype(np.float64)
+    sim = WarpSimulator(hamming_kernel(n), global_mem=global_mem, shared_mem=shared)
+    sim.set_register("query_base", 0.0)
+    sim.set_register("vec_base", 0.0)
+    stats = sim.run()
+    return int(sim.register("acc")[0]), stats

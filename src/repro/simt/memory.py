@@ -1,0 +1,122 @@
+"""Memory-hierarchy modelling for the SIMT simulator.
+
+Two concerns live here:
+
+* **Traffic accounting** (:class:`MemorySpace`): how many bytes move
+  through global memory, and whether accesses coalesce.  A warp reading 32
+  consecutive 4-byte words produces one 128-byte transaction; 32 scattered
+  words produce 32 transactions of a 32-byte sector each — an 8× waste that
+  the cost model charges for.
+
+* **Shared-memory budgeting** (:class:`SharedMemoryBudget`): SONG keeps the
+  query vector, candidate/dist arrays, both priority queues and (with the
+  memory optimizations) the visited table in the SM's shared memory.  The
+  bytes a query needs determine how many warps fit on an SM — occupancy —
+  and overflowing the per-SM capacity forces structures into global memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Bytes served per coalesced transaction (cache line).
+COALESCED_TRANSACTION_BYTES = 128
+#: Bytes wasted per scattered 4-byte access (one 32-byte sector).
+SCATTERED_SECTOR_BYTES = 32
+
+
+@dataclass
+class MemorySpace:
+    """Byte/transaction tally for one kernel execution."""
+
+    coalesced_bytes: int = 0
+    scattered_accesses: int = 0
+    shared_accesses: int = 0
+
+    def read_coalesced(self, num_bytes: int) -> int:
+        """A warp-wide sequential read; returns transactions generated."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.coalesced_bytes += num_bytes
+        return -(-num_bytes // COALESCED_TRANSACTION_BYTES)
+
+    def read_scattered(self, num_accesses: int) -> int:
+        """Independent 4-byte reads from random addresses."""
+        if num_accesses < 0:
+            raise ValueError("num_accesses must be non-negative")
+        self.scattered_accesses += num_accesses
+        return num_accesses
+
+    def access_shared(self, num_accesses: int = 1) -> None:
+        """Shared-memory traffic (fast; tracked for completeness)."""
+        self.shared_accesses += num_accesses
+
+    @property
+    def total_global_bytes(self) -> int:
+        """Bus traffic including the waste of scattered sectors."""
+        return self.coalesced_bytes + self.scattered_accesses * SCATTERED_SECTOR_BYTES
+
+    def merge(self, other: "MemorySpace") -> None:
+        self.coalesced_bytes += other.coalesced_bytes
+        self.scattered_accesses += other.scattered_accesses
+        self.shared_accesses += other.shared_accesses
+
+    def reset(self) -> None:
+        self.coalesced_bytes = 0
+        self.scattered_accesses = 0
+        self.shared_accesses = 0
+
+
+@dataclass
+class SharedMemoryBudget:
+    """Per-query shared-memory plan for the SONG kernel.
+
+    Every size is in bytes.  ``fits(limit)`` says whether the plan fits a
+    per-SM allocation; the kernel launcher uses the total to compute
+    occupancy, and the searcher marks structures that overflow as living
+    in global memory (slower sequential ops).
+    """
+
+    query_vector: int = 0
+    candidate_buffer: int = 0
+    dist_buffer: int = 0
+    frontier_queue: int = 0
+    topk_queue: int = 0
+    visited_table: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.query_vector
+            + self.candidate_buffer
+            + self.dist_buffer
+            + self.frontier_queue
+            + self.topk_queue
+            + self.visited_table
+        )
+
+    @classmethod
+    def for_search(
+        cls,
+        dim: int,
+        degree: int,
+        queue_capacity: int,
+        topk: int,
+        visited_bytes: int,
+        multi_query: int = 1,
+    ) -> "SharedMemoryBudget":
+        """Budget for one warp processing ``multi_query`` queries.
+
+        A queue slot is 8 bytes (float32 distance + int32 id).
+        """
+        return cls(
+            query_vector=4 * dim * multi_query,
+            candidate_buffer=4 * degree * multi_query,
+            dist_buffer=4 * degree * multi_query,
+            frontier_queue=8 * queue_capacity * multi_query,
+            topk_queue=8 * topk * multi_query,
+            visited_table=visited_bytes * multi_query,
+        )
+
+    def fits(self, limit_bytes: int) -> bool:
+        return self.total <= limit_bytes

@@ -1,0 +1,118 @@
+"""CUDA-stream-style pipelining of transfers and kernels.
+
+Fig. 10 of the paper shows HtoD taking up to ~12% of small-batch runs and
+Fig. 11 shows small batches underusing the device.  The standard CUDA
+remedy is double buffering: split the batch into chunks on separate
+streams so chunk ``i+1``'s host-to-device copy and chunk ``i-1``'s
+device-to-host copy overlap chunk ``i``'s kernel.  This module schedules
+that overlap analytically — an extension beyond the paper's synchronous
+execution, ablated in ``benchmarks/bench_ablation_pipeline.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ChunkTiming:
+    """Transfer and kernel seconds for one chunk of a batch."""
+
+    htod: float
+    kernel: float
+    dtoh: float
+
+
+def pipelined_time(chunks: Sequence[ChunkTiming]) -> float:
+    """Makespan of chunks executed on overlapping copy/compute engines.
+
+    Model: one copy engine per direction and one compute engine (as on
+    every discrete NVIDIA part since Fermi).  Chunk ``i``'s kernel may
+    start once its HtoD finished and the previous kernel finished; its
+    DtoH may start once its kernel finished and the previous DtoH
+    finished.
+    """
+    if not chunks:
+        return 0.0
+    htod_free = 0.0
+    kernel_free = 0.0
+    dtoh_free = 0.0
+    finish = 0.0
+    for c in chunks:
+        if c.htod < 0 or c.kernel < 0 or c.dtoh < 0:
+            raise ValueError("chunk timings must be non-negative")
+        htod_done = htod_free + c.htod
+        htod_free = htod_done
+        kernel_done = max(kernel_free, htod_done) + c.kernel
+        kernel_free = kernel_done
+        dtoh_done = max(dtoh_free, kernel_done) + c.dtoh
+        dtoh_free = dtoh_done
+        finish = dtoh_done
+    return finish
+
+
+def synchronous_time(chunks: Sequence[ChunkTiming]) -> float:
+    """Makespan without any overlap (the paper's execution model)."""
+    return sum(c.htod + c.kernel + c.dtoh for c in chunks)
+
+
+def split_counts(total: int, num_chunks: int) -> List[int]:
+    """Split ``total`` queries into ``num_chunks`` near-equal chunks."""
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    num_chunks = min(num_chunks, total)
+    base = total // num_chunks
+    rem = total % num_chunks
+    return [base + (1 if i < rem else 0) for i in range(num_chunks)]
+
+
+def pipeline_batch(
+    index,
+    queries,
+    config,
+    num_chunks: int = 4,
+) -> Tuple[list, dict]:
+    """Run ``index.search_batch`` chunk-wise and schedule the overlap.
+
+    Parameters
+    ----------
+    index:
+        A :class:`~repro.core.gpu_kernel.GpuSongIndex`.
+    queries:
+        ``(b, d)`` query batch.
+    config:
+        :class:`~repro.core.config.SearchConfig`.
+    num_chunks:
+        Streams / chunks to split the batch into.
+
+    Returns
+    -------
+    ``(results, timing)`` where timing holds pipelined and synchronous
+    makespans and the implied QPS.
+    """
+    import numpy as np
+
+    queries = np.atleast_2d(np.asarray(queries))
+    counts = split_counts(len(queries), num_chunks)
+    results: list = []
+    chunk_timings: List[ChunkTiming] = []
+    start = 0
+    for count in counts:
+        chunk = queries[start : start + count]
+        start += count
+        out, kr = index.search_batch(chunk, config)
+        results.extend(out)
+        chunk_timings.append(
+            ChunkTiming(htod=kr.htod_seconds, kernel=kr.kernel_seconds, dtoh=kr.dtoh_seconds)
+        )
+    piped = pipelined_time(chunk_timings)
+    sync = synchronous_time(chunk_timings)
+    timing = {
+        "pipelined_seconds": piped,
+        "synchronous_seconds": sync,
+        "overlap_gain": sync / piped if piped > 0 else float("inf"),
+        "qps": len(queries) / piped if piped > 0 else float("inf"),
+        "chunks": chunk_timings,
+    }
+    return results, timing

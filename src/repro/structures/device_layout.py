@@ -1,0 +1,297 @@
+"""Device-layout data structures: flat preallocated arrays only.
+
+The high-level structures (:mod:`repro.structures.minmax_heap`,
+:mod:`repro.structures.hash_table`) use Python lists for clarity.  A CUDA
+port cannot: a kernel gets a fixed slab of shared memory and index
+arithmetic.  The classes here operate exclusively on preallocated numpy
+arrays with the exact layouts the shared-memory budget assumes (8 bytes
+per queue slot: float32 distance + int32 id; 4 bytes per hash slot), so
+they are line-by-line translatable to device code.  Property tests check
+them equivalent to the high-level versions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+Entry = Tuple[float, int]
+
+_EMPTY = -1
+
+
+def _is_min_level(i: int) -> bool:
+    return ((i + 1).bit_length() - 1) % 2 == 0
+
+
+class FlatMinMaxHeap:
+    """Min-max heap over a preallocated ``(capacity, 2)`` float32 slab.
+
+    Column 0 holds distances, column 1 ids (stored as float32, exact for
+    ids < 2^24 — the same trick a packed CUDA implementation would use to
+    keep one 8-byte slot per entry; swap to a 64-bit dist+id pack for
+    larger datasets).
+    """
+
+    def __init__(self, capacity: int, storage: Optional[np.ndarray] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        if storage is None:
+            storage = np.zeros((capacity, 2), dtype=np.float32)
+        if storage.shape != (capacity, 2):
+            raise ValueError("storage must have shape (capacity, 2)")
+        self._slab = storage
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _key(self, i: int) -> Tuple[float, float]:
+        return (float(self._slab[i, 0]), float(self._slab[i, 1]))
+
+    def _swap(self, i: int, j: int) -> None:
+        self._slab[[i, j]] = self._slab[[j, i]]
+
+    def _entry(self, i: int) -> Entry:
+        return (float(self._slab[i, 0]), int(self._slab[i, 1]))
+
+    # -- queries --------------------------------------------------------------
+
+    def peek_min(self) -> Entry:
+        if self._size == 0:
+            raise IndexError("peek_min from empty heap")
+        return self._entry(0)
+
+    def peek_max(self) -> Entry:
+        if self._size == 0:
+            raise IndexError("peek_max from empty heap")
+        if self._size == 1:
+            return self._entry(0)
+        if self._size == 2:
+            return self._entry(1)
+        return self._entry(1 if self._key(1) >= self._key(2) else 2)
+
+    def _max_index(self) -> int:
+        if self._size == 1:
+            return 0
+        if self._size == 2:
+            return 1
+        return 1 if self._key(1) >= self._key(2) else 2
+
+    # -- mutation ----------------------------------------------------------------
+
+    def push(self, dist: float, vertex: int) -> None:
+        if self._size >= self.capacity:
+            raise OverflowError("flat heap is full")
+        i = self._size
+        self._slab[i, 0] = dist
+        self._slab[i, 1] = vertex
+        self._size += 1
+        if i == 0:
+            return
+        parent = (i - 1) >> 1
+        if _is_min_level(i):
+            if self._key(i) > self._key(parent):
+                self._swap(i, parent)
+                self._bubble_up_max(parent)
+            else:
+                self._bubble_up_min(i)
+        else:
+            if self._key(i) < self._key(parent):
+                self._swap(i, parent)
+                self._bubble_up_min(parent)
+            else:
+                self._bubble_up_max(i)
+
+    def pop_min(self) -> Entry:
+        if self._size == 0:
+            raise IndexError("pop_min from empty heap")
+        out = self._entry(0)
+        self._size -= 1
+        if self._size:
+            self._slab[0] = self._slab[self._size]
+            self._trickle_down(0)
+        return out
+
+    def pop_max(self) -> Entry:
+        if self._size == 0:
+            raise IndexError("pop_max from empty heap")
+        idx = self._max_index()
+        out = self._entry(idx)
+        self._size -= 1
+        if idx < self._size:
+            self._slab[idx] = self._slab[self._size]
+            self._trickle_down(idx)
+        return out
+
+    # -- internals ------------------------------------------------------------------
+
+    def _bubble_up_min(self, i: int) -> None:
+        while i >= 3:
+            grand = (((i - 1) >> 1) - 1) >> 1
+            if grand < 0 or self._key(i) >= self._key(grand):
+                return
+            self._swap(i, grand)
+            i = grand
+
+    def _bubble_up_max(self, i: int) -> None:
+        while i >= 3:
+            grand = (((i - 1) >> 1) - 1) >> 1
+            if grand < 0 or self._key(i) <= self._key(grand):
+                return
+            self._swap(i, grand)
+            i = grand
+
+    def _descendant(self, i: int, want_min: bool) -> int:
+        best = -1
+        for c in (2 * i + 1, 2 * i + 2):
+            if c < self._size:
+                if best == -1 or (
+                    self._key(c) < self._key(best)
+                    if want_min
+                    else self._key(c) > self._key(best)
+                ):
+                    best = c
+            for g in (2 * c + 1, 2 * c + 2):
+                if g < self._size:
+                    if best == -1 or (
+                        self._key(g) < self._key(best)
+                        if want_min
+                        else self._key(g) > self._key(best)
+                    ):
+                        best = g
+        return best
+
+    def _trickle_down(self, i: int) -> None:
+        want_min = _is_min_level(i)
+        while True:
+            m = self._descendant(i, want_min)
+            if m == -1:
+                return
+            if want_min:
+                if self._key(m) >= self._key(i):
+                    return
+            elif self._key(m) <= self._key(i):
+                return
+            self._swap(m, i)
+            if m <= 2 * i + 2:
+                return
+            parent = (m - 1) >> 1
+            if want_min:
+                if self._key(m) > self._key(parent):
+                    self._swap(m, parent)
+            elif self._key(m) < self._key(parent):
+                self._swap(m, parent)
+            i = m
+
+    def to_sorted_list(self):
+        return sorted(self._entry(i) for i in range(self._size))
+
+    def memory_bytes(self) -> int:
+        return int(self._slab.nbytes)
+
+
+class FlatHashSet:
+    """Linear-probing hash set over a preallocated int32 slot array.
+
+    The device-code analogue of
+    :class:`~repro.structures.hash_table.OpenAddressingSet` — no Python
+    containers, backward-shift deletion, power-of-two probing.
+    """
+
+    MAX_LOAD = 0.75
+
+    def __init__(self, capacity: int, storage: Optional[np.ndarray] = None) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        slots = 8
+        while slots < int(capacity / self.MAX_LOAD) + 1:
+            slots <<= 1
+        if storage is None:
+            storage = np.full(slots, _EMPTY, dtype=np.int32)
+        if storage.shape != (slots,):
+            raise ValueError(f"storage must have shape ({slots},)")
+        self._slots = storage
+        self._mask = slots - 1
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: int) -> bool:
+        return self.contains(key)
+
+    def _hash(self, key: int) -> int:
+        return ((key * 2654435761) & 0xFFFFFFFF) & self._mask
+
+    def contains(self, key: int) -> bool:
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        i = self._hash(key)
+        while True:
+            cur = int(self._slots[i])
+            if cur == _EMPTY:
+                return False
+            if cur == key:
+                return True
+            i = (i + 1) & self._mask
+
+    def insert(self, key: int) -> bool:
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        i = self._hash(key)
+        while True:
+            cur = int(self._slots[i])
+            if cur == key:
+                return False
+            if cur == _EMPTY:
+                if self._size >= self.capacity:
+                    raise OverflowError("flat hash set is full")
+                self._slots[i] = key
+                self._size += 1
+                return True
+            i = (i + 1) & self._mask
+
+    def delete(self, key: int) -> bool:
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        i = self._hash(key)
+        while True:
+            cur = int(self._slots[i])
+            if cur == _EMPTY:
+                return False
+            if cur == key:
+                break
+            i = (i + 1) & self._mask
+        self._slots[i] = _EMPTY
+        j = i
+        while True:
+            j = (j + 1) & self._mask
+            cur = int(self._slots[j])
+            if cur == _EMPTY:
+                break
+            home = self._hash(cur)
+            if self._in_cyclic_range(i, home, j):
+                continue
+            self._slots[i] = cur
+            self._slots[j] = _EMPTY
+            i = j
+        self._size -= 1
+        return True
+
+    @staticmethod
+    def _in_cyclic_range(i: int, home: int, j: int) -> bool:
+        if i < j:
+            return i < home <= j
+        return home > i or home <= j
+
+    def memory_bytes(self) -> int:
+        return int(self._slots.nbytes)

@@ -1,0 +1,40 @@
+"""Shared fixtures: small datasets and pre-built graphs.
+
+Session-scoped so the graph constructions run once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+from repro.graphs import build_nsw
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A diffuse (SIFT-like) dataset small enough for exhaustive checks."""
+    return make_dataset("sift", n=600, num_queries=20)
+
+
+@pytest.fixture(scope="session")
+def clustered_small_dataset():
+    """A clustered (NYTimes-like) dataset."""
+    return make_dataset("nytimes", n=600, num_queries=20)
+
+
+@pytest.fixture(scope="session")
+def small_graph(small_dataset):
+    """NSW graph over the small dataset."""
+    return build_nsw(small_dataset.data, m=8, ef_construction=40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def clustered_graph(clustered_small_dataset):
+    return build_nsw(clustered_small_dataset.data, m=8, ef_construction=40, seed=7)

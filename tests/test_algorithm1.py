@@ -1,0 +1,72 @@
+"""Reference Algorithm 1 tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import algorithm1_search
+from repro.distances import OpCounter
+from repro.graphs.bruteforce_knn import build_knn_graph
+from repro.graphs.storage import FixedDegreeGraph
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    rng = np.random.default_rng(5)
+    data = rng.normal(size=(120, 6)).astype(np.float32)
+    return data
+
+
+class TestExactOnCompleteGraph:
+    def test_complete_graph_gives_exact_topk(self, tiny):
+        """On a complete graph the greedy search must return the exact
+        answer — the Delaunay-superset guarantee the paper cites."""
+        n = len(tiny)
+        adjacency = [[u for u in range(n) if u != v] for v in range(n)]
+        g = FixedDegreeGraph.from_adjacency(adjacency)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            q = rng.normal(size=6)
+            d = ((tiny - q) ** 2).sum(axis=1)
+            truth = np.argsort(d, kind="stable")[:5].tolist()
+            res = algorithm1_search(g, tiny, q, 5)
+            assert [v for _, v in res] == truth
+
+
+class TestBasics:
+    def test_results_sorted(self, tiny):
+        g = build_knn_graph(tiny, 8)
+        res = algorithm1_search(g, tiny, tiny[0], 10, queue_size=30)
+        ds = [d for d, _ in res]
+        assert ds == sorted(ds)
+
+    def test_no_duplicate_results(self, tiny):
+        g = build_knn_graph(tiny, 8)
+        res = algorithm1_search(g, tiny, tiny[3], 10, queue_size=30)
+        ids = [v for _, v in res]
+        assert len(ids) == len(set(ids))
+
+    def test_self_query_returns_self_first(self, tiny):
+        g = build_knn_graph(tiny, 8)
+        res = algorithm1_search(g, tiny, tiny[42], 3, queue_size=20)
+        assert res[0] == (0.0, 42)
+
+    def test_k_validation(self, tiny):
+        g = build_knn_graph(tiny, 6)
+        with pytest.raises(ValueError):
+            algorithm1_search(g, tiny, tiny[0], 0)
+
+    def test_counter_populated(self, tiny):
+        g = build_knn_graph(tiny, 6)
+        c = OpCounter()
+        algorithm1_search(g, tiny, tiny[0], 5, queue_size=20, counter=c)
+        assert c.distance_calls > 0
+        assert c.hops > 0
+        assert c.queue_ops > 0
+        assert c.hash_ops > 0
+
+    def test_larger_queue_explores_more(self, tiny):
+        g = build_knn_graph(tiny, 6)
+        c_small, c_large = OpCounter(), OpCounter()
+        algorithm1_search(g, tiny, tiny[1], 5, queue_size=5, counter=c_small)
+        algorithm1_search(g, tiny, tiny[1], 5, queue_size=60, counter=c_large)
+        assert c_large.distance_calls >= c_small.distance_calls

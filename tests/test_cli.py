@@ -1,0 +1,101 @@
+"""CLI and ASCII plot tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.eval.plot import ascii_qps_recall
+from repro.eval.sweep import SweepPoint
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command_parses(self):
+        args = build_parser().parse_args(["datasets"])
+        assert args.command == "datasets"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "--dataset", "sift"])
+        assert args.methods == ["song"]
+        assert args.k == 10
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "sift" in out and "nytimes" in out
+
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "V100" in out and "TITAN X" in out
+
+    def test_build_and_search_roundtrip(self, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        rc = main(
+            ["build", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--out", index_path]
+        )
+        assert rc == 0
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--index", index_path, "--k", "5", "--queue", "30"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recall@5" in out
+        assert "QPS" in out
+
+    def test_search_index_mismatch_errors(self, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        main(["build", "--dataset", "sift", "--n", "300", "--queries", "10",
+              "--out", index_path])
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "200", "--queries", "10",
+             "--index", index_path]
+        )
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sweep_song_with_plot(self, capsys):
+        rc = main(
+            ["sweep", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--methods", "song", "--grid", "10", "30", "--plot"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SONG" in out
+        assert "recall" in out
+        assert "o=SONG" in out  # plot legend
+
+
+class TestAsciiPlot:
+    def _series(self):
+        return {
+            "A": [SweepPoint(10, 0.5, 1e5), SweepPoint(20, 0.9, 1e4)],
+            "B": [SweepPoint(1, 0.4, 5e5), SweepPoint(2, 0.8, 2e5)],
+        }
+
+    def test_renders_all_series(self):
+        text = ascii_qps_recall(self._series(), title="T")
+        assert text.startswith("T")
+        assert "o=A" in text and "*=B" in text
+        assert "o" in text and "*" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_qps_recall({})
+        with pytest.raises(ValueError):
+            ascii_qps_recall({"A": []})
+        too_many = {str(i): [SweepPoint(1, 0.5, 10.0)] for i in range(9)}
+        with pytest.raises(ValueError):
+            ascii_qps_recall(too_many)
+
+    def test_extreme_values_clamped(self):
+        series = {"A": [SweepPoint(1, 1.5, 1e9), SweepPoint(2, -0.1, 1e-3)]}
+        text = ascii_qps_recall(series)  # must not raise / index out of range
+        assert "o" in text

@@ -1,0 +1,72 @@
+"""CPU SONG variant and CPU machine model tests."""
+
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.cpu_song import CpuSongIndex
+from repro.core.machine import DEFAULT_CPU, TUNED_CPU, CpuModel
+from repro.distances import OpCounter
+from repro.eval.recall import batch_recall
+
+
+class TestCpuModel:
+    def test_seconds_positive_for_work(self):
+        c = OpCounter()
+        c.distance_flops = 10**7
+        c.queue_ops = 100
+        assert DEFAULT_CPU.seconds(c) > 0
+
+    def test_zero_work_zero_time(self):
+        assert DEFAULT_CPU.seconds(OpCounter()) == 0.0
+
+    def test_tuned_model_faster(self):
+        c = OpCounter()
+        c.distance_flops = 10**8
+        c.queue_ops = 10_000
+        c.hash_ops = 10_000
+        assert TUNED_CPU.seconds(c) < DEFAULT_CPU.seconds(c)
+
+    def test_memory_term(self):
+        c = OpCounter()
+        t0 = DEFAULT_CPU.seconds(c, bytes_read=0)
+        t1 = DEFAULT_CPU.seconds(c, bytes_read=10**9)
+        assert t1 > t0
+
+
+class TestCpuSongIndex:
+    @pytest.fixture(scope="class")
+    def index(self, small_dataset, small_graph):
+        return CpuSongIndex(small_graph, small_dataset.data)
+
+    def test_single_query(self, index, small_dataset):
+        cfg = SearchConfig(k=10, queue_size=40)
+        res, seconds = index.search(small_dataset.queries[0], cfg)
+        assert len(res) == 10
+        assert seconds > 0
+
+    def test_batch_recall(self, index, small_dataset):
+        cfg = SearchConfig(k=10, queue_size=80)
+        batch = index.search_batch(small_dataset.queries, cfg)
+        gt = small_dataset.ground_truth(10)
+        assert batch_recall(batch.results, gt) > 0.8
+        assert batch.qps() > 0
+
+    def test_batch_seconds_scale_with_queries(self, index, small_dataset):
+        cfg = SearchConfig(k=10, queue_size=40)
+        t5 = index.search_batch(small_dataset.queries[:5], cfg).seconds
+        t20 = index.search_batch(small_dataset.queries[:20], cfg).seconds
+        assert t20 > t5
+
+    def test_counter_exposed(self, index, small_dataset):
+        cfg = SearchConfig(k=5, queue_size=20)
+        batch = index.search_batch(small_dataset.queries[:3], cfg)
+        assert batch.counter.distance_calls > 0
+
+    def test_custom_model(self, small_dataset, small_graph):
+        slow = CpuModel(name="slow", flops_per_second=1e8, seq_op_seconds=1e-6)
+        fast_idx = CpuSongIndex(small_graph, small_dataset.data, model=TUNED_CPU)
+        slow_idx = CpuSongIndex(small_graph, small_dataset.data, model=slow)
+        cfg = SearchConfig(k=5, queue_size=20)
+        _, t_fast = fast_idx.search(small_dataset.queries[0], cfg)
+        _, t_slow = slow_idx.search(small_dataset.queries[0], cfg)
+        assert t_slow > t_fast

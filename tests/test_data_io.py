@@ -1,0 +1,81 @@
+"""TEXMEX vector file format tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_ground_truth_ivecs, read_vecs, write_vecs
+
+
+class TestRoundTrip:
+    def test_fvecs(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(20, 8)).astype(np.float32)
+        path = str(tmp_path / "x.fvecs")
+        write_vecs(path, data)
+        back = read_vecs(path)
+        np.testing.assert_array_equal(back, data)
+        assert back.dtype == np.float32
+
+    def test_ivecs(self, tmp_path):
+        data = np.arange(24, dtype=np.int32).reshape(4, 6)
+        path = str(tmp_path / "x.ivecs")
+        write_vecs(path, data)
+        np.testing.assert_array_equal(read_vecs(path), data)
+
+    def test_bvecs(self, tmp_path):
+        data = np.arange(30, dtype=np.uint8).reshape(5, 6)
+        path = str(tmp_path / "x.bvecs")
+        write_vecs(path, data)
+        np.testing.assert_array_equal(read_vecs(path), data)
+
+    def test_count_cap(self, tmp_path):
+        data = np.zeros((10, 4), dtype=np.float32)
+        path = str(tmp_path / "x.fvecs")
+        write_vecs(path, data)
+        assert read_vecs(path, count=3).shape == (3, 4)
+
+    def test_ground_truth_reader(self, tmp_path):
+        gt = np.arange(12, dtype=np.int32).reshape(3, 4)
+        path = str(tmp_path / "gt.ivecs")
+        write_vecs(path, gt)
+        loaded = read_ground_truth_ivecs(path)
+        assert loaded.dtype == np.int64
+        np.testing.assert_array_equal(loaded, gt)
+
+
+class TestValidation:
+    def test_unknown_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            read_vecs(str(tmp_path / "x.npy"))
+        with pytest.raises(ValueError, match="extension"):
+            write_vecs(str(tmp_path / "x.dat"), np.zeros((2, 2)))
+
+    def test_corrupt_trailing_bytes(self, tmp_path):
+        path = str(tmp_path / "x.fvecs")
+        write_vecs(path, np.zeros((3, 4), dtype=np.float32))
+        with open(path, "ab") as f:
+            f.write(b"\x01\x02")
+        with pytest.raises(ValueError, match="record size"):
+            read_vecs(path)
+
+    def test_inconsistent_dims(self, tmp_path):
+        path = str(tmp_path / "x.fvecs")
+        # two records with different dims but same byte length is impossible
+        # in this format unless crafted; craft dim=2/f32 then dim=2 header
+        # replaced by 3 to trip the header check after the modulo passes.
+        data = np.zeros((2, 2), dtype=np.float32)
+        write_vecs(path, data)
+        raw = bytearray(open(path, "rb").read())
+        raw[12:16] = np.array([7], dtype="<i4").tobytes()  # corrupt 2nd header
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(ValueError, match="inconsistent|record size"):
+            read_vecs(path)
+
+    def test_empty_file(self, tmp_path):
+        path = str(tmp_path / "x.fvecs")
+        open(path, "wb").close()
+        assert read_vecs(path).shape == (0, 0)
+
+    def test_2d_required_on_write(self, tmp_path):
+        with pytest.raises(ValueError, match="2-d"):
+            write_vecs(str(tmp_path / "x.fvecs"), np.zeros(5))

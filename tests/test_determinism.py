@@ -1,0 +1,42 @@
+"""Determinism guarantees: the docs promise reports regenerate exactly."""
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.data import make_dataset
+from repro.eval import sweep_gpu_song
+from repro.graphs import build_nsw
+
+
+class TestEndToEndDeterminism:
+    def test_identical_sweeps_across_runs(self):
+        def run():
+            ds = make_dataset("sift", n=400, num_queries=15, seed=3)
+            graph = build_nsw(ds.data, m=6, ef_construction=24, seed=7)
+            idx = GpuSongIndex(graph, ds.data)
+            pts = sweep_gpu_song(ds, idx, [10, 30], k=5)
+            return [(p.param, p.recall, p.qps) for p in pts]
+
+        assert run() == run()
+
+    def test_identical_results_across_searcher_instances(self):
+        ds = make_dataset("nytimes", n=300, num_queries=10, seed=1)
+        graph = build_nsw(ds.data, m=6, ef_construction=24, seed=2)
+        cfg = SearchConfig(k=5, queue_size=20, selected_insertion=True,
+                           visited_deletion=True)
+        a = GpuSongIndex(graph, ds.data).search_batch(ds.queries, cfg)[0]
+        b = GpuSongIndex(graph, ds.data).search_batch(ds.queries, cfg)[0]
+        assert a == b
+
+    def test_timing_model_is_pure(self):
+        """Cost-model timing depends only on inputs, never on wall clock."""
+        ds = make_dataset("sift", n=300, num_queries=10, seed=4)
+        graph = build_nsw(ds.data, m=6, ef_construction=24, seed=5)
+        idx = GpuSongIndex(graph, ds.data)
+        cfg = SearchConfig(k=5, queue_size=20)
+        _, t1 = idx.search_batch(ds.queries, cfg)
+        _, t2 = idx.search_batch(ds.queries, cfg)
+        assert t1.kernel_seconds == t2.kernel_seconds
+        assert t1.stage_cycles == t2.stage_cycles
+        assert t1.warp_cycles == t2.warp_cycles

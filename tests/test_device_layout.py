@@ -1,0 +1,128 @@
+"""Device-layout structures: equivalence with the high-level versions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.device_layout import FlatHashSet, FlatMinMaxHeap
+from repro.structures.hash_table import OpenAddressingSet
+from repro.structures.minmax_heap import SymmetricMinMaxHeap
+
+entries = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False, width=32),
+        st.integers(min_value=0, max_value=2**23),
+    ),
+    max_size=100,
+)
+keys = st.integers(min_value=0, max_value=10**6)
+
+
+class TestFlatMinMaxHeap:
+    def test_capacity_enforced(self):
+        h = FlatMinMaxHeap(2)
+        h.push(1.0, 1)
+        h.push(2.0, 2)
+        with pytest.raises(OverflowError):
+            h.push(3.0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlatMinMaxHeap(0)
+        with pytest.raises(ValueError):
+            FlatMinMaxHeap(4, storage=np.zeros((3, 2), dtype=np.float32))
+        h = FlatMinMaxHeap(2)
+        with pytest.raises(IndexError):
+            h.pop_min()
+        with pytest.raises(IndexError):
+            h.pop_max()
+        with pytest.raises(IndexError):
+            h.peek_min()
+        with pytest.raises(IndexError):
+            h.peek_max()
+
+    def test_memory_is_8_bytes_per_slot(self):
+        """The layout the shared-memory budget assumes."""
+        assert FlatMinMaxHeap(50).memory_bytes() == 50 * 8
+
+    def test_external_storage(self):
+        slab = np.zeros((4, 2), dtype=np.float32)
+        h = FlatMinMaxHeap(4, storage=slab)
+        h.push(5.0, 3)
+        assert slab[0, 0] == 5.0  # writes land in the caller's slab
+
+    @settings(max_examples=80, deadline=None)
+    @given(items=entries)
+    def test_matches_reference_pop_min(self, items):
+        flat = FlatMinMaxHeap(max(1, len(items)))
+        ref = SymmetricMinMaxHeap()
+        for d, v in items:
+            flat.push(d, v)
+            ref.push(np.float32(d), v)
+        for _ in items:
+            assert flat.pop_min() == ref.pop_min()
+
+    @settings(max_examples=80, deadline=None)
+    @given(items=entries, ops=st.lists(st.booleans(), max_size=100))
+    def test_matches_reference_interleaved(self, items, ops):
+        flat = FlatMinMaxHeap(max(1, len(items)))
+        ref = SymmetricMinMaxHeap()
+        for d, v in items:
+            flat.push(d, v)
+            ref.push(np.float32(d), v)
+        for take_min in ops:
+            if not len(ref):
+                break
+            if take_min:
+                assert flat.pop_min() == ref.pop_min()
+            else:
+                assert flat.pop_max() == ref.pop_max()
+
+
+class TestFlatHashSet:
+    def test_basics(self):
+        s = FlatHashSet(16)
+        assert s.insert(5)
+        assert not s.insert(5)
+        assert s.contains(5)
+        assert s.delete(5)
+        assert not s.contains(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlatHashSet(0)
+        s = FlatHashSet(4)
+        for op in (s.insert, s.contains, s.delete):
+            with pytest.raises(ValueError):
+                op(-1)
+
+    def test_overflow(self):
+        s = FlatHashSet(3)
+        for i in range(3):
+            s.insert(i)
+        with pytest.raises(OverflowError):
+            s.insert(99)
+
+    def test_memory_4_bytes_per_slot(self):
+        s = FlatHashSet(100)
+        n_slots = s.memory_bytes() // 4
+        assert n_slots & (n_slots - 1) == 0
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "del", "has"]), keys), max_size=200
+        )
+    )
+    def test_matches_reference(self, ops):
+        flat = FlatHashSet(256)
+        ref = OpenAddressingSet(256)
+        for op, k in ops:
+            if op == "add" and len(ref) < 256:
+                assert flat.insert(k) == ref.insert(k)
+            elif op == "del":
+                assert flat.delete(k) == ref.delete(k)
+            elif op == "has":
+                assert flat.contains(k) == ref.contains(k)
+        assert len(flat) == len(ref)

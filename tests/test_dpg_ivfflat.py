@@ -1,0 +1,135 @@
+"""DPG graph and IVF-Flat baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat import FlatIndex
+from repro.baselines.ivfflat import IVFFlatIndex
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.core.algorithm1 import algorithm1_search
+from repro.graphs.dpg import build_dpg
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(41)
+    return rng.normal(size=(400, 12)).astype(np.float32)
+
+
+class TestDPG:
+    @pytest.fixture(scope="class")
+    def dpg(self, points):
+        return build_dpg(points, degree=12)
+
+    def test_valid_graph(self, dpg, points):
+        dpg.validate()
+        assert dpg.num_vertices == len(points)
+        assert dpg.degree == 12
+
+    def test_degree_validation(self, points):
+        with pytest.raises(ValueError):
+            build_dpg(points, degree=1)
+
+    def test_mostly_undirected(self, dpg):
+        """DPG adds reverse edges; most edges should be symmetric."""
+        sym = total = 0
+        for v in range(dpg.num_vertices):
+            for u in dpg.neighbors(v):
+                total += 1
+                if v in dpg.neighbors(int(u)):
+                    sym += 1
+        assert sym / total > 0.6
+
+    def test_search_recall(self, dpg, points):
+        hits = 0
+        for q in range(20):
+            d = ((points - points[q]) ** 2).sum(axis=1)
+            truth = set(np.argsort(d, kind="stable")[:10].tolist())
+            res = algorithm1_search(dpg, points, points[q], 10, queue_size=50)
+            hits += len(truth & {v for _, v in res})
+        assert hits / 200 > 0.85
+
+    def test_edges_diverse(self, dpg, points):
+        """Diversified out-edges should not all point the same way: the
+        mean pairwise cosine among a vertex's first half-degree edges is
+        well below 1."""
+        v = 0
+        row = [int(u) for u in dpg.neighbors(v)][:6]
+        dirs = points[row] - points[v]
+        dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+        cos = dirs @ dirs.T
+        off_diag = cos[~np.eye(len(row), dtype=bool)]
+        assert off_diag.mean() < 0.8
+
+    def test_accepts_precomputed_table(self, points):
+        from repro.graphs.bruteforce_knn import knn_neighbors
+
+        table = knn_neighbors(points, 24)
+        g = build_dpg(points, degree=12, knn_table=table)
+        g.validate()
+
+
+class TestIVFFlat:
+    @pytest.fixture(scope="class")
+    def index(self, points):
+        idx = IVFFlatIndex(12, nlist=16, seed=0).train(points)
+        idx.add(points)
+        return idx
+
+    def test_lifecycle_validation(self, points):
+        with pytest.raises(ValueError):
+            IVFFlatIndex(8, nlist=0)
+        idx = IVFFlatIndex(12, nlist=8)
+        with pytest.raises(RuntimeError):
+            idx.add(points)
+        with pytest.raises(RuntimeError):
+            IVFFlatIndex(12, nlist=8).train(points).search(points[0], 5)
+
+    def test_full_probe_is_exact(self, index, points):
+        """With every list probed, IVF-Flat equals brute force."""
+        flat = FlatIndex(points)
+        for q in points[:10]:
+            got = [v for _, v in index.search(q, 5, nprobe=index.nlist)]
+            ref = [v for _, v in flat.search(q, 5)]
+            assert got == ref
+
+    def test_recall_monotone_in_nprobe(self, index, points):
+        flat = FlatIndex(points)
+        def recall(nprobe):
+            hits = 0
+            for q in points[:20]:
+                truth = {v for _, v in flat.search(q, 10)}
+                got = {v for _, v in index.search(q, 10, nprobe=nprobe)}
+                hits += len(truth & got)
+            return hits / 200
+
+        assert recall(16) >= recall(4) - 0.02 >= recall(1) - 0.04
+
+    def test_no_quantization_ceiling_vs_ivfpq(self, points):
+        """The IVF-Flat / IVFPQ contrast: same coarse structure, but only
+        PQ has a recall ceiling below exactness."""
+        flat_idx = IVFFlatIndex(12, nlist=8, seed=0).train(points)
+        flat_idx.add(points)
+        pq_idx = IVFPQIndex(12, nlist=8, m=4, ksub=16, seed=0).train(points)
+        pq_idx.add(points)
+        exact = FlatIndex(points)
+        f_hits = p_hits = 0
+        for q in points[:20]:
+            truth = {v for _, v in exact.search(q, 10)}
+            f_hits += len(truth & {v for _, v in flat_idx.search(q, 10, nprobe=8)})
+            p_hits += len(truth & {v for _, v in pq_idx.search(q, 10, nprobe=8)})
+        assert f_hits == 200  # exact with all lists probed
+        assert p_hits < f_hits
+
+    def test_gpu_search_and_memory(self, index, points):
+        results, timing = index.gpu_search_batch(points[:5], 5, nprobe=4)
+        assert len(results) == 5
+        assert timing.kernel_seconds > 0
+        # IVF-Flat stores raw vectors: far bigger than IVFPQ codes.
+        pq = IVFPQIndex(12, nlist=16, m=4, ksub=16, seed=0).train(points)
+        pq.add(points)
+        assert index.memory_bytes() > pq.memory_bytes()
+
+    def test_k_validation(self, index, points):
+        with pytest.raises(ValueError):
+            index.search(points[0], 0)

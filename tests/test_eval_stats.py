@@ -1,0 +1,67 @@
+"""Bootstrap statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import bootstrap_ci, paired_bootstrap_pvalue, per_query_recall
+
+
+class TestPerQueryRecall:
+    def test_vector_values(self):
+        results = [[(0.1, 1), (0.2, 2)], [(0.1, 9), (0.2, 8)]]
+        gt = np.array([[1, 2], [1, 2]])
+        np.testing.assert_array_equal(per_query_recall(results, gt), [1.0, 0.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            per_query_recall([[(0.0, 1)]], np.zeros((2, 1), dtype=int))
+
+
+class TestBootstrapCI:
+    def test_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0.7, 1.0, size=200)
+        mean, low, high = bootstrap_ci(values)
+        assert low <= mean <= high
+        assert mean == pytest.approx(values.mean())
+
+    def test_ci_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = rng.uniform(0, 1, size=20)
+        big = rng.uniform(0, 1, size=2000)
+        _, lo_s, hi_s = bootstrap_ci(small)
+        _, lo_b, hi_b = bootstrap_ci(big)
+        assert (hi_b - lo_b) < (hi_s - lo_s)
+
+    def test_constant_data_zero_width(self):
+        mean, low, high = bootstrap_ci([0.9] * 50)
+        assert mean == low == high == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+    def test_deterministic_given_seed(self):
+        values = np.linspace(0, 1, 50)
+        assert bootstrap_ci(values, seed=7) == bootstrap_ci(values, seed=7)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_small_pvalue(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0.8, 1.0, size=100)
+        b = a - 0.2
+        assert paired_bootstrap_pvalue(a, b) < 0.01
+
+    def test_identical_methods_large_pvalue(self):
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0, 1, size=100)
+        assert paired_bootstrap_pvalue(a, a.copy()) > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap_pvalue([], [])

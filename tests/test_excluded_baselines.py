@@ -1,0 +1,159 @@
+"""Tests for the tree/hash baselines the paper excludes (KD-tree,
+RP-forest, multi-probe LSH)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat import FlatIndex
+from repro.baselines.kdtree import KDTreeIndex
+from repro.baselines.lsh import LSHIndex
+from repro.baselines.rp_forest import RPForestIndex
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(23)
+    return rng.normal(size=(600, 12)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def flat(data):
+    return FlatIndex(data)
+
+
+class TestKDTree:
+    @pytest.fixture(scope="class")
+    def tree(self, data):
+        return KDTreeIndex(data, leaf_size=16)
+
+    def test_exact_with_unlimited_budget(self, tree, data, flat):
+        for q in data[:10]:
+            got = tree.search(q, 5, max_leaves=10_000)
+            ref = flat.search(q, 5)
+            assert [v for _, v in got] == [v for _, v in ref]
+            for (dg, _), (dr, _) in zip(got, ref):
+                assert dg == pytest.approx(dr, rel=1e-5, abs=1e-6)
+
+    def test_recall_grows_with_budget(self, tree, data, flat):
+        def recall(max_leaves):
+            hits = 0
+            for q in data[:25]:
+                truth = {v for _, v in flat.search(q, 10)}
+                got = {v for _, v in tree.search(q, 10, max_leaves=max_leaves)}
+                hits += len(truth & got)
+            return hits / 250
+
+        assert recall(32) >= recall(2) - 0.02
+
+    def test_budget_limits_scanned_points(self, tree, data):
+        tree.search(data[0], 5, max_leaves=2)
+        small = tree.last_scanned
+        tree.search(data[0], 5, max_leaves=64)
+        assert tree.last_scanned >= small
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            KDTreeIndex(data, leaf_size=0)
+        tree = KDTreeIndex(data[:50])
+        with pytest.raises(ValueError):
+            tree.search(data[0], 0)
+
+    def test_duplicate_points_handled(self):
+        dup = np.zeros((40, 4), dtype=np.float32)
+        tree = KDTreeIndex(dup, leaf_size=4)
+        res = tree.search(np.zeros(4), 3, max_leaves=100)
+        assert len(res) == 3
+        assert all(d == 0.0 for d, _ in res)
+
+    def test_memory_positive(self, tree):
+        assert tree.memory_bytes() > 0
+
+
+class TestRPForest:
+    @pytest.fixture(scope="class")
+    def forest(self, data):
+        return RPForestIndex(data, num_trees=8, leaf_size=16, seed=1)
+
+    def test_reasonable_recall(self, forest, data, flat):
+        hits = 0
+        for q in data[:25]:
+            truth = {v for _, v in flat.search(q, 10)}
+            got = {v for _, v in forest.search(q, 10, search_budget=300)}
+            hits += len(truth & got)
+        assert hits / 250 > 0.6
+
+    def test_recall_grows_with_budget(self, forest, data, flat):
+        def recall(budget):
+            hits = 0
+            for q in data[:20]:
+                truth = {v for _, v in flat.search(q, 10)}
+                got = {v for _, v in forest.search(q, 10, search_budget=budget)}
+                hits += len(truth & got)
+            return hits / 200
+
+        assert recall(400) >= recall(50) - 0.02
+
+    def test_no_duplicate_candidates(self, forest, data):
+        res = forest.search(data[0], 10, search_budget=200)
+        ids = [v for _, v in res]
+        assert len(ids) == len(set(ids))
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            RPForestIndex(data, num_trees=0)
+        with pytest.raises(ValueError):
+            RPForestIndex(data, leaf_size=0)
+        forest = RPForestIndex(data[:50], num_trees=2)
+        with pytest.raises(ValueError):
+            forest.search(data[0], 0)
+
+    def test_deterministic_given_seed(self, data):
+        a = RPForestIndex(data[:100], num_trees=2, seed=5).search(data[0], 5)
+        b = RPForestIndex(data[:100], num_trees=2, seed=5).search(data[0], 5)
+        assert a == b
+
+
+class TestLSH:
+    @pytest.fixture(scope="class")
+    def lsh(self, data):
+        return LSHIndex(data, num_tables=8, num_bits=10, seed=2)
+
+    def test_self_query_found(self, lsh, data):
+        res = lsh.search(data[7], 1, max_flips=0)
+        assert res and res[0][1] == 7
+
+    def test_recall_grows_with_probes(self, lsh, data, flat):
+        def recall(flips):
+            hits = 0
+            for q in data[:20]:
+                truth = {v for _, v in flat.search(q, 10)}
+                got = {v for _, v in lsh.search(q, 10, max_flips=flips)}
+                hits += len(truth & got)
+            return hits / 200
+
+        assert recall(2) >= recall(0) - 0.02
+
+    def test_multi_probe_scans_more(self, lsh, data):
+        lsh.search(data[0], 5, max_flips=0)
+        base = lsh.last_scanned
+        lsh.search(data[0], 5, max_flips=2)
+        assert lsh.last_scanned >= base
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            LSHIndex(data, num_tables=0)
+        with pytest.raises(ValueError):
+            LSHIndex(data, num_bits=0)
+        lsh = LSHIndex(data[:50], num_tables=2, num_bits=6)
+        with pytest.raises(ValueError):
+            lsh.search(data[0], 0)
+        with pytest.raises(ValueError):
+            lsh.search(data[0], 5, max_flips=-1)
+
+    def test_empty_result_when_no_bucket_hits(self):
+        # one point far away; query hashes elsewhere with 0 probes often —
+        # guarantee graceful empty/partial results
+        data = np.ones((4, 6), dtype=np.float32) * 100
+        lsh = LSHIndex(data, num_tables=1, num_bits=14, seed=0)
+        res = lsh.search(-100 * np.ones(6), 2, max_flips=0)
+        assert isinstance(res, list)

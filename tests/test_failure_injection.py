@@ -1,0 +1,149 @@
+"""Failure injection and degenerate inputs across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.flat import FlatIndex
+from repro.baselines.ivfpq import IVFPQIndex
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.core.song import SongSearcher
+from repro.graphs import build_knn_graph, build_nsw
+from repro.graphs.storage import FixedDegreeGraph
+
+
+class TestDegenerateDatasets:
+    def test_all_identical_points(self):
+        """Zero-variance data: every distance ties; search must still
+        return k distinct ids with deterministic tie-breaking."""
+        data = np.ones((50, 8), dtype=np.float32)
+        graph = build_knn_graph(data, 5)
+        searcher = SongSearcher(graph, data)
+        res = searcher.search(data[0], SearchConfig(k=5, queue_size=10))
+        ids = [v for _, v in res]
+        assert len(set(ids)) == 5
+        assert all(d == 0.0 for d, _ in res)
+
+    def test_two_point_dataset(self):
+        data = np.array([[0.0, 0.0], [1.0, 1.0]], dtype=np.float32)
+        graph = FixedDegreeGraph.from_adjacency([[1], [0]])
+        searcher = SongSearcher(graph, data)
+        res = searcher.search(
+            np.array([0.1, 0.1], dtype=np.float32), SearchConfig(k=2, queue_size=2)
+        )
+        assert [v for _, v in res] == [0, 1]
+
+    def test_k_equals_dataset_size(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(20, 4)).astype(np.float32)
+        graph = build_knn_graph(data, 6)
+        searcher = SongSearcher(graph, data)
+        res = searcher.search(data[0], SearchConfig(k=20, queue_size=40))
+        # reachable subset may be smaller than n, but no duplicates ever
+        ids = [v for _, v in res]
+        assert len(ids) == len(set(ids))
+
+    def test_clustered_duplicates_in_ivfpq(self):
+        """Many exact duplicates: k-means must not crash on empty clusters."""
+        data = np.repeat(np.eye(8, dtype=np.float64), 10, axis=0)
+        idx = IVFPQIndex(8, nlist=4, m=4, ksub=8, seed=0).train(data)
+        idx.add(data)
+        res = idx.search(data[0], 5, nprobe=4)
+        assert len(res) == 5
+
+    def test_single_cluster_nsw(self):
+        """NSW over near-duplicate points must stay connected."""
+        rng = np.random.default_rng(1)
+        data = (np.ones((60, 6)) + 1e-6 * rng.standard_normal((60, 6))).astype(
+            np.float32
+        )
+        graph = build_nsw(data, m=4, ef_construction=16, seed=0)
+        graph.validate()
+
+
+class TestHostileQueries:
+    @pytest.fixture(scope="class")
+    def searcher(self, small_dataset, small_graph):
+        return SongSearcher(small_graph, small_dataset.data)
+
+    def test_far_away_query(self, searcher, small_dataset):
+        """A query far outside the data hull still returns k results."""
+        q = np.full(small_dataset.dim, 1e6, dtype=np.float32)
+        res = searcher.search(q, SearchConfig(k=10, queue_size=30))
+        assert len(res) == 10
+        assert all(np.isfinite(d) for d, _ in res)
+
+    def test_zero_query_cosine(self, small_dataset, small_graph):
+        searcher = SongSearcher(small_graph, small_dataset.data)
+        q = np.zeros(small_dataset.dim, dtype=np.float32)
+        res = searcher.search(
+            q, SearchConfig(k=5, queue_size=20, metric="cosine")
+        )
+        assert len(res) == 5  # zero-norm handled, not NaN
+
+    def test_flat_index_agreement_on_hostile_query(self, small_dataset):
+        q = np.full(small_dataset.dim, -1e5, dtype=np.float32)
+        flat = FlatIndex(small_dataset.data)
+        res = flat.search(q, 3)
+        assert all(np.isfinite(d) for d, _ in res)
+
+
+class TestCorruptGraphs:
+    def test_isolated_entry_point(self, small_dataset):
+        """Entry with no out-edges: search returns just the entry."""
+        n = 30
+        graph = FixedDegreeGraph(n, 4, entry_point=0)
+        # vertex 0 isolated; others form a chain (unreachable from 0)
+        for v in range(1, n - 1):
+            graph.set_neighbors(v, [v + 1])
+        searcher = SongSearcher(graph, small_dataset.data[:n])
+        res = searcher.search(
+            small_dataset.queries[0], SearchConfig(k=5, queue_size=10)
+        )
+        assert [v for _, v in res] == [0]
+
+    def test_unreachable_region_limits_results(self, small_dataset):
+        n = 20
+        # two disjoint rings; entry in ring A
+        ring_a = [[(v + 1) % 10] for v in range(10)]
+        ring_b = [[10 + ((v + 1) % 10)] for v in range(10)]
+        graph = FixedDegreeGraph.from_adjacency(ring_a + ring_b, entry_point=0)
+        searcher = SongSearcher(graph, small_dataset.data[:n])
+        res = searcher.search(
+            small_dataset.queries[0], SearchConfig(k=15, queue_size=20)
+        )
+        ids = {v for _, v in res}
+        assert ids <= set(range(10)), "must never reach the disconnected ring"
+
+    def test_gpu_index_on_sparse_graph(self, small_dataset):
+        """Rows with zero neighbors must not break the kernel meter."""
+        n = 40
+        adjacency = [[(v + 1) % n] if v % 3 else [] for v in range(n)]
+        adjacency[0] = [1]
+        graph = FixedDegreeGraph.from_adjacency(adjacency, degree=2)
+        idx = GpuSongIndex(graph, small_dataset.data[:n])
+        results, timing = idx.search_batch(
+            small_dataset.queries[:2], SearchConfig(k=3, queue_size=6)
+        )
+        assert timing.kernel_seconds > 0
+        assert all(len(r) >= 1 for r in results)
+
+
+class TestConfigEdgeCases:
+    def test_queue_size_equals_k(self, small_dataset, small_graph):
+        searcher = SongSearcher(small_graph, small_dataset.data)
+        res = searcher.search(
+            small_dataset.queries[0], SearchConfig(k=10, queue_size=10)
+        )
+        assert len(res) == 10
+
+    def test_k_one(self, small_dataset, small_graph):
+        searcher = SongSearcher(small_graph, small_dataset.data)
+        res = searcher.search(small_dataset.queries[0], SearchConfig(k=1, queue_size=1))
+        assert len(res) == 1
+
+    def test_probe_steps_larger_than_queue(self, small_dataset, small_graph):
+        searcher = SongSearcher(small_graph, small_dataset.data)
+        cfg = SearchConfig(k=5, queue_size=5, probe_steps=50)
+        res = searcher.search(small_dataset.queries[0], cfg)
+        assert 1 <= len(res) <= 5

@@ -1,0 +1,58 @@
+"""Graph persistence round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import build_nsw, load_graph, save_graph
+from repro.graphs.storage import FixedDegreeGraph
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path, small_dataset):
+        graph = build_nsw(small_dataset.data[:200], m=4, ef_construction=16, seed=3)
+        path = str(tmp_path / "index.npz")
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.degree == graph.degree
+        assert loaded.entry_point == graph.entry_point
+        np.testing.assert_array_equal(
+            loaded.adjacency_array, graph.adjacency_array
+        )
+
+    def test_suffix_added_automatically(self, tmp_path):
+        g = FixedDegreeGraph.from_adjacency([[1], [0]])
+        base = str(tmp_path / "graph")
+        save_graph(g, base)  # numpy appends .npz
+        loaded = load_graph(base)
+        assert loaded.num_vertices == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(str(tmp_path / "nope.npz"))
+
+    def test_version_check(self, tmp_path):
+        g = FixedDegreeGraph.from_adjacency([[1], [0]])
+        path = str(tmp_path / "g.npz")
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            adjacency=g.adjacency_array,
+            counts=np.array([1, 1]),
+            entry_point=np.int64(0),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_graph(path)
+
+    def test_loaded_graph_searches_identically(self, tmp_path, small_dataset):
+        from repro.core.algorithm1 import algorithm1_search
+
+        data = small_dataset.data[:200]
+        graph = build_nsw(data, m=4, ef_construction=16, seed=3)
+        path = str(tmp_path / "g.npz")
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        for q in small_dataset.queries[:5]:
+            a = algorithm1_search(graph, data, q, 5, queue_size=20)
+            b = algorithm1_search(loaded, data, q, 5, queue_size=20)
+            assert a == b

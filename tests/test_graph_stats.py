@@ -1,0 +1,62 @@
+"""Graph diagnostics tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.stats import bfs_hops, compute_stats, edge_length_percentiles
+from repro.graphs.storage import FixedDegreeGraph
+
+
+@pytest.fixture()
+def chain_graph():
+    # 0 -> 1 -> 2 -> 3 (directed chain)
+    return FixedDegreeGraph.from_adjacency([[1], [2], [3], []], degree=1)
+
+
+class TestBfs:
+    def test_chain_hops(self, chain_graph):
+        hops = bfs_hops(chain_graph, 0)
+        assert hops == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_excluded(self):
+        g = FixedDegreeGraph.from_adjacency([[1], [0], []], degree=1)
+        hops = bfs_hops(g, 0)
+        assert 2 not in hops
+
+
+class TestStats:
+    def test_chain_stats(self, chain_graph):
+        s = compute_stats(chain_graph)
+        assert s.num_vertices == 4
+        assert s.num_edges == 3
+        assert s.min_out_degree == 0
+        assert s.max_out_degree == 1
+        assert s.fully_reachable
+        assert s.max_hops_from_entry == 3
+
+    def test_nsw_is_fully_reachable(self, small_graph):
+        s = compute_stats(small_graph)
+        assert s.fully_reachable
+        assert s.mean_out_degree > 2
+        assert s.max_out_degree <= s.degree_limit
+
+    def test_nsw_diameter_is_small(self, small_graph):
+        """Small-world property: hops grow ~logarithmically."""
+        s = compute_stats(small_graph)
+        assert s.max_hops_from_entry < 20
+
+    def test_disconnected_flagged(self):
+        g = FixedDegreeGraph.from_adjacency([[1], [0], []], degree=1)
+        assert not compute_stats(g).fully_reachable
+
+
+class TestEdgeLengths:
+    def test_percentiles_ordered(self, small_graph, small_dataset):
+        p50, p90, p99 = edge_length_percentiles(small_graph, small_dataset.data)
+        assert p50 <= p90 <= p99
+        assert p50 > 0
+
+    def test_sampling_deterministic(self, small_graph, small_dataset):
+        a = edge_length_percentiles(small_graph, small_dataset.data, sample=100, seed=1)
+        b = edge_length_percentiles(small_graph, small_dataset.data, sample=100, seed=1)
+        assert a == b

@@ -1,0 +1,118 @@
+"""Binary heap tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.heap import MaxHeap, MinHeap, TopKMaxHeap
+
+entries = st.lists(
+    st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.integers(min_value=0, max_value=10**6),
+    ),
+    max_size=200,
+)
+
+
+class TestMinHeap:
+    def test_pop_orders_ascending(self):
+        h = MinHeap()
+        for d, v in [(3.0, 1), (1.0, 2), (2.0, 3)]:
+            h.push(d, v)
+        assert h.pop() == (1.0, 2)
+        assert h.pop() == (2.0, 3)
+        assert h.pop() == (3.0, 1)
+
+    def test_peek_does_not_remove(self):
+        h = MinHeap()
+        h.push(5.0, 1)
+        assert h.peek() == (5.0, 1)
+        assert len(h) == 1
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            MinHeap().pop()
+        with pytest.raises(IndexError):
+            MinHeap().peek()
+
+    def test_tie_break_on_vertex(self):
+        h = MinHeap()
+        h.push(1.0, 9)
+        h.push(1.0, 2)
+        assert h.pop() == (1.0, 2)
+
+    @settings(max_examples=60, deadline=None)
+    @given(items=entries)
+    def test_heap_sort_matches_sorted(self, items):
+        h = MinHeap()
+        for d, v in items:
+            h.push(d, v)
+        drained = [h.pop() for _ in range(len(items))]
+        assert drained == sorted(items)
+
+    @settings(max_examples=30, deadline=None)
+    @given(items=entries)
+    def test_to_sorted_list_nondestructive(self, items):
+        h = MinHeap()
+        for d, v in items:
+            h.push(d, v)
+        assert h.to_sorted_list() == sorted(items)
+        assert len(h) == len(items)
+
+
+class TestMaxHeap:
+    @settings(max_examples=60, deadline=None)
+    @given(items=entries)
+    def test_heap_sort_descending(self, items):
+        h = MaxHeap()
+        for d, v in items:
+            h.push(d, v)
+        drained = [h.pop() for _ in range(len(items))]
+        assert drained == sorted(items, reverse=True)
+
+    def test_to_sorted_list_descending(self):
+        h = MaxHeap()
+        for d, v in [(1.0, 1), (3.0, 3), (2.0, 2)]:
+            h.push(d, v)
+        assert h.to_sorted_list() == [(3.0, 3), (2.0, 2), (1.0, 1)]
+
+
+class TestTopKMaxHeap:
+    def test_keeps_k_smallest(self):
+        h = TopKMaxHeap(3)
+        for d in [5.0, 1.0, 4.0, 2.0, 3.0]:
+            h.push_bounded(d, int(d))
+        kept = sorted(h.to_sorted_list())
+        assert [d for d, _ in kept] == [1.0, 2.0, 3.0]
+
+    def test_eviction_return_values(self):
+        h = TopKMaxHeap(2)
+        assert h.push_bounded(1.0, 1) is None
+        assert h.push_bounded(2.0, 2) is None
+        # Better candidate displaces the worst.
+        assert h.push_bounded(0.5, 3) == (2.0, 2)
+        # Worse candidate bounces off.
+        assert h.push_bounded(9.0, 4) == (9.0, 4)
+
+    def test_worst_distance_semantics(self):
+        h = TopKMaxHeap(2)
+        assert h.worst_distance() == float("inf")
+        h.push_bounded(1.0, 1)
+        assert h.worst_distance() == float("inf")  # not yet full
+        h.push_bounded(2.0, 2)
+        assert h.worst_distance() == 2.0
+        assert h.is_full()
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKMaxHeap(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(items=entries, k=st.integers(min_value=1, max_value=20))
+    def test_matches_sorted_prefix(self, items, k):
+        h = TopKMaxHeap(k)
+        for d, v in items:
+            h.push_bounded(d, v)
+        kept = sorted(h.to_sorted_list())
+        assert kept == sorted(items)[: min(k, len(items))]

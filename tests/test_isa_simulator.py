@@ -1,0 +1,378 @@
+"""Cycle-level SIMT simulator tests: functional + timing semantics."""
+
+import numpy as np
+import pytest
+
+from repro.simt import isa
+from repro.simt.simulator import (
+    GLOBAL_LATENCY,
+    WARP_SIZE,
+    SMSimulator,
+    WarpSimulator,
+)
+
+
+def run_program(program, global_mem=None, shared_mem=None, **regs):
+    sim = WarpSimulator(
+        program,
+        global_mem=global_mem if global_mem is not None else np.zeros(256),
+        shared_mem=shared_mem,
+    )
+    for name, val in regs.items():
+        sim.set_register(name, val)
+    stats = sim.run()
+    return sim, stats
+
+
+class TestValidation:
+    def test_unbalanced_if(self):
+        with pytest.raises(ValueError, match="unterminated"):
+            isa.validate_program([isa.If(pred="p")])
+
+    def test_unmatched_endif(self):
+        with pytest.raises(ValueError, match="EndIf"):
+            isa.validate_program([isa.EndIf()])
+
+    def test_else_outside_if(self):
+        with pytest.raises(ValueError, match="Else"):
+            isa.validate_program([isa.Else()])
+
+    def test_unmatched_endwhile(self):
+        with pytest.raises(ValueError, match="EndWhile"):
+            isa.validate_program([isa.EndWhile()])
+
+    def test_register_shape_check(self):
+        sim = WarpSimulator([isa.Mov(dst="a", src=1.0)], np.zeros(8))
+        with pytest.raises(ValueError):
+            sim.set_register("x", np.zeros(5))
+
+
+class TestArithmetic:
+    def test_mov_and_binary(self):
+        sim, _ = run_program(
+            [
+                isa.Mov(dst="a", src=3.0),
+                isa.Binary(op="mul", dst="b", a="a", b=4.0),
+                isa.Binary(op="sub", dst="c", a="b", b="a"),
+            ]
+        )
+        assert sim.register("c")[0] == 9.0
+
+    def test_fma(self):
+        sim, _ = run_program([isa.Mov(dst="a", src=2.0), isa.Fma(dst="r", a="a", b=3.0, c=1.0)])
+        np.testing.assert_array_equal(sim.register("r"), np.full(32, 7.0))
+
+    def test_lane_id(self):
+        sim, _ = run_program([isa.LaneId(dst="lane")])
+        np.testing.assert_array_equal(sim.register("lane"), np.arange(32))
+
+    def test_cmp_produces_predicate(self):
+        sim, _ = run_program(
+            [isa.LaneId(dst="lane"), isa.Cmp(rel="lt", dst="p", a="lane", b=16.0)]
+        )
+        assert sim.register("p").sum() == 16
+
+    def test_popc(self):
+        sim, _ = run_program([isa.Mov(dst="x", src=float(0b1011)), isa.Popc(dst="c", a="x")])
+        assert sim.register("c")[0] == 3
+
+    def test_div_by_zero_is_zero(self):
+        sim, _ = run_program([isa.Binary(op="div", dst="r", a=1.0, b=0.0)])
+        assert sim.register("r")[0] == 0.0
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            run_program([isa.Binary(op="pow", dst="r", a=1.0, b=2.0)])
+        with pytest.raises(ValueError):
+            run_program([isa.Cmp(rel="approx", dst="r", a=1.0, b=2.0)])
+
+    def test_bitwise_ops(self):
+        sim, _ = run_program(
+            [
+                isa.Mov(dst="a", src=float(0b1100)),
+                isa.Binary(op="xor", dst="x", a="a", b=float(0b1010)),
+                isa.Binary(op="and", dst="n", a="a", b=float(0b1010)),
+                isa.Binary(op="shl", dst="s", a="a", b=1.0),
+            ]
+        )
+        assert sim.register("x")[0] == 0b0110
+        assert sim.register("n")[0] == 0b1000
+        assert sim.register("s")[0] == 0b11000
+
+
+class TestMemory:
+    def test_coalesced_one_transaction(self):
+        sim, stats = run_program(
+            [isa.LaneId(dst="lane"), isa.Ldg(dst="v", addr="lane")],
+            global_mem=np.arange(64, dtype=float),
+        )
+        np.testing.assert_array_equal(sim.register("v"), np.arange(32))
+        assert stats.global_transactions == 1
+
+    def test_scattered_32_transactions(self):
+        sim, stats = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Binary(op="mul", dst="addr", a="lane", b=32.0),
+                isa.Ldg(dst="v", addr="addr"),
+            ],
+            global_mem=np.arange(2048, dtype=float),
+        )
+        assert stats.global_transactions == 32
+
+    def test_load_to_use_latency_stalls(self):
+        _, no_use = run_program(
+            [isa.LaneId(dst="lane"), isa.Ldg(dst="v", addr="lane")],
+            global_mem=np.zeros(64),
+        )
+        _, with_use = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Ldg(dst="v", addr="lane"),
+                isa.Binary(op="add", dst="s", a="v", b=1.0),
+            ],
+            global_mem=np.zeros(64),
+        )
+        assert with_use.stall_cycles >= GLOBAL_LATENCY - 1
+        assert no_use.stall_cycles == 0
+
+    def test_store_roundtrip(self):
+        sim, _ = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Stg(addr="lane", src="lane"),
+                isa.Ldg(dst="back", addr="lane"),
+            ],
+            global_mem=np.zeros(64),
+        )
+        np.testing.assert_array_equal(sim.register("back"), np.arange(32))
+
+    def test_shared_bank_conflicts(self):
+        conflict_free = [
+            isa.LaneId(dst="lane"),
+            isa.Lds(dst="v", addr="lane"),
+        ]
+        two_way = [
+            isa.LaneId(dst="lane"),
+            isa.Binary(op="mul", dst="addr", a="lane", b=2.0),
+            isa.Lds(dst="v", addr="addr"),
+        ]
+        _, s_free = run_program(conflict_free, shared_mem=np.zeros(128))
+        _, s_conf = run_program(two_way, shared_mem=np.zeros(128))
+        assert s_free.shared_conflict_cycles == 0
+        assert s_conf.shared_conflict_cycles == 1  # 2-way conflict
+
+    def test_broadcast_is_conflict_free(self):
+        sim, stats = run_program(
+            [isa.Mov(dst="addr", src=5.0), isa.Lds(dst="v", addr="addr")],
+            shared_mem=np.arange(32, dtype=float),
+        )
+        assert stats.shared_conflict_cycles == 0
+        np.testing.assert_array_equal(sim.register("v"), np.full(32, 5.0))
+
+
+class TestShuffle:
+    def test_shfl_down_sum_reduction(self):
+        from repro.simt.kernels import warp_reduce_kernel
+
+        program = [isa.LaneId(dst="acc")] + warp_reduce_kernel("acc")
+        sim, _ = run_program(program)
+        assert sim.register("acc")[0] == sum(range(32))
+
+    def test_shfl_identity_past_edge(self):
+        sim, _ = run_program(
+            [isa.LaneId(dst="x"), isa.ShflDown(dst="y", src="x", delta=16)]
+        )
+        y = sim.register("y")
+        assert y[0] == 16
+        assert y[16] == 16  # lane 16+16=32 out of range -> keeps own value
+
+
+class TestControlFlow:
+    def test_if_masks_writes(self):
+        sim, _ = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Cmp(rel="lt", dst="p", a="lane", b=8.0),
+                isa.Mov(dst="out", src=0.0),
+                isa.If(pred="p"),
+                isa.Mov(dst="out", src=1.0),
+                isa.EndIf(),
+            ]
+        )
+        assert sim.register("out").sum() == 8
+
+    def test_if_else_partition(self):
+        sim, _ = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Cmp(rel="lt", dst="p", a="lane", b=10.0),
+                isa.If(pred="p"),
+                isa.Mov(dst="out", src=1.0),
+                isa.Else(),
+                isa.Mov(dst="out", src=2.0),
+                isa.EndIf(),
+            ]
+        )
+        out = sim.register("out")
+        assert (out[:10] == 1.0).all()
+        assert (out[10:] == 2.0).all()
+
+    def test_empty_then_branch_skips(self):
+        sim, stats = run_program(
+            [
+                isa.Mov(dst="p", src=0.0),  # false everywhere
+                isa.If(pred="p"),
+                isa.Mov(dst="out", src=1.0),
+                isa.EndIf(),
+                isa.Mov(dst="out2", src=5.0),
+            ]
+        )
+        assert "out" not in sim.regs
+        assert sim.register("out2")[0] == 5.0
+
+    def test_all_false_with_else_runs_else_only(self):
+        sim, _ = run_program(
+            [
+                isa.Mov(dst="p", src=0.0),
+                isa.If(pred="p"),
+                isa.Mov(dst="a", src=1.0),
+                isa.Else(),
+                isa.Mov(dst="b", src=2.0),
+                isa.EndIf(),
+            ]
+        )
+        assert "a" not in sim.regs
+        assert sim.register("b")[0] == 2.0
+
+    def test_all_true_with_else_skips_else(self):
+        sim, _ = run_program(
+            [
+                isa.Mov(dst="p", src=1.0),
+                isa.If(pred="p"),
+                isa.Mov(dst="a", src=1.0),
+                isa.Else(),
+                isa.Mov(dst="b", src=2.0),
+                isa.EndIf(),
+            ]
+        )
+        assert sim.register("a")[0] == 1.0
+        assert "b" not in sim.regs
+
+    def test_divergent_branch_counted(self):
+        _, stats = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Cmp(rel="lt", dst="p", a="lane", b=16.0),
+                isa.If(pred="p"),
+                isa.Mov(dst="x", src=1.0),
+                isa.EndIf(),
+            ]
+        )
+        assert stats.divergent_branches == 1
+
+    def test_divergence_serializes_both_paths(self):
+        """A divergent if/else costs both bodies; a uniform one costs one."""
+
+        def body(pred_value):
+            return [
+                isa.LaneId(dst="lane"),
+                isa.Cmp(rel="lt", dst="p", a="lane", b=pred_value),
+                isa.If(pred="p"),
+            ] + [isa.Binary(op="add", dst="a", a="lane", b=1.0)] * 20 + [
+                isa.Else()
+            ] + [isa.Binary(op="add", dst="b", a="lane", b=2.0)] * 20 + [
+                isa.EndIf()
+            ]
+
+        _, divergent = run_program(body(16.0))  # half the lanes each way
+        _, uniform = run_program(body(32.0))  # all lanes take `then`
+        assert divergent.cycles > uniform.cycles + 15
+
+    def test_while_loop_per_lane_trip_counts(self):
+        """Lanes exit a while loop independently; the warp runs until the
+        longest-running lane finishes."""
+        sim, _ = run_program(
+            [
+                isa.LaneId(dst="lane"),
+                isa.Mov(dst="i", src=0.0),
+                isa.Cmp(rel="lt", dst="p", a="i", b="lane"),
+                isa.While(pred="p"),
+                isa.Binary(op="add", dst="i", a="i", b=1.0),
+                isa.Cmp(rel="lt", dst="p", a="i", b="lane"),
+                isa.EndWhile(),
+            ]
+        )
+        # each lane counts up to its own lane id
+        np.testing.assert_array_equal(sim.register("i"), np.arange(32))
+
+    def test_nested_loops(self):
+        sim, _ = run_program(
+            [
+                isa.Mov(dst="total", src=0.0),
+                isa.Mov(dst="i", src=0.0),
+                isa.Cmp(rel="lt", dst="pi", a="i", b=3.0),
+                isa.While(pred="pi"),
+                isa.Mov(dst="j", src=0.0),
+                isa.Cmp(rel="lt", dst="pj", a="j", b=4.0),
+                isa.While(pred="pj"),
+                isa.Binary(op="add", dst="total", a="total", b=1.0),
+                isa.Binary(op="add", dst="j", a="j", b=1.0),
+                isa.Cmp(rel="lt", dst="pj", a="j", b=4.0),
+                isa.EndWhile(),
+                isa.Binary(op="add", dst="i", a="i", b=1.0),
+                isa.Cmp(rel="lt", dst="pi", a="i", b=3.0),
+                isa.EndWhile(),
+            ]
+        )
+        assert sim.register("total")[0] == 12
+
+    def test_runaway_loop_guarded(self):
+        with pytest.raises(RuntimeError, match="budget"):
+            run_program(
+                [
+                    isa.Mov(dst="p", src=1.0),
+                    isa.While(pred="p"),
+                    isa.Mov(dst="x", src=1.0),
+                    isa.EndWhile(),
+                ]
+            )
+
+
+class TestSMSimulator:
+    @staticmethod
+    def _memory_heavy_warp():
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Mov(dst="i", src=0.0),
+            isa.Cmp(rel="lt", dst="p", a="i", b=4.0),
+            isa.While(pred="p"),
+            isa.Binary(op="mul", dst="addr", a="i", b=32.0),
+            isa.Binary(op="add", dst="addr", a="addr", b="lane"),
+            isa.Ldg(dst="v", addr="addr"),
+            isa.Binary(op="add", dst="s", a="v", b=1.0),
+            isa.Binary(op="add", dst="i", a="i", b=1.0),
+            isa.Cmp(rel="lt", dst="p", a="i", b=4.0),
+            isa.EndWhile(),
+        ]
+        return WarpSimulator(program, global_mem=np.zeros(256))
+
+    def test_needs_warps(self):
+        with pytest.raises(ValueError):
+            SMSimulator([])
+
+    def test_latency_hiding_improves_throughput(self):
+        """More resident warps hide global latency: cycles/warp drops by
+        several x — the mechanism behind the analytic model's overlap."""
+        single = SMSimulator([self._memory_heavy_warp()]).run()
+        many = SMSimulator([self._memory_heavy_warp() for _ in range(16)]).run()
+        per_warp_single = single.total_cycles
+        per_warp_many = many.total_cycles / 16
+        assert per_warp_many < per_warp_single / 4
+
+    def test_functional_results_unchanged_by_scheduling(self):
+        warps = [self._memory_heavy_warp() for _ in range(4)]
+        SMSimulator(warps).run()
+        for w in warps:
+            assert w.done
+            np.testing.assert_array_equal(w.register("s"), np.ones(32))

@@ -1,0 +1,82 @@
+"""k-means substrate tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import assign, kmeans, kmeans_pp_init
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(7)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    pts = np.vstack(
+        [c + 0.3 * rng.standard_normal((60, 2)) for c in centers]
+    )
+    return pts, centers
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, blobs):
+        pts, true_centers = blobs
+        centroids, labels = kmeans(pts, 3, seed=0)
+        # each found centroid should be near one true center
+        for c in centroids:
+            dists = ((true_centers - c) ** 2).sum(axis=1)
+            assert dists.min() < 1.0
+
+    def test_labels_match_nearest_centroid(self, blobs):
+        pts, _ = blobs
+        centroids, labels = kmeans(pts, 3, seed=0)
+        np.testing.assert_array_equal(labels, assign(pts, centroids))
+
+    def test_deterministic_given_seed(self, blobs):
+        pts, _ = blobs
+        c1, l1 = kmeans(pts, 3, seed=42)
+        c2, l2 = kmeans(pts, 3, seed=42)
+        np.testing.assert_array_equal(l1, l2)
+        np.testing.assert_allclose(c1, c2)
+
+    def test_k_validation(self, blobs):
+        pts, _ = blobs
+        with pytest.raises(ValueError):
+            kmeans(pts, 0)
+        with pytest.raises(ValueError):
+            kmeans(pts, len(pts) + 1)
+
+    def test_no_empty_clusters(self, blobs):
+        pts, _ = blobs
+        _, labels = kmeans(pts, 10, seed=1)
+        assert len(set(labels.tolist())) == 10
+
+    def test_k_equals_n(self):
+        pts = np.arange(12, dtype=np.float64).reshape(6, 2)
+        centroids, labels = kmeans(pts, 6, seed=0)
+        assert sorted(labels.tolist()) == list(range(6))
+
+    def test_inertia_decreases_vs_random_init(self, blobs):
+        pts, _ = blobs
+        centroids, labels = kmeans(pts, 3, seed=0)
+        inertia = ((pts - centroids[labels]) ** 2).sum()
+        rng = np.random.default_rng(0)
+        random_c = pts[rng.choice(len(pts), 3, replace=False)]
+        random_inertia = ((pts - random_c[assign(pts, random_c)]) ** 2).sum()
+        assert inertia <= random_inertia + 1e-9
+
+
+class TestInit:
+    def test_pp_init_spreads_centroids(self, blobs):
+        pts, _ = blobs
+        rng = np.random.default_rng(0)
+        init = kmeans_pp_init(pts, 3, rng)
+        # k-means++ on 3 tight blobs should pick one point from each blob
+        pair_d = ((init[:, None, :] - init[None, :, :]) ** 2).sum(-1)
+        np.fill_diagonal(pair_d, np.inf)
+        assert pair_d.min() > 25.0
+
+    def test_assign_blocked_matches(self, blobs):
+        pts, _ = blobs
+        centroids, _ = kmeans(pts, 3, seed=0)
+        np.testing.assert_array_equal(
+            assign(pts, centroids, block=7), assign(pts, centroids, block=10_000)
+        )

@@ -1,0 +1,86 @@
+"""Exact kNN graph and NN-descent tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.bruteforce_knn import build_knn_graph, knn_neighbors, medoid
+from repro.graphs.nn_descent import graph_recall, nn_descent
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(300, 12)).astype(np.float32)
+
+
+class TestExactKnn:
+    def test_neighbors_are_exact(self, points):
+        nbrs = knn_neighbors(points, 5)
+        # verify a few rows against a direct argsort
+        for v in (0, 17, 199):
+            d = ((points - points[v]) ** 2).sum(axis=1)
+            d[v] = np.inf
+            expected = np.argsort(d, kind="stable")[:5]
+            assert set(nbrs[v]) == set(expected)
+
+    def test_neighbors_sorted_by_distance(self, points):
+        nbrs = knn_neighbors(points, 5)
+        for v in (0, 50):
+            ds = [((points[v] - points[u]) ** 2).sum() for u in nbrs[v]]
+            assert ds == sorted(ds)
+
+    def test_excludes_self(self, points):
+        nbrs = knn_neighbors(points, 8)
+        for v in range(len(points)):
+            assert v not in nbrs[v]
+
+    def test_blocked_matches_unblocked(self, points):
+        a = knn_neighbors(points, 4, block=32)
+        b = knn_neighbors(points, 4, block=10_000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_k(self, points):
+        with pytest.raises(ValueError):
+            knn_neighbors(points, 0)
+        with pytest.raises(ValueError):
+            knn_neighbors(points, len(points))
+
+    def test_build_graph_entry_is_medoid(self, points):
+        g = build_knn_graph(points, 4)
+        assert g.entry_point == medoid(points)
+        g.validate()
+
+    def test_medoid_minimizes_distance_to_centroid(self, points):
+        m = medoid(points)
+        center = points.mean(axis=0)
+        d = ((points - center) ** 2).sum(axis=1)
+        assert m == int(np.argmin(d))
+
+
+class TestNNDescent:
+    def test_high_recall_vs_exact(self, points):
+        exact = knn_neighbors(points, 8)
+        approx = nn_descent(points, 8, seed=1)
+        assert graph_recall(approx, exact) > 0.85
+
+    def test_deterministic_given_seed(self, points):
+        a = nn_descent(points[:100], 5, seed=9)
+        b = nn_descent(points[:100], 5, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_no_self_neighbors(self, points):
+        approx = nn_descent(points[:100], 5, seed=0)
+        for v in range(100):
+            assert v not in approx[v]
+
+    def test_shape(self, points):
+        approx = nn_descent(points[:50], 6, seed=0)
+        assert approx.shape == (50, 6)
+
+    def test_k_too_large_rejected(self, points):
+        with pytest.raises(ValueError):
+            nn_descent(points[:10], 10)
+
+    def test_graph_recall_validates_shapes(self):
+        with pytest.raises(ValueError):
+            graph_recall(np.zeros((3, 2), dtype=int), np.zeros((3, 3), dtype=int))

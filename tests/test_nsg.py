@@ -1,0 +1,86 @@
+"""NSG construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import algorithm1_search
+from repro.graphs.bruteforce_knn import medoid
+from repro.graphs.nsg import NSGBuilder, build_nsg
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(31)
+    return rng.normal(size=(300, 10)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def nsg(points):
+    return build_nsg(points, degree=10, knn=10, search_len=24)
+
+
+class TestConstruction:
+    def test_valid_graph(self, nsg, points):
+        nsg.validate()
+        assert nsg.num_vertices == len(points)
+        assert nsg.degree == 10
+
+    def test_entry_is_medoid(self, nsg, points):
+        assert nsg.entry_point == medoid(points)
+
+    def test_all_vertices_reachable_from_navigating_node(self, nsg):
+        seen = {nsg.entry_point}
+        stack = [nsg.entry_point]
+        while stack:
+            v = stack.pop()
+            for u in nsg.neighbors(v):
+                if int(u) not in seen:
+                    seen.add(int(u))
+                    stack.append(int(u))
+        assert len(seen) == nsg.num_vertices, "NSG must span all vertices"
+
+    def test_monotonic_rng_pruning_property(self, nsg, points):
+        """For kept edges (v,a),(v,b) with d(v,a) < d(v,b): d(a,b) >= d(v,b)
+        must hold at selection time; verify the weaker pairwise form on the
+        final rows (connectivity fixing may add a few extra edges)."""
+        violations = 0
+        checked = 0
+        for v in range(0, nsg.num_vertices, 17):
+            row = [int(u) for u in nsg.neighbors(v)]
+            dv = {u: float(((points[v] - points[u]) ** 2).sum()) for u in row}
+            ordered = sorted(row, key=lambda u: dv[u])
+            for i, a in enumerate(ordered):
+                for b in ordered[i + 1 :]:
+                    checked += 1
+                    dab = float(((points[a] - points[b]) ** 2).sum())
+                    if dab < dv[b]:
+                        violations += 1
+        assert checked > 0
+        assert violations / checked < 0.2  # tolerance for tree-fix edges
+
+    def test_dataset_too_small_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            build_nsg(rng.normal(size=(5, 4)), degree=4, knn=8)
+
+    def test_invalid_degree(self, points):
+        with pytest.raises(ValueError):
+            NSGBuilder(points, degree=0)
+
+    def test_accepts_precomputed_knn_table(self, points):
+        from repro.graphs.bruteforce_knn import knn_neighbors
+
+        table = knn_neighbors(points, 10)
+        g = build_nsg(points, degree=8, knn=10, knn_table=table)
+        g.validate()
+
+
+class TestSearchQuality:
+    def test_search_recall(self, nsg, points):
+        hits = 0
+        for q in range(20):
+            d = ((points - points[q]) ** 2).sum(axis=1)
+            truth = set(np.argsort(d, kind="stable")[:10].tolist())
+            res = algorithm1_search(nsg, points, points[q], 10, queue_size=50)
+            hits += len(truth & {v for _, v in res})
+        assert hits / 200 > 0.85

@@ -1,0 +1,80 @@
+"""Online (incremental) index tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.online import OnlineSongIndex
+
+
+@pytest.fixture()
+def stream():
+    rng = np.random.default_rng(51)
+    return rng.normal(size=(300, 16)).astype(np.float32)
+
+
+class TestIngestion:
+    def test_ids_sequential(self, stream):
+        idx = OnlineSongIndex(16, m=4, capacity=8)
+        ids = idx.add(stream[:10])
+        assert ids == list(range(10))
+        assert len(idx) == 10
+
+    def test_capacity_growth(self, stream):
+        idx = OnlineSongIndex(16, m=4, capacity=4)
+        idx.add(stream[:50])
+        assert len(idx) == 50
+        np.testing.assert_array_equal(idx.data, stream[:50])
+
+    def test_dim_validation(self, stream):
+        idx = OnlineSongIndex(16)
+        with pytest.raises(ValueError):
+            idx.add(np.zeros((2, 8), dtype=np.float32))
+        with pytest.raises(ValueError):
+            OnlineSongIndex(0)
+        with pytest.raises(ValueError):
+            OnlineSongIndex(16, m=0)
+
+    def test_degree_bound_maintained(self, stream):
+        idx = OnlineSongIndex(16, m=4, max_degree=6)
+        idx.add(stream[:100])
+        graph = idx.snapshot_graph()
+        graph.validate()
+        assert graph.degree == 6
+
+    def test_empty_snapshot_raises(self):
+        with pytest.raises(RuntimeError):
+            OnlineSongIndex(16).snapshot_graph()
+
+
+class TestSearchAfterInserts:
+    def test_recall_on_streamed_index(self, stream):
+        idx = OnlineSongIndex(16, m=8, ef_construction=32)
+        idx.add(stream)
+        cfg = SearchConfig(k=10, queue_size=60)
+        queries = stream[:20]
+        results, timing = idx.search_batch(queries, cfg)
+        hits = 0
+        for q, res in zip(queries, results):
+            d = ((stream - q) ** 2).sum(axis=1)
+            truth = set(np.argsort(d, kind="stable")[:10].tolist())
+            hits += len(truth & {v for _, v in res})
+        assert hits / 200 > 0.85
+        assert timing.kernel_seconds > 0
+
+    def test_insert_then_find_new_point(self, stream):
+        idx = OnlineSongIndex(16, m=6)
+        idx.add(stream[:100])
+        new_id = idx.add(stream[200])[0]
+        cfg = SearchConfig(k=1, queue_size=20)
+        results, _ = idx.search_batch(stream[200], cfg)
+        assert results[0][0][1] == new_id
+
+    def test_incremental_equals_bulk_recall_roughly(self, stream):
+        """Streaming in two halves should not collapse search quality."""
+        idx = OnlineSongIndex(16, m=8, ef_construction=32)
+        idx.add(stream[:150])
+        idx.add(stream[150:])
+        cfg = SearchConfig(k=5, queue_size=40)
+        results, _ = idx.search_batch(stream[:10], cfg)
+        assert all(res[0][1] == i for i, res in enumerate(results))

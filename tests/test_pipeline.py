@@ -1,0 +1,95 @@
+"""Stream-pipelining extension tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.simt.pipeline import (
+    ChunkTiming,
+    pipeline_batch,
+    pipelined_time,
+    split_counts,
+    synchronous_time,
+)
+
+
+class TestSchedule:
+    def test_empty(self):
+        assert pipelined_time([]) == 0.0
+        assert synchronous_time([]) == 0.0
+
+    def test_single_chunk_no_gain(self):
+        chunks = [ChunkTiming(htod=1.0, kernel=5.0, dtoh=0.5)]
+        assert pipelined_time(chunks) == pytest.approx(6.5)
+        assert synchronous_time(chunks) == pytest.approx(6.5)
+
+    def test_perfect_overlap_kernel_bound(self):
+        """With kernels >> transfers, total ≈ first HtoD + all kernels +
+        last DtoH."""
+        chunks = [ChunkTiming(htod=0.1, kernel=5.0, dtoh=0.1)] * 4
+        t = pipelined_time(chunks)
+        assert t == pytest.approx(0.1 + 4 * 5.0 + 0.1)
+        assert synchronous_time(chunks) == pytest.approx(4 * 5.2)
+
+    def test_transfer_bound_pipelines_to_copy_engine(self):
+        chunks = [ChunkTiming(htod=5.0, kernel=0.1, dtoh=0.1)] * 3
+        t = pipelined_time(chunks)
+        assert t == pytest.approx(15.0 + 0.2, abs=0.05)
+
+    def test_never_worse_than_synchronous(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            chunks = [
+                ChunkTiming(*rng.uniform(0.01, 2.0, size=3)) for _ in range(6)
+            ]
+            assert pipelined_time(chunks) <= synchronous_time(chunks) + 1e-12
+
+    def test_never_better_than_critical_engine(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            chunks = [
+                ChunkTiming(*rng.uniform(0.01, 2.0, size=3)) for _ in range(6)
+            ]
+            t = pipelined_time(chunks)
+            assert t >= sum(c.kernel for c in chunks) - 1e-12
+            assert t >= sum(c.htod for c in chunks) - 1e-12
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pipelined_time([ChunkTiming(htod=-1, kernel=1, dtoh=1)])
+
+
+class TestSplit:
+    def test_even_split(self):
+        assert split_counts(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        assert split_counts(10, 3) == [4, 3, 3]
+
+    def test_more_chunks_than_items(self):
+        assert split_counts(2, 5) == [1, 1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            split_counts(10, 0)
+
+
+class TestPipelineBatch:
+    def test_results_identical_to_sync(self, small_dataset, small_graph):
+        index = GpuSongIndex(small_graph, small_dataset.data)
+        cfg = SearchConfig(k=10, queue_size=40)
+        piped, timing = pipeline_batch(index, small_dataset.queries, cfg, num_chunks=4)
+        sync, _ = index.search_batch(small_dataset.queries, cfg)
+        assert [[v for _, v in r] for r in piped] == [
+            [v for _, v in r] for r in sync
+        ]
+        assert timing["overlap_gain"] >= 1.0
+
+    def test_gain_reported(self, small_dataset, small_graph):
+        index = GpuSongIndex(small_graph, small_dataset.data)
+        cfg = SearchConfig(k=10, queue_size=40)
+        _, timing = pipeline_batch(index, small_dataset.queries, cfg, num_chunks=4)
+        assert timing["pipelined_seconds"] <= timing["synchronous_seconds"]
+        assert timing["qps"] > 0
+        assert len(timing["chunks"]) == 4

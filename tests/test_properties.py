@@ -1,0 +1,123 @@
+"""Cross-cutting property-based tests on the whole search stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.algorithm1 import algorithm1_search
+from repro.core.config import SearchConfig
+from repro.core.song import SongSearcher
+from repro.graphs.bruteforce_knn import build_knn_graph
+from repro.structures.visited import VisitedBackend
+
+# A fixed pool of datasets (hypothesis draws indexes into it) keeps graph
+# construction out of the per-example budget.
+_RNG = np.random.default_rng(1234)
+_DATA = _RNG.normal(size=(160, 8)).astype(np.float32)
+_GRAPH = build_knn_graph(_DATA, 8)
+_SEARCHER = SongSearcher(_GRAPH, _DATA)
+
+
+@st.composite
+def search_configs(draw):
+    k = draw(st.integers(min_value=1, max_value=20))
+    queue = draw(st.integers(min_value=k, max_value=80))
+    sel = draw(st.booleans())
+    deletion = draw(st.booleans())
+    backend = draw(
+        st.sampled_from(
+            [VisitedBackend.HASH_TABLE, VisitedBackend.PYSET, VisitedBackend.CUCKOO]
+        )
+    )
+    probe = draw(st.sampled_from([1, 2, 4]))
+    return SearchConfig(
+        k=k,
+        queue_size=queue,
+        selected_insertion=sel,
+        visited_deletion=deletion,
+        visited_backend=backend,
+        probe_steps=probe,
+    )
+
+
+class TestSearchInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(cfg=search_configs(), qi=st.integers(min_value=0, max_value=159))
+    def test_results_well_formed_under_any_config(self, cfg, qi):
+        """Any optimization combination yields sorted, duplicate-free,
+        in-range results with true distances."""
+        res = _SEARCHER.search(_DATA[qi], cfg)
+        assert 0 < len(res) <= cfg.k
+        ids = [v for _, v in res]
+        assert len(ids) == len(set(ids))
+        ds = [d for d, _ in res]
+        assert ds == sorted(ds)
+        for d, v in res:
+            assert 0 <= v < len(_DATA)
+            true = float(((_DATA[v] - _DATA[qi]) ** 2).sum())
+            assert d == pytest.approx(true, rel=1e-3, abs=1e-5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=15),
+        queue=st.integers(min_value=0, max_value=60),
+        qi=st.integers(min_value=0, max_value=159),
+    )
+    def test_song_equals_algorithm1_without_lossy_opts(self, k, queue, qi):
+        """With exact visited set and no lossy optimizations, the 3-stage
+        decomposition is a pure refactoring of Algorithm 1."""
+        queue_size = max(k, queue)
+        cfg = SearchConfig(
+            k=k, queue_size=queue_size, visited_backend=VisitedBackend.PYSET
+        )
+        song = _SEARCHER.search(_DATA[qi], cfg)
+        ref = algorithm1_search(_GRAPH, _DATA, _DATA[qi], k, queue_size=queue_size)
+        assert [v for _, v in song] == [v for _, v in ref]
+
+    @settings(max_examples=30, deadline=None)
+    @given(qi=st.integers(min_value=0, max_value=159))
+    def test_self_match_ranks_first_when_reached(self, qi):
+        """A directed kNN graph does not guarantee every vertex is
+        reachable, but *if* the query point itself is returned it must be
+        the first result with distance zero."""
+        cfg = SearchConfig(k=5, queue_size=20)
+        res = _SEARCHER.search(_DATA[qi], cfg)
+        ids = [v for _, v in res]
+        if qi in ids:
+            assert res[0] == (0.0, qi)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        qi=st.integers(min_value=0, max_value=159),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_recall_never_hurt_by_bigger_queue(self, qi, k):
+        """Enlarging the frontier can only expand the explored region."""
+        d = ((_DATA - _DATA[qi]) ** 2).sum(axis=1)
+        truth = set(np.argsort(d, kind="stable")[:k].tolist())
+
+        def recall(queue):
+            cfg = SearchConfig(k=k, queue_size=max(queue, k))
+            got = {v for _, v in _SEARCHER.search(_DATA[qi], cfg)}
+            return len(got & truth) / k
+
+        assert recall(64) >= recall(max(k, 8)) - 0.34  # allow local jitter
+
+
+class TestVisitedDeletionInvariant:
+    @settings(max_examples=30, deadline=None)
+    @given(qi=st.integers(min_value=0, max_value=159))
+    def test_visited_stays_bounded(self, qi):
+        """visited ⊆ q ∪ topk under sel+del: peak size ≤ 2·queue + degree."""
+        from repro.core.song import SearchStats
+
+        cfg = SearchConfig(
+            k=10,
+            queue_size=24,
+            selected_insertion=True,
+            visited_deletion=True,
+        )
+        stats = SearchStats()
+        _SEARCHER.search(_DATA[qi], cfg, stats=stats)
+        assert stats.visited_peak <= 2 * 24 + _GRAPH.degree

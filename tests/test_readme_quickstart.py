@@ -1,0 +1,23 @@
+"""The README quickstart must work as written (smaller scale)."""
+
+import numpy as np
+
+from repro import GpuSongIndex, SearchConfig, build_nsw
+
+
+def test_readme_quickstart_flow():
+    data = np.random.default_rng(0).normal(size=(800, 32)).astype(np.float32)
+    graph = build_nsw(data, m=8, ef_construction=32)
+    index = GpuSongIndex(graph, data, device="v100")
+
+    config = SearchConfig(
+        k=10,
+        queue_size=80,
+        selected_insertion=True,
+        visited_deletion=True,
+    )
+    results, timing = index.search_batch(data[:50], config)
+    assert len(results) == 50
+    assert results[0][0] == (0.0, 0)  # self-query finds itself first
+    assert timing.qps(50) > 0
+    assert len(results[0][:3]) == 3

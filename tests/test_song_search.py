@@ -1,0 +1,196 @@
+"""SONG 3-stage searcher: equivalence and optimization invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import algorithm1_search
+from repro.core.config import OptimizationLevel, SearchConfig
+from repro.core.song import SearchStats, SongSearcher
+from repro.eval.recall import batch_recall
+from repro.structures.visited import VisitedBackend
+
+
+@pytest.fixture(scope="module")
+def searcher(small_dataset, small_graph):
+    return SongSearcher(small_graph, small_dataset.data)
+
+
+def _recall(searcher, dataset, config, n_queries=15):
+    gt = dataset.ground_truth(config.k)
+    results = [searcher.search(q, config) for q in dataset.queries[:n_queries]]
+    return batch_recall(results, gt[:n_queries])
+
+
+class TestBaselineEquivalence:
+    def test_matches_algorithm1_exactly(self, searcher, small_dataset, small_graph):
+        """Bounded queue + exact visited set returns the same results as the
+        reference Algorithm 1 (Observation 1)."""
+        cfg = SearchConfig(
+            k=10, queue_size=40, visited_backend=VisitedBackend.PYSET
+        )
+        for q in small_dataset.queries[:10]:
+            song = searcher.search(q, cfg)
+            ref = algorithm1_search(
+                small_graph, small_dataset.data, q, 10, queue_size=40
+            )
+            assert [v for _, v in song] == [v for _, v in ref]
+
+    def test_hashtable_matches_pyset(self, searcher, small_dataset):
+        a = SearchConfig(k=10, queue_size=40, visited_backend=VisitedBackend.PYSET)
+        b = SearchConfig(
+            k=10, queue_size=40, visited_backend=VisitedBackend.HASH_TABLE
+        )
+        for q in small_dataset.queries[:10]:
+            assert [v for _, v in searcher.search(q, a)] == [
+                v for _, v in searcher.search(q, b)
+            ]
+
+
+class TestResultIntegrity:
+    @pytest.mark.parametrize("level", list(OptimizationLevel))
+    def test_no_duplicates_any_level(self, searcher, small_dataset, level):
+        cfg = SearchConfig.from_level(level, k=10, queue_size=40)
+        for q in small_dataset.queries[:8]:
+            res = searcher.search(q, cfg)
+            ids = [v for _, v in res]
+            assert len(ids) == len(set(ids)), f"duplicates under {level}"
+
+    @pytest.mark.parametrize("level", list(OptimizationLevel))
+    def test_sorted_ascending(self, searcher, small_dataset, level):
+        cfg = SearchConfig.from_level(level, k=10, queue_size=40)
+        res = searcher.search(small_dataset.queries[0], cfg)
+        ds = [d for d, _ in res]
+        assert ds == sorted(ds)
+
+    def test_distances_are_true_distances(self, searcher, small_dataset):
+        cfg = SearchConfig(k=5, queue_size=30)
+        q = small_dataset.queries[0]
+        for d, v in searcher.search(q, cfg):
+            true = float(((small_dataset.data[v] - q) ** 2).sum())
+            assert d == pytest.approx(true, rel=1e-4)
+
+
+class TestOptimizationRecall:
+    def test_selected_insertion_recall_close_to_baseline(
+        self, searcher, small_dataset
+    ):
+        base = SearchConfig(k=10, queue_size=60)
+        sel = base.with_options(selected_insertion=True)
+        assert _recall(searcher, small_dataset, sel) >= (
+            _recall(searcher, small_dataset, base) - 0.05
+        )
+
+    def test_visited_deletion_recall_close_to_baseline(
+        self, searcher, small_dataset
+    ):
+        base = SearchConfig(k=10, queue_size=60)
+        sel_del = base.with_options(selected_insertion=True, visited_deletion=True)
+        assert _recall(searcher, small_dataset, sel_del) >= (
+            _recall(searcher, small_dataset, base) - 0.05
+        )
+
+    def test_bloom_recall_close_to_exact(self, searcher, small_dataset):
+        base = SearchConfig(k=10, queue_size=60)
+        bloom = SearchConfig(
+            k=10, queue_size=60, visited_backend=VisitedBackend.BLOOM
+        )
+        assert _recall(searcher, small_dataset, bloom) >= (
+            _recall(searcher, small_dataset, base) - 0.05
+        )
+
+    def test_recall_grows_with_queue_size(self, searcher, small_dataset):
+        r_small = _recall(searcher, small_dataset, SearchConfig(k=10, queue_size=10))
+        r_large = _recall(searcher, small_dataset, SearchConfig(k=10, queue_size=100))
+        assert r_large >= r_small
+
+
+class TestMemoryBehaviour:
+    def test_visited_deletion_bounds_visited_size(self, searcher, small_dataset):
+        """With sel+del the visited set stays within ~2×queue_size (q ∪ topk),
+        far below the unbounded baseline."""
+        qsize = 30
+        base_cfg = SearchConfig(k=10, queue_size=qsize)
+        del_cfg = base_cfg.with_options(
+            selected_insertion=True, visited_deletion=True
+        )
+        for q in small_dataset.queries[:5]:
+            s_base, s_del = SearchStats(), SearchStats()
+            searcher.search(q, base_cfg, stats=s_base)
+            searcher.search(q, del_cfg, stats=s_del)
+            bound = 2 * qsize + searcher.graph.degree
+            assert s_del.visited_peak <= bound
+            assert s_del.visited_peak <= s_base.visited_peak
+
+    def test_selected_insertion_reduces_inserts(self, searcher, small_dataset):
+        base_cfg = SearchConfig(k=10, queue_size=30)
+        sel_cfg = base_cfg.with_options(selected_insertion=True)
+        total_base = total_sel = 0
+        for q in small_dataset.queries[:10]:
+            s1, s2 = SearchStats(), SearchStats()
+            searcher.search(q, base_cfg, stats=s1)
+            searcher.search(q, sel_cfg, stats=s2)
+            total_base += s1.visited_inserts
+            total_sel += s2.visited_inserts
+        assert total_sel <= total_base
+
+    def test_selected_insertion_may_recompute_distances(
+        self, searcher, small_dataset
+    ):
+        """The computation-for-memory trade: sel can only *increase* the
+        number of distance computations."""
+        base_cfg = SearchConfig(k=10, queue_size=30)
+        sel_cfg = base_cfg.with_options(selected_insertion=True)
+        d_base = d_sel = 0
+        for q in small_dataset.queries[:10]:
+            s1, s2 = SearchStats(), SearchStats()
+            searcher.search(q, base_cfg, stats=s1)
+            searcher.search(q, sel_cfg, stats=s2)
+            d_base += s1.distance_computations
+            d_sel += s2.distance_computations
+        assert d_sel >= d_base
+
+
+class TestProbeAndUnbounded:
+    def test_multi_step_probe_same_quality(self, searcher, small_dataset):
+        base = SearchConfig(k=10, queue_size=60)
+        probe = base.with_options(probe_steps=4)
+        assert _recall(searcher, small_dataset, probe) >= (
+            _recall(searcher, small_dataset, base) - 0.05
+        )
+
+    def test_multi_step_probe_computes_more(self, searcher, small_dataset):
+        base = SearchConfig(k=10, queue_size=40)
+        probe = base.with_options(probe_steps=4)
+        d1 = d4 = 0
+        for q in small_dataset.queries[:8]:
+            s1, s4 = SearchStats(), SearchStats()
+            searcher.search(q, base, stats=s1)
+            searcher.search(q, probe, stats=s4)
+            d1 += s1.distance_computations
+            d4 += s4.distance_computations
+        assert d4 >= d1
+
+    def test_unbounded_queue_matches_bounded_results(
+        self, searcher, small_dataset
+    ):
+        """Observation 1: bounding q at queue_size does not change results."""
+        bounded = SearchConfig(
+            k=10, queue_size=40, visited_backend=VisitedBackend.PYSET
+        )
+        unbounded = bounded.with_options(bounded_queue=False)
+        for q in small_dataset.queries[:10]:
+            rb = [v for _, v in searcher.search(q, bounded)]
+            ru = [v for _, v in searcher.search(q, unbounded)]
+            assert rb == ru
+
+
+class TestValidation:
+    def test_graph_data_mismatch(self, small_graph):
+        with pytest.raises(ValueError, match="vertices"):
+            SongSearcher(small_graph, np.zeros((3, 4), dtype=np.float32))
+
+    def test_batch_api(self, searcher, small_dataset):
+        cfg = SearchConfig(k=5, queue_size=20)
+        out = searcher.search_batch(small_dataset.queries[:3], cfg)
+        assert len(out) == 3
+        assert all(len(r) == 5 for r in out)

@@ -1,0 +1,101 @@
+"""Warp-vote instruction and warp-parallel probing tests."""
+
+import numpy as np
+import pytest
+
+from repro.simt import isa
+from repro.simt.kernels import run_warp_probe
+from repro.simt.simulator import WarpSimulator
+
+
+def run(program, **regs):
+    sim = WarpSimulator(program, global_mem=np.zeros(64), shared_mem=np.zeros(64))
+    for name, val in regs.items():
+        sim.set_register(name, val)
+    sim.run()
+    return sim
+
+
+class TestVote:
+    def test_any(self):
+        values = np.zeros(32)
+        values[17] = 1.0
+        sim = run([isa.Vote(mode="any", dst="r", src="x")], x=values)
+        assert (sim.register("r") == 1.0).all()
+
+    def test_any_false(self):
+        sim = run([isa.Vote(mode="any", dst="r", src="x")], x=np.zeros(32))
+        assert (sim.register("r") == 0.0).all()
+
+    def test_all(self):
+        sim = run([isa.Vote(mode="all", dst="r", src="x")], x=np.ones(32))
+        assert (sim.register("r") == 1.0).all()
+        partial = np.ones(32)
+        partial[5] = 0.0
+        sim = run([isa.Vote(mode="all", dst="r", src="x")], x=partial)
+        assert (sim.register("r") == 0.0).all()
+
+    def test_ballot_ffs(self):
+        values = np.zeros(32)
+        values[9] = 1.0
+        values[20] = 1.0
+        sim = run([isa.Vote(mode="ballot_ffs", dst="r", src="x")], x=values)
+        assert sim.register("r")[0] == 9.0
+
+    def test_ballot_none(self):
+        sim = run([isa.Vote(mode="ballot_ffs", dst="r", src="x")], x=np.zeros(32))
+        assert sim.register("r")[0] == -1.0
+
+    def test_vote_respects_active_mask(self):
+        values = np.zeros(32)
+        values[3] = 1.0  # lane 3 votes yes but will be masked off
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="ge", dst="hi", a="lane", b=16.0),
+            isa.If(pred="hi"),
+            isa.Vote(mode="any", dst="r", src="x"),
+            isa.EndIf(),
+        ]
+        sim = run(program, x=values)
+        # only lanes >= 16 voted; lane 3's value is invisible
+        assert (sim.register("r")[16:] == 0.0).all()
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            run([isa.Vote(mode="count", dst="r", src="x")], x=np.zeros(32))
+
+
+class TestWarpProbe:
+    def test_finds_key_within_window(self):
+        table = np.full(64, -1.0)
+        table[10] = 7.0
+        found, empty, _ = run_warp_probe(table, home=8, key=7)
+        assert found == 2  # two slots past home
+
+    def test_reports_first_empty(self):
+        table = np.full(64, 5.0)  # full of other keys
+        table[12] = -1.0
+        found, empty, _ = run_warp_probe(table, home=8, key=99)
+        assert found == -1
+        assert empty == 4
+
+    def test_wraps_around_table(self):
+        table = np.full(32, -1.0)
+        table[1] = 3.0
+        found, _, _ = run_warp_probe(table, home=30, key=3)
+        assert found == 3  # 30 -> 31 -> 0 -> 1
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            run_warp_probe(np.full(48, -1.0), home=0, key=1)
+
+    def test_single_round_is_constant_cycles(self):
+        """The paper's point: one 32-slot probe window costs O(1) warp
+        work regardless of where (or whether) the key sits."""
+        cycle_counts = set()
+        for offset in (0, 7, 31):
+            table = np.full(64, -1.0)
+            table[offset] = 1.0
+            _, _, stats = run_warp_probe(table, home=0, key=1)
+            cycle_counts.add(stats.cycles)
+        assert len(cycle_counts) == 1
