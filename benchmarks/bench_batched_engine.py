@@ -1,0 +1,167 @@
+"""Batched lockstep engine vs the serial search loop (wall clock).
+
+The tentpole claim behind :class:`repro.core.batched.BatchedSongSearcher`:
+advancing a whole query batch per round through one fused bulk-distance
+call should beat the per-query Python loop by a wide margin while
+returning bit-identical results.  This benchmark measures both engines on
+the same synthetic dataset/graph, asserts parity, and records the speedup
+into ``benchmarks/results/BENCH_batched.json``.
+
+Run directly::
+
+    PYTHONPATH=src python -m benchmarks.bench_batched_engine --smoke   # <60 s gate
+    PYTHONPATH=src python -m benchmarks.bench_batched_engine           # full (n=20k, B=256)
+
+or via pytest (smoke-sized)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batched_engine.py -x -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+try:
+    from _common import RESULTS_DIR, emit_report
+except ImportError:  # executed as `python -m benchmarks.bench_batched_engine`
+    from benchmarks._common import RESULTS_DIR, emit_report
+
+from repro import SearchConfig, SongSearcher, build_knn_graph
+
+#: Smoke gate: parity must hold and batched must not lose to serial.
+SMOKE = dict(n=2000, dim=32, num_queries=64, k=10, queue=40, min_speedup=1.0)
+#: Full acceptance run: >= 5x at B=256 on n=20k, d=64, k=10.
+FULL = dict(n=20_000, dim=64, num_queries=256, k=10, queue=64, min_speedup=5.0)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def run_comparison(
+    n: int,
+    dim: int,
+    num_queries: int,
+    k: int,
+    queue: int,
+    min_speedup: float,
+    seed: int = 0,
+    graph_degree: int = 16,
+) -> dict:
+    """Build a kNN graph over synthetic data and race the two engines."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, dim)).astype(np.float32)
+    queries = rng.standard_normal((num_queries, dim)).astype(np.float32)
+    graph, build_seconds = _timed(lambda: build_knn_graph(data, graph_degree))
+    searcher = SongSearcher(graph, data)
+    config = SearchConfig(k=k, queue_size=max(queue, k))
+
+    serial, serial_seconds = _timed(
+        lambda: searcher.search_batch(queries, config, engine="serial")
+    )
+    batched, batched_seconds = _timed(
+        lambda: searcher.search_batch(queries, config, engine="batched")
+    )
+
+    parity = serial == batched
+    speedup = serial_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+    return {
+        "config": {
+            "n": n,
+            "dim": dim,
+            "num_queries": num_queries,
+            "k": k,
+            "queue_size": max(queue, k),
+            "graph_degree": graph_degree,
+            "seed": seed,
+        },
+        "graph_build_seconds": round(build_seconds, 4),
+        "serial_seconds": round(serial_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "serial_qps": round(num_queries / serial_seconds, 1),
+        "batched_qps": round(num_queries / batched_seconds, 1),
+        "speedup": round(speedup, 2),
+        "min_speedup": min_speedup,
+        "parity": parity,
+        "passed": parity and speedup >= min_speedup,
+    }
+
+
+def format_result(result: dict, mode: str) -> str:
+    cfg = result["config"]
+    lines = [
+        f"Batched engine vs serial search_batch ({mode})",
+        f"  dataset       : synthetic n={cfg['n']} d={cfg['dim']} "
+        f"(kNN graph, degree {cfg['graph_degree']})",
+        f"  batch         : B={cfg['num_queries']} k={cfg['k']} "
+        f"queue={cfg['queue_size']}",
+        f"  serial        : {result['serial_seconds']:.3f}s "
+        f"({result['serial_qps']:,.0f} QPS)",
+        f"  batched       : {result['batched_seconds']:.3f}s "
+        f"({result['batched_qps']:,.0f} QPS)",
+        f"  speedup       : {result['speedup']:.2f}x "
+        f"(required >= {result['min_speedup']:.1f}x)",
+        f"  parity        : {'bit-identical' if result['parity'] else 'MISMATCH'}",
+        f"  verdict       : {'PASS' if result['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def write_artifact(result: dict, mode: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_batched.json")
+    payload = dict(result)
+    payload["mode"] = mode
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+# -- pytest entry point (smoke-sized) ----------------------------------------
+
+
+def test_batched_engine_speedup():
+    result = run_comparison(**SMOKE)
+    emit_report("bench_batched_engine", format_result(result, "smoke"))
+    write_artifact(result, "smoke")
+    assert result["parity"], "batched results diverged from serial"
+    assert result["speedup"] >= result["min_speedup"], (
+        f"speedup {result['speedup']:.2f}x below the "
+        f"{result['min_speedup']:.1f}x gate"
+    )
+
+
+# -- CLI entry point ----------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Race the batched lockstep engine against the serial loop"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast gate (<60 s): parity + speedup >= 1x at B=64",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    params = dict(SMOKE if args.smoke else FULL)
+    mode = "smoke" if args.smoke else "full"
+    result = run_comparison(seed=args.seed, **params)
+    emit_report("bench_batched_engine", format_result(result, mode))
+    path = write_artifact(result, mode)
+    print(f"[artifact written to {path}]")
+    return 0 if result["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

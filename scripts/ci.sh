@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Minimal CI gate: the tier-1 test suite plus the batched-engine smoke
+# benchmark (parity + speedup >= 1x at B=64, runs in well under 60 s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m pytest -x -q
+python -m benchmarks.bench_batched_engine --smoke

@@ -19,11 +19,13 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchedSongSearcher,
     CpuSongIndex,
     GpuSongIndex,
     OnlineSongIndex,
     OptimizationLevel,
     SearchConfig,
+    SearchStats,
     ShardedSongIndex,
     SongSearcher,
     algorithm1_search,
@@ -41,8 +43,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "SearchConfig",
+    "SearchStats",
     "OptimizationLevel",
     "SongSearcher",
+    "BatchedSongSearcher",
     "GpuSongIndex",
     "CpuSongIndex",
     "ShardedSongIndex",

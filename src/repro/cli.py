@@ -87,7 +87,7 @@ def cmd_build(args) -> int:
 
 
 def cmd_search(args) -> int:
-    from repro import GpuSongIndex, SearchConfig
+    from repro import GpuSongIndex, SearchConfig, SongSearcher
     from repro.eval import batch_recall
     from repro.graphs import build_nsw, load_graph
 
@@ -103,36 +103,64 @@ def cmd_search(args) -> int:
             return 2
     else:
         graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
-    index = GpuSongIndex(graph, dataset.data, device=args.device)
     config = SearchConfig(
         k=args.k,
         queue_size=max(args.queue, args.k),
         selected_insertion=True,
         visited_deletion=True,
     )
-    results, timing = index.search_batch(dataset.queries, config)
+    if args.engine == "sim":
+        index = GpuSongIndex(graph, dataset.data, device=args.device)
+        results, timing = index.search_batch(dataset.queries, config)
+        recall = batch_recall(results, dataset.ground_truth(args.k))
+        print(f"device   : {index.device.name}")
+        print(f"queries  : {dataset.num_queries}")
+        print(f"recall@{args.k:<3}: {recall:.4f}")
+        print(f"QPS      : {timing.qps(dataset.num_queries):,.0f} (modelled)")
+        print(f"kernel   : {1e3 * timing.kernel_seconds:.3f} ms")
+        return 0
+    # Host execution: serial reference loop or the vectorized lockstep
+    # engine, timed on the wall clock.
+    searcher = SongSearcher(graph, dataset.data)
+    start = time.time()
+    results = searcher.search_batch(dataset.queries, config, engine=args.engine)
+    elapsed = time.time() - start
     recall = batch_recall(results, dataset.ground_truth(args.k))
-    print(f"device   : {index.device.name}")
+    qps = dataset.num_queries / elapsed if elapsed > 0 else float("inf")
+    print(f"engine   : {args.engine}")
     print(f"queries  : {dataset.num_queries}")
     print(f"recall@{args.k:<3}: {recall:.4f}")
-    print(f"QPS      : {timing.qps(dataset.num_queries):,.0f} (modelled)")
-    print(f"kernel   : {1e3 * timing.kernel_seconds:.3f} ms")
+    print(f"QPS      : {qps:,.0f} (wall clock)")
+    print(f"elapsed  : {1e3 * elapsed:.1f} ms")
     return 0
 
 
 def cmd_sweep(args) -> int:
-    from repro import GpuSongIndex, HNSWIndex
+    from repro import GpuSongIndex, HNSWIndex, SongSearcher
     from repro.baselines import IVFPQIndex
-    from repro.eval import format_curve, sweep_gpu_song, sweep_hnsw, sweep_ivfpq
+    from repro.eval import (
+        format_curve,
+        sweep_batched_song,
+        sweep_gpu_song,
+        sweep_hnsw,
+        sweep_ivfpq,
+    )
     from repro.graphs import build_nsw
 
     dataset = _load_dataset(args)
     queues = [int(q) for q in args.grid]
     series = {}
-    if "song" in args.methods:
+    graph = None
+    if "song" in args.methods or "batched" in args.methods:
         graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+    if "song" in args.methods:
         gpu = GpuSongIndex(graph, dataset.data, device=args.device)
         series["SONG"] = sweep_gpu_song(dataset, gpu, queues, k=args.k)
+    if "batched" in args.methods:
+        searcher = SongSearcher(graph, dataset.data)
+        series["SONG-batched"] = sweep_batched_song(
+            dataset, searcher, queues, k=args.k, engine="batched"
+        )
     if "hnsw" in args.methods:
         hnsw = HNSWIndex(dataset.data, m=8, ef_construction=48, seed=1).build()
         series["HNSW"] = sweep_hnsw(dataset, hnsw, queues, k=args.k)
@@ -182,12 +210,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_search.add_argument("--k", type=int, default=10)
     p_search.add_argument("--queue", type=int, default=80)
     p_search.add_argument("--device", default="v100")
+    p_search.add_argument(
+        "--engine", choices=["sim", "serial", "batched"], default="sim",
+        help="sim = modelled GPU kernel; serial/batched = host wall clock",
+    )
     p_search.set_defaults(func=cmd_search)
 
     p_sweep = sub.add_parser("sweep", help="QPS-recall sweep of one or more methods")
     _add_dataset_args(p_sweep)
     p_sweep.add_argument(
-        "--methods", nargs="+", choices=["song", "hnsw", "ivfpq"], default=["song"]
+        "--methods",
+        nargs="+",
+        choices=["song", "batched", "hnsw", "ivfpq"],
+        default=["song"],
     )
     p_sweep.add_argument("--k", type=int, default=10)
     p_sweep.add_argument(

@@ -9,6 +9,9 @@ Public entry points:
   best-first search, exactly Algorithm 1 of the paper.
 - :class:`~repro.core.song.SongSearcher` — the decoupled searcher
   (functional result + operation metering).
+- :class:`~repro.core.batched.BatchedSongSearcher` — the vectorized
+  lockstep engine advancing a whole query batch per round (warp-per-query
+  execution in numpy); ``SongSearcher.search_batch`` auto-dispatches to it.
 - :class:`~repro.core.gpu_kernel.GpuSongIndex` — SONG on the SIMT
   simulator: batch queries, kernel timing, stage profiles.
 - :class:`~repro.core.cpu_song.CpuSongIndex` — the engineered CPU variant
@@ -17,7 +20,8 @@ Public entry points:
 
 from repro.core.config import OptimizationLevel, SearchConfig
 from repro.core.algorithm1 import algorithm1_search
-from repro.core.song import SongSearcher
+from repro.core.song import SearchStats, SongSearcher
+from repro.core.batched import BatchedSongSearcher
 from repro.core.gpu_kernel import GpuSongIndex
 from repro.core.cpu_song import CpuSongIndex
 from repro.core.sharding import ShardedSongIndex
@@ -27,9 +31,11 @@ __all__ = [
     "ShardedSongIndex",
     "OnlineSongIndex",
     "SearchConfig",
+    "SearchStats",
     "OptimizationLevel",
     "algorithm1_search",
     "SongSearcher",
+    "BatchedSongSearcher",
     "GpuSongIndex",
     "CpuSongIndex",
 ]

@@ -1,0 +1,365 @@
+"""Vectorized batched multi-query search (warp-per-query, lockstep).
+
+SONG's throughput comes from running one query per warp with many warps in
+flight, every warp executing the same 3-stage iteration in lockstep and
+the bulk-distance stage dominating as pure data-parallel work (paper
+Sections III–V).  :class:`BatchedSongSearcher` reproduces that execution
+shape in numpy: ``B`` queries advance together through the search loop
+over structure-of-arrays state —
+
+- a ``(B, queue_size)`` packed-key frontier
+  (:class:`~repro.structures.soa.BatchedFrontier`),
+- a ``(B, pool)`` packed-key result pool
+  (:class:`~repro.structures.soa.BatchedTopK`),
+- a dense ``(B, n)`` lane-visited bitmap —
+
+so candidate locating yields one ``(B, probe_steps * degree)`` candidate
+matrix per round, and stage 2 is a **single fused distance call**
+(``(B, C, d)`` gather → :meth:`~repro.distances.metrics.Metric.batch_many`)
+instead of ``B`` tiny per-iteration numpy calls.  Queries that converge
+early are masked out like inactive SIMT lanes until the whole batch
+drains.
+
+Correctness bar: under an exact visited backend the engine returns results
+**bit-identical** to :meth:`repro.core.song.SongSearcher.search`.  The
+equivalence rests on two facts:
+
+1. every bounded structure's *content* is insertion-order independent (a
+   sorted merge per round equals the serial per-entry push sequence), and
+2. the fused evaluator reduces each ``(b, c)`` row through the same
+   flattened ``einsum`` as the serial ``Metric.batch``, so every distance
+   value matches bitwise.
+
+Probabilistic visited backends (Bloom/Cuckoo) are sequence-dependent and
+are therefore routed to the serial engine by
+:meth:`SongSearcher.search_batch`'s auto-dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.core.song import (
+    EXACT_VISITED_BACKENDS,
+    SearchStats,
+    SongSearcher,
+    coerce_float32,
+)
+from repro.core.stages import NullMeter
+from repro.distances import get_metric
+from repro.graphs.storage import PAD, FixedDegreeGraph
+from repro.structures.soa import (
+    PAD_KEY,
+    BatchedFrontier,
+    BatchedTopK,
+    pack_keys,
+    unpack_distances,
+    unpack_ids,
+)
+from repro.structures.visited import VisitedBackend
+
+
+class BatchedSongSearcher:
+    """Lockstep multi-query searcher over a fixed-degree proximity graph.
+
+    Parameters
+    ----------
+    graph:
+        The proximity graph (NSW, HNSW layer 0, NSG, ...).
+    data:
+        ``(n, d)`` float32 dataset the graph indexes.
+    parent:
+        Optional :class:`SongSearcher` to share cached dataset norms with.
+    """
+
+    def __init__(
+        self,
+        graph: FixedDegreeGraph,
+        data: np.ndarray,
+        parent: Optional[SongSearcher] = None,
+    ) -> None:
+        if graph.num_vertices != len(data):
+            raise ValueError(
+                f"graph has {graph.num_vertices} vertices but data has "
+                f"{len(data)} rows"
+            )
+        self.graph = graph
+        self.data = coerce_float32(data, "BatchedSongSearcher data")
+        if self.data.ndim != 2 or self.data.dtype != np.float32:
+            raise ValueError(
+                "the batched engine requires a 2-d float32 dataset; use "
+                "SongSearcher for hashed/bit-packed data"
+            )
+        self._parent = parent
+        self._data_norms: Optional[np.ndarray] = None
+
+    def data_norms(self) -> np.ndarray:
+        """Cached row L2 norms, shared with the parent serial searcher."""
+        if self._parent is not None:
+            return self._parent.data_norms()
+        if self._data_norms is None:
+            self._data_norms = get_metric("cosine").point_norms(self.data)
+        return self._data_norms
+
+    # -- public API -----------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        config: SearchConfig,
+        meter=None,
+        stats: Optional[SearchStats] = None,
+    ) -> List[Tuple[float, int]]:
+        """Single-query convenience wrapper (a batch of one lane)."""
+        batch_stats = None if stats is None else [stats]
+        return self.search_batch(
+            np.asarray(query)[None, :], config, meter=meter, stats=batch_stats
+        )[0]
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        meter=None,
+        stats: Optional[Sequence[SearchStats]] = None,
+    ) -> List[List[Tuple[float, int]]]:
+        """Top-``config.k`` neighbors for every row of ``queries``.
+
+        Parameters
+        ----------
+        queries:
+            ``(B, d)`` query matrix (coerced to float32).
+        config:
+            Search parameters; the visited backend must be exact
+            (``hashtable`` or ``pyset``).
+        meter:
+            Optional event meter.  Events are reported *aggregated per
+            round* (one ``bulk_distance`` for the whole batch, operation
+            counts summed over lanes) — totals match the serial engine,
+            per-event granularity does not.
+        stats:
+            Optional sequence of ``B`` :class:`SearchStats`, filled with
+            per-lane counts identical to the serial engine's.
+        """
+        if VisitedBackend(config.visited_backend) not in EXACT_VISITED_BACKENDS:
+            raise ValueError(
+                "the batched engine requires an exact visited backend "
+                f"(hashtable/pyset), not {config.visited_backend!r}"
+            )
+        queries = coerce_float32(np.atleast_2d(np.asarray(queries)), "queries")
+        if queries.shape[1] != self.data.shape[1]:
+            raise ValueError(
+                f"queries have dim {queries.shape[1]} but data has dim "
+                f"{self.data.shape[1]}"
+            )
+        if stats is not None and len(stats) != len(queries):
+            raise ValueError(
+                f"stats has {len(stats)} entries for {len(queries)} queries"
+            )
+        num_queries = len(queries)
+        if num_queries == 0:
+            return []
+        meter = meter if meter is not None else NullMeter()
+        state = _LockstepState(self, queries, config, meter)
+        while state.round():
+            pass
+        results = state.results()
+        if stats is not None:
+            state.fill_stats(stats)
+        return results
+
+
+class _LockstepState:
+    """All structure-of-arrays state of one batch search, plus the round loop.
+
+    One instance is one "kernel launch": ``B`` lanes, each owning a row of
+    the frontier, the result pool, and the visited bitmap.  :meth:`round`
+    executes one lockstep iteration of the 3-stage loop across every
+    active lane and returns False once the batch has drained.
+    """
+
+    def __init__(self, searcher, queries, config, meter):
+        graph = searcher.graph
+        self.config = config
+        self.meter = meter
+        self.data = searcher.data
+        self.queries = queries
+        self.adj = graph.adjacency_array
+        self.degree = graph.degree
+        self.dim = self.data.shape[1]
+        self.metric = get_metric(config.metric)
+        self.norms = (
+            searcher.data_norms() if self.metric.name == "cosine" else None
+        )
+        self.steps = config.probe_steps
+        self.pool = config.queue_size
+        self.k = config.k
+
+        b = len(queries)
+        n = graph.num_vertices
+        self.b = b
+        self._rows = np.arange(b)[:, None]
+        capacity = config.queue_size if config.bounded_queue else None
+        self.frontier = BatchedFrontier(b, capacity)
+        self.topk = BatchedTopK(b, self.pool)
+        self.visited = np.zeros((b, n), dtype=bool)
+        self.visited_len = np.zeros(b, dtype=np.int64)
+        self.active = np.ones(b, dtype=bool)
+        # Per-lane statistics (mirrors SearchStats fields).
+        self.iterations = np.zeros(b, dtype=np.int64)
+        self.distance_computations = np.zeros(b, dtype=np.int64)
+        self.visited_inserts = np.zeros(b, dtype=np.int64)
+        self.visited_peak = np.zeros(b, dtype=np.int64)
+
+        # Seed every lane with the entry point, like the serial searcher.
+        start = graph.entry_point
+        meter.stage("distance")
+        seed_rows = np.broadcast_to(self.data[start], (b, 1, self.dim))
+        seed_norms = (
+            None
+            if self.norms is None
+            else np.broadcast_to(self.norms[start], (b, 1))
+        )
+        d0 = self.metric.batch_many(queries, seed_rows, seed_norms)[:, 0]
+        meter.bulk_distance(b, self.dim)
+        meter.stage("maintain")
+        self.visited[:, start] = True
+        self.visited_len[:] = 1
+        meter.visited_insert(b)
+        self.frontier.seed(pack_keys(d0, np.full(b, start, dtype=np.int64)))
+        meter.push_frontier(b)
+
+    # -- one lockstep iteration ----------------------------------------------
+
+    def round(self) -> bool:
+        """Advance every active lane one iteration; False when drained."""
+        # Lanes whose frontier drained stop exactly like the serial
+        # ``while len(frontier)`` check.
+        self.active &= self.frontier.sizes > 0
+        if not self.active.any():
+            return False
+        meter = self.meter
+        config = self.config
+
+        # ---- Stage 1: candidate locating ---------------------------------
+        meter.stage("locate")
+        window = self.frontier.window(self.steps)
+        win_dists = unpack_distances(window)
+        full, worst = self.topk.full_and_worst()
+        avail = np.minimum(self.steps, self.frontier.sizes)
+        slot = np.arange(window.shape[1], dtype=np.int64)[None, :]
+        # A pop survives the serial check unless ``full and worst < d``;
+        # the frontier rows are sorted, so survivors form a prefix.
+        ok = (~full[:, None]) | (win_dists <= worst[:, None])
+        ok &= slot < avail[:, None]
+        ok &= self.active[:, None]
+        n_pop = np.cumprod(ok, axis=1, dtype=np.int64).sum(axis=1)
+        # A lane that hit the stop condition consumes (and discards) the
+        # failing entry, finishes this round, then goes inactive.
+        stop = self.active & (n_pop < avail)
+        process = self.active & (n_pop > 0)
+        meter.pop_frontier(int(n_pop.sum() + stop.sum()))
+        if not process.any():
+            self.active = process
+            return False
+
+        pop_mask = slot < n_pop[:, None]
+        popped_ids = np.where(pop_mask, unpack_ids(window), 0)
+        neighbors = self.adj[popped_ids]  # (B, ws, degree)
+        valid = (pop_mask[:, :, None] & (neighbors != PAD)).reshape(self.b, -1)
+        cand = neighbors.reshape(self.b, -1)
+        num_slots = cand.shape[1]
+        meter.read_graph_row(int(pop_mask.sum()) * self.degree)
+        meter.visited_test(int(valid.sum()))
+        cand_safe = np.where(valid, cand, 0)
+        valid &= ~self.visited[self._rows, cand_safe]
+        # First-occurrence dedup within the round (the serial
+        # ``seen_this_round`` set): slot j is a duplicate when any earlier
+        # valid slot i holds the same vertex.  O(L^2) bitmask, L = slots.
+        same = cand[:, :, None] == cand[:, None, :]
+        earlier = np.tri(num_slots, num_slots, -1, dtype=bool)
+        valid &= ~(same & valid[:, None, :] & earlier[None]).any(axis=2)
+        n_cand = valid.sum(axis=1)
+
+        # ---- Stage 2: one fused bulk distance computation ----------------
+        meter.stage("distance")
+        gathered = self.data[cand_safe]  # (B, L, d)
+        gathered_norms = None if self.norms is None else self.norms[cand_safe]
+        dists = self.metric.batch_many(self.queries, gathered, gathered_norms)
+        meter.bulk_distance(int(n_cand.sum()), self.dim)
+        self.iterations += process
+        self.distance_computations += n_cand
+
+        # ---- Stage 3: data-structure maintenance -------------------------
+        meter.stage("maintain")
+        popped_keys = np.where(pop_mask, window, PAD_KEY)
+        topk_evicted = self.topk.merge(popped_keys)
+        meter.topk_update(int(pop_mask.sum()))
+        if config.visited_deletion:
+            self._delete_evicted(topk_evicted)
+        full, worst = self.topk.full_and_worst()
+        accepted = valid
+        if config.selected_insertion:
+            # Skip candidates outside the top-K radius: not marked
+            # visited, not enqueued (the computation-for-memory trade).
+            accepted = valid & ((~full[:, None]) | (dists < worst[:, None]))
+        n_accepted = accepted.sum(axis=1)
+        lane_idx, slot_idx = np.nonzero(accepted)
+        self.visited[lane_idx, cand[lane_idx, slot_idx]] = True
+        meter.visited_insert(len(lane_idx))
+        self.visited_len += n_accepted
+        self.visited_inserts += n_accepted
+        cand_keys = np.where(accepted, pack_keys(dists, cand_safe), PAD_KEY)
+        frontier_evicted = self.frontier.merge(n_pop, cand_keys, n_accepted)
+        meter.push_frontier(int(n_accepted.sum()))
+        if config.visited_deletion and frontier_evicted.shape[1]:
+            self._delete_evicted(frontier_evicted)
+        np.maximum(self.visited_peak, self.visited_len, out=self.visited_peak)
+
+        self.active = process & ~stop
+        return self.active.any()
+
+    def _delete_evicted(self, evicted_keys: np.ndarray) -> None:
+        """Unmark evicted vertices (the visited-deletion optimization)."""
+        real = evicted_keys != PAD_KEY
+        if not real.any():
+            return
+        lane_idx, slot_idx = np.nonzero(real)
+        ids = unpack_ids(evicted_keys[lane_idx, slot_idx])
+        self.visited[lane_idx, ids] = False
+        self.visited_len -= real.sum(axis=1)
+        self.meter.visited_delete(len(lane_idx))
+
+    # -- result extraction ----------------------------------------------------
+
+    def results(self) -> List[List[Tuple[float, int]]]:
+        """Per-lane top-``k`` lists, ascending, deduplicated by id."""
+        keys = self.topk.keys
+        ids = unpack_ids(keys)
+        dists = unpack_distances(keys)
+        sizes = self.topk.sizes()
+        out: List[List[Tuple[float, int]]] = []
+        for b in range(self.b):
+            lane: List[Tuple[float, int]] = []
+            seen = set()
+            for j in range(int(sizes[b])):
+                vertex = int(ids[b, j])
+                if vertex in seen:
+                    continue
+                seen.add(vertex)
+                lane.append((float(dists[b, j]), vertex))
+                if len(lane) == self.k:
+                    break
+            out.append(lane)
+        return out
+
+    def fill_stats(self, stats: Sequence[SearchStats]) -> None:
+        """Accumulate per-lane counters into caller-provided stats."""
+        for b, entry in enumerate(stats):
+            entry.iterations += int(self.iterations[b])
+            entry.distance_computations += int(self.distance_computations[b])
+            entry.visited_inserts += int(self.visited_inserts[b])
+            entry.visited_peak = max(entry.visited_peak, int(self.visited_peak[b]))

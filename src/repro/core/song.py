@@ -17,7 +17,8 @@ The implementation is functional and machine-agnostic: plug in a meter
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import warnings
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,7 +28,31 @@ from repro.distances import get_metric
 from repro.graphs.storage import FixedDegreeGraph
 from repro.structures.heap import MinHeap, TopKMaxHeap
 from repro.structures.minmax_heap import BoundedPriorityQueue
-from repro.structures.visited import VisitedSet
+from repro.structures.visited import VisitedBackend, VisitedSet
+
+#: Visited backends with exact (set) semantics, required by the batched
+#: engine's dense lane-visited bitmap.
+EXACT_VISITED_BACKENDS = (VisitedBackend.HASH_TABLE, VisitedBackend.PYSET)
+
+
+def coerce_float32(arr: np.ndarray, label: str = "array") -> np.ndarray:
+    """Return ``arr`` as contiguous float32, warning when a copy is forced.
+
+    Non-floating inputs (e.g. bit-packed Hamming datasets) pass through
+    untouched apart from a contiguity fix-up, so the hashed search path
+    keeps its integer storage.
+    """
+    a = np.asarray(arr)
+    if np.issubdtype(a.dtype, np.floating) and a.dtype != np.float32:
+        warnings.warn(
+            f"{label}: converting {a.dtype} to float32 (silent copy); pass "
+            f"float32 data to avoid the conversion",
+            stacklevel=3,
+        )
+        return np.ascontiguousarray(a, dtype=np.float32)
+    if not a.flags["C_CONTIGUOUS"]:
+        return np.ascontiguousarray(a)
+    return a
 
 
 class SearchStats:
@@ -63,7 +88,19 @@ class SongSearcher:
                 f"{len(data)} rows"
             )
         self.graph = graph
-        self.data = data
+        self.data = coerce_float32(data, "SongSearcher data")
+        self._data_norms: Optional[np.ndarray] = None
+        self._batched = None
+
+    def data_norms(self) -> np.ndarray:
+        """Cached row L2 norms of the dataset (cosine/ip fast path).
+
+        Computed once per searcher and shared with the batched engine, so
+        no search loop ever recomputes ``np.linalg.norm(points, axis=1)``.
+        """
+        if self._data_norms is None:
+            self._data_norms = get_metric("cosine").point_norms(self.data)
+        return self._data_norms
 
     # -- public API -----------------------------------------------------------
 
@@ -93,9 +130,27 @@ class SongSearcher:
         """
         meter = meter if meter is not None else NullMeter()
         metric = get_metric(config.metric)
-        batch_dist = distance_fn if distance_fn is not None else metric.batch
         graph = self.graph
         data = self.data
+        if distance_fn is not None:
+
+            def bulk(q, rows, idx):
+                return distance_fn(q, rows)
+
+        else:
+            if data.dtype == np.float32:
+                query = coerce_float32(query, "query")
+            if metric.name == "cosine":
+                norms = self.data_norms()
+
+                def bulk(q, rows, idx):
+                    return metric.batch(q, rows, norms=norms[idx])
+
+            else:
+
+                def bulk(q, rows, idx):
+                    return metric.batch(q, rows)
+
         dim = data.shape[1]
         pool = config.queue_size
 
@@ -110,7 +165,7 @@ class SongSearcher:
         # Seed with the entry point.
         start = graph.entry_point
         meter.stage("distance")
-        d0 = float(batch_dist(query, data[start : start + 1])[0])
+        d0 = float(bulk(query, data[start : start + 1], slice(start, start + 1))[0])
         meter.bulk_distance(1, dim)
         meter.stage("maintain")
         visited.insert(start)
@@ -149,7 +204,7 @@ class SongSearcher:
             # ---- Stage 2: bulk distance computation -------------------------
             meter.stage("distance")
             if candidates:
-                dists = batch_dist(query, data[candidates])
+                dists = bulk(query, data[candidates], candidates)
                 meter.bulk_distance(len(candidates), dim)
             else:
                 dists = ()
@@ -245,8 +300,74 @@ class SongSearcher:
 
     # -- conveniences ------------------------------------------------------------
 
+    def supports_batched(self, config: SearchConfig) -> bool:
+        """Whether ``config`` permits the vectorized lockstep engine.
+
+        The batched engine needs a metric-space float32 dataset and an
+        exact visited backend (its lane-visited bitmap cannot reproduce
+        Bloom/Cuckoo false positives); anything else runs serially.
+        """
+        return (
+            self.data.dtype == np.float32
+            and self.data.ndim == 2
+            and VisitedBackend(config.visited_backend) in EXACT_VISITED_BACKENDS
+        )
+
     def search_batch(
-        self, queries: np.ndarray, config: SearchConfig
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        meter=None,
+        stats: Optional[Sequence[SearchStats]] = None,
+        engine: str = "auto",
     ) -> List[List[Tuple[float, int]]]:
-        """Search every row of ``queries`` (no metering)."""
-        return [self.search(q, config) for q in queries]
+        """Search every row of ``queries``.
+
+        Parameters
+        ----------
+        queries:
+            ``(B, d)`` query matrix.
+        config:
+            Search parameters, shared by all queries.
+        meter:
+            Optional shared event meter; the serial engine replays every
+            per-query event through it, the batched engine reports
+            aggregated per-round events.
+        stats:
+            Optional sequence of ``B`` :class:`SearchStats`, filled
+            per-query by either engine.
+        engine:
+            ``"auto"`` (default) dispatches multi-query batches to the
+            vectorized :class:`~repro.core.batched.BatchedSongSearcher`
+            whenever :meth:`supports_batched` allows — results are
+            identical either way; ``"serial"`` / ``"batched"`` force one
+            path.
+        """
+        if engine not in ("auto", "serial", "batched"):
+            raise ValueError(f"unknown engine {engine!r}")
+        queries = np.asarray(queries)
+        if stats is not None and len(stats) != len(queries):
+            raise ValueError(
+                f"stats has {len(stats)} entries for {len(queries)} queries"
+            )
+        use_batched = engine == "batched" or (
+            engine == "auto" and len(queries) > 1 and self.supports_batched(config)
+        )
+        if use_batched:
+            return self.batched().search_batch(
+                queries, config, meter=meter, stats=stats
+            )
+        return [
+            self.search(
+                q, config, meter=meter, stats=None if stats is None else stats[i]
+            )
+            for i, q in enumerate(queries)
+        ]
+
+    def batched(self):
+        """The lockstep engine over this searcher's graph/data (cached)."""
+        if self._batched is None:
+            from repro.core.batched import BatchedSongSearcher
+
+            self._batched = BatchedSongSearcher(self.graph, self.data, parent=self)
+        return self._batched

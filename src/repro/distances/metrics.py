@@ -55,25 +55,75 @@ class Metric:
             return 0.0
         return float(-np.dot(u, v) / denom)
 
-    def batch(self, query: np.ndarray, points: np.ndarray) -> np.ndarray:
+    def batch(
+        self, query: np.ndarray, points: np.ndarray, norms: np.ndarray = None
+    ) -> np.ndarray:
         """Distances from one query to each row of ``points``.
 
         This is the bulk-distance-computation primitive: the equivalent of
-        SONG's warp-parallel reduction over candidate vectors.
+        SONG's warp-parallel reduction over candidate vectors.  ``norms``
+        optionally supplies precomputed L2 norms of ``points`` (used by the
+        cosine metric) so the search loop never recomputes dataset norms.
+
+        Implemented as the ``B = 1`` case of :meth:`batch_many` so the
+        serial and batched engines share one code path and return
+        bit-identical values.
         """
+        points = np.asarray(points)
         if points.ndim != 2:
             raise ValueError("points must be a 2-d array")
+        query = np.asarray(query)
+        many_norms = None if norms is None else np.asarray(norms)[None, :]
+        return self.batch_many(query[None, :], points[None, :, :], many_norms)[0]
+
+    def batch_many(
+        self, queries: np.ndarray, points: np.ndarray, norms: np.ndarray = None
+    ) -> np.ndarray:
+        """Fused distances of ``B`` queries against ``B`` candidate panels.
+
+        The batched engine's bulk-distance stage: ``queries`` is ``(B, d)``,
+        ``points`` is a ``(B, C, d)`` gather of each query's candidate rows,
+        and the result is ``(B, C)`` — one vectorized evaluation replacing
+        ``B`` per-query calls.  ``norms`` optionally carries ``(B, C)``
+        precomputed L2 norms of the gathered rows (cosine only).
+
+        Every formula reduces each ``(b, c)`` row independently through the
+        same flattened ``einsum``, so slice ``b`` of the result is bitwise
+        identical to a ``batch`` call on that slice alone — the property the
+        serial/batched parity guarantee rests on.
+        """
+        points = np.asarray(points)
+        if points.ndim != 3:
+            raise ValueError("points must be a 3-d (B, C, d) array")
+        queries = np.asarray(queries)
+        b, c, dim = points.shape
         if self.name == "l2":
-            diff = points - query
-            return np.einsum("ij,ij->i", diff, diff)
+            diff = np.ascontiguousarray(points - queries[:, None, :])
+            flat = diff.reshape(b * c, dim)
+            return np.einsum("ij,ij->i", flat, flat).reshape(b, c)
+        tiled = np.ascontiguousarray(np.broadcast_to(queries[:, None, :], points.shape))
+        flat_points = np.ascontiguousarray(points).reshape(b * c, dim)
+        dots = np.einsum("ij,ij->i", flat_points, tiled.reshape(b * c, dim)).reshape(
+            b, c
+        )
         if self.name == "ip":
-            return -points @ query
-        norms = np.linalg.norm(points, axis=1) * np.linalg.norm(query)
-        dots = points @ query
-        out = np.zeros(len(points), dtype=dots.dtype)
-        nz = norms > 0
-        out[nz] = -dots[nz] / norms[nz]
+            return -dots
+        if norms is None:
+            norms = np.linalg.norm(flat_points, axis=1).reshape(b, c)
+        qn = np.linalg.norm(queries, axis=1)
+        denom = norms * qn[:, None]
+        out = np.zeros((b, c), dtype=dots.dtype)
+        nz = denom > 0
+        out[nz] = -dots[nz] / denom[nz]
         return out
+
+    def point_norms(self, points: np.ndarray) -> np.ndarray:
+        """Row L2 norms of a dataset, for caching ahead of cosine searches.
+
+        Row-wise reduction is independent per row, so gathering cached
+        norms is bitwise identical to recomputing them on gathered rows.
+        """
+        return np.linalg.norm(np.asarray(points), axis=1)
 
     def pairwise(self, queries: np.ndarray, points: np.ndarray) -> np.ndarray:
         """All-pairs distance matrix of shape ``(len(queries), len(points))``."""

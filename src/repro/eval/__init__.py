@@ -4,6 +4,7 @@ from repro.eval.recall import batch_recall, recall_at_k
 from repro.eval.sweep import (
     SweepPoint,
     qps_at_recall,
+    sweep_batched_song,
     sweep_gpu_song,
     sweep_cpu_song,
     sweep_hnsw,
@@ -19,6 +20,7 @@ __all__ = [
     "recall_at_k",
     "batch_recall",
     "SweepPoint",
+    "sweep_batched_song",
     "sweep_gpu_song",
     "sweep_cpu_song",
     "sweep_hnsw",

@@ -7,6 +7,7 @@ and each setting yields one ``(recall, qps)`` point.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -16,6 +17,7 @@ from repro.core.config import SearchConfig
 from repro.core.cpu_song import CpuSongIndex
 from repro.core.gpu_kernel import GpuSongIndex
 from repro.core.machine import DEFAULT_CPU, CpuModel
+from repro.core.song import SongSearcher
 from repro.baselines.ivfpq import IVFPQIndex
 from repro.data.datasets import Dataset
 from repro.distances import OpCounter
@@ -99,6 +101,41 @@ def sweep_cpu_song(
                 param=qs,
                 recall=batch_recall(batch.results, gt),
                 qps=batch.qps(),
+            )
+        )
+    return points
+
+
+def sweep_batched_song(
+    dataset: Dataset,
+    searcher: SongSearcher,
+    queue_sizes: Sequence[int],
+    k: int = 10,
+    config: Optional[SearchConfig] = None,
+    engine: str = "batched",
+    ground_truth: Optional[np.ndarray] = None,
+) -> List[SweepPoint]:
+    """SONG's vectorized lockstep engine across queue sizes (wall clock).
+
+    Unlike :func:`sweep_gpu_song` (modelled GPU time) this measures *real*
+    wall-clock throughput of :meth:`SongSearcher.search_batch`, so serial
+    and batched engines are directly comparable; pass ``engine="serial"``
+    for the baseline curve.
+    """
+    base = config or SearchConfig(k=k, queue_size=max(k, min(queue_sizes)))
+    gt = ground_truth if ground_truth is not None else dataset.ground_truth(k)
+    points = []
+    for qs in _effective_queue_sizes(queue_sizes, k):
+        cfg = base.with_options(k=k, queue_size=qs)
+        start = time.perf_counter()
+        results = searcher.search_batch(dataset.queries, cfg, engine=engine)
+        seconds = time.perf_counter() - start
+        points.append(
+            SweepPoint(
+                param=qs,
+                recall=batch_recall(results, gt),
+                qps=dataset.num_queries / seconds if seconds > 0 else float("inf"),
+                extra={"wall_seconds": seconds},
             )
         )
     return points

@@ -13,6 +13,8 @@ These mirror the structures SONG keeps in GPU shared/local memory:
 - :class:`~repro.structures.cuckoo.CuckooFilter` — probabilistic set *with*
   deletion, enabling the visited-deletion optimization.
 - :class:`~repro.structures.visited.VisitedSet` — facade selecting a backend.
+- :mod:`~repro.structures.soa` — structure-of-arrays batched frontier and
+  top-K pools (packed uint64 keys) for the lockstep multi-query engine.
 """
 
 from repro.structures.heap import MaxHeap, MinHeap
@@ -22,8 +24,22 @@ from repro.structures.bloom import BloomFilter
 from repro.structures.cuckoo import CuckooFilter
 from repro.structures.visited import VisitedBackend, VisitedSet
 from repro.structures.device_layout import FlatHashSet, FlatMinMaxHeap
+from repro.structures.soa import (
+    PAD_KEY,
+    BatchedFrontier,
+    BatchedTopK,
+    pack_keys,
+    unpack_distances,
+    unpack_ids,
+)
 
 __all__ = [
+    "PAD_KEY",
+    "BatchedFrontier",
+    "BatchedTopK",
+    "pack_keys",
+    "unpack_distances",
+    "unpack_ids",
     "FlatMinMaxHeap",
     "FlatHashSet",
     "MinHeap",

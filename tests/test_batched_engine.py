@@ -1,0 +1,318 @@
+"""Parity suite: the vectorized lockstep engine vs the serial searcher.
+
+The batched engine's correctness bar (ISSUE 1) is *bit-identical*
+``(distance, id)`` lists against :meth:`SongSearcher.search` under exact
+visited backends, across metrics, graphs and optimization configs —
+plus SIMT-style edge cases (B=1, one lane finishing first) and the
+packed-key machinery the structure-of-arrays state rests on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.batched import BatchedSongSearcher
+from repro.core.config import SearchConfig
+from repro.core.song import SearchStats, SongSearcher
+from repro.core.stages import CountingMeter
+from repro.distances import OpCounter, get_metric
+from repro.graphs import build_nsg, build_nsw
+from repro.structures.soa import (
+    PAD_KEY,
+    BatchedFrontier,
+    BatchedTopK,
+    pack_keys,
+    unpack_distances,
+    unpack_ids,
+)
+
+
+@pytest.fixture(scope="module")
+def parity_data(rng):
+    data = rng.standard_normal((400, 16)).astype(np.float32)
+    queries = rng.standard_normal((24, 16)).astype(np.float32)
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def parity_graphs(parity_data):
+    data, _ = parity_data
+    return {
+        "nsw": build_nsw(data, m=8, ef_construction=32, seed=3),
+        "nsg": build_nsg(data, degree=10, knn=10),
+    }
+
+
+def assert_exact_parity(searcher, queries, config):
+    serial = searcher.search_batch(queries, config, engine="serial")
+    batched = searcher.search_batch(queries, config, engine="batched")
+    assert serial == batched  # (distance, id) tuples, bit-for-bit
+
+
+# -- packed-key machinery -----------------------------------------------------
+
+
+def test_pack_keys_orders_like_lexicographic_sort(rng):
+    dists = rng.standard_normal(200).astype(np.float32)
+    dists[:10] = 0.0
+    dists[10:20] = -0.0
+    dists[20:40] = dists[40:60]  # force distance ties -> id tie-break
+    ids = rng.integers(0, 1000, size=200)
+    keys = np.sort(pack_keys(dists, ids))
+    expect = sorted(zip(dists.tolist(), ids.tolist()))
+    got = list(zip(unpack_distances(keys).tolist(), unpack_ids(keys).tolist()))
+    assert got == expect
+
+
+def test_pack_unpack_roundtrip(rng):
+    dists = np.array([-3.5, -0.0, 0.0, 1e-30, 7.25, 1e30], dtype=np.float32)
+    ids = np.array([5, 0, 2**31 - 1, 1, 17, 42])
+    keys = pack_keys(dists, ids)
+    assert np.all(keys != PAD_KEY)
+    assert unpack_ids(keys).tolist() == ids.tolist()
+    back = unpack_distances(keys)
+    assert np.array_equal(back, dists + np.float32(0.0))
+
+
+def test_batched_topk_matches_bounded_heap_content(rng):
+    from repro.structures.heap import TopKMaxHeap
+
+    topk = BatchedTopK(batch=1, pool=8)
+    heap = TopKMaxHeap(8)
+    for _ in range(5):
+        dists = rng.standard_normal(6).astype(np.float32)
+        ids = rng.integers(0, 500, size=6)
+        topk.merge(pack_keys(dists, ids)[None, :])
+        for d, v in zip(dists.tolist(), ids.tolist()):
+            heap.push_bounded(d, v)
+    got = list(
+        zip(
+            unpack_distances(topk.keys[0, : int(topk.sizes()[0])]).tolist(),
+            unpack_ids(topk.keys[0, : int(topk.sizes()[0])]).tolist(),
+        )
+    )
+    assert got == sorted(heap.to_sorted_list())
+
+
+def test_batched_frontier_bounded_eviction(rng):
+    frontier = BatchedFrontier(batch=1, capacity=4)
+    dists = np.array([0.5, 0.1, 0.9, 0.3, 0.7, 0.2], dtype=np.float32)
+    ids = np.arange(6)
+    frontier.seed(pack_keys(dists[:1], ids[:1]))
+    new = pack_keys(dists[1:], ids[1:])[None, :]
+    evicted = frontier.merge(
+        np.zeros(1, dtype=np.int64), new, np.full(1, 5, dtype=np.int64)
+    )
+    kept = unpack_distances(frontier.keys[0]).tolist()
+    assert kept == [pytest.approx(v) for v in [0.1, 0.2, 0.3, 0.5]]
+    assert int(frontier.sizes[0]) == 4
+    gone = evicted[evicted != PAD_KEY]
+    assert sorted(unpack_distances(gone).tolist()) == [
+        pytest.approx(0.7),
+        pytest.approx(0.9),
+    ]
+
+
+# -- exact parity across metrics / graphs / configs ---------------------------
+
+
+@pytest.mark.parametrize("metric", ["l2", "ip", "cosine"])
+@pytest.mark.parametrize("graph_name", ["nsw", "nsg"])
+def test_parity_across_metrics_and_graphs(
+    parity_data, parity_graphs, graph_name, metric
+):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs[graph_name], data)
+    config = SearchConfig(k=10, queue_size=30, metric=metric)
+    assert_exact_parity(searcher, queries, config)
+
+
+@pytest.mark.parametrize(
+    "bounded,selected,deletion",
+    [
+        (True, True, False),
+        (True, True, True),
+        (True, False, False),
+        (True, False, True),
+        (False, True, False),
+        (False, False, False),
+    ],
+)
+def test_parity_across_configs(parity_data, parity_graphs, bounded, selected, deletion):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(
+        k=10,
+        queue_size=25,
+        bounded_queue=bounded,
+        selected_insertion=selected,
+        visited_deletion=deletion,
+    )
+    assert_exact_parity(searcher, queries, config)
+
+
+@pytest.mark.parametrize("probe_steps", [2, 4])
+def test_parity_multi_step_probing(parity_data, parity_graphs, probe_steps):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=10, queue_size=30, probe_steps=probe_steps)
+    assert_exact_parity(searcher, queries, config)
+
+
+@pytest.mark.parametrize("backend", ["hashtable", "pyset"])
+def test_parity_exact_backends(parity_data, parity_graphs, backend):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=10, queue_size=30, visited_backend=backend)
+    assert_exact_parity(searcher, queries, config)
+
+
+def test_parity_on_fixture_dataset(small_dataset, small_graph):
+    searcher = SongSearcher(small_graph, small_dataset.data)
+    config = SearchConfig(k=10, queue_size=40)
+    assert_exact_parity(searcher, small_dataset.queries, config)
+
+
+# -- SIMT lane-masking edge cases --------------------------------------------
+
+
+def test_batch_of_one_matches_serial(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=10, queue_size=30)
+    serial = searcher.search(queries[0], config)
+    batched = searcher.batched().search(queries[0], config)
+    assert serial == batched
+
+
+def test_early_terminating_lane_does_not_disturb_others(parity_data, parity_graphs):
+    # Lane 0 sits on the entry point (converges almost immediately); lane 1
+    # is a far-away query that keeps expanding.  The masked-out lane must
+    # stop contributing work without corrupting the active one.
+    data, _ = parity_data
+    graph = parity_graphs["nsw"]
+    searcher = SongSearcher(graph, data)
+    config = SearchConfig(k=5, queue_size=12)
+    easy = data[graph.entry_point]
+    hard = np.full(data.shape[1], 10.0, dtype=np.float32)
+    queries = np.stack([easy, hard])
+    stats = [SearchStats(), SearchStats()]
+    batched = searcher.search_batch(
+        queries, config, engine="batched", stats=stats
+    )
+    assert batched[0] == searcher.search(easy, config)
+    assert batched[1] == searcher.search(hard, config)
+    # The lanes really did terminate at different rounds.
+    assert stats[0].iterations != stats[1].iterations
+
+
+def test_empty_batch():
+    data = np.zeros((10, 4), dtype=np.float32)
+    graph = build_nsw(data + np.arange(10, dtype=np.float32)[:, None], m=4, seed=0)
+    searcher = SongSearcher(graph, np.ascontiguousarray(data + np.arange(10, dtype=np.float32)[:, None]))
+    config = SearchConfig(k=2, queue_size=4)
+    assert searcher.search_batch(np.zeros((0, 4), dtype=np.float32), config) == []
+
+
+# -- dispatch, stats and meters ----------------------------------------------
+
+
+def test_auto_dispatch_uses_batched_engine(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=5, queue_size=20)
+    assert searcher.supports_batched(config)
+    auto = searcher.search_batch(queries, config)
+    assert auto == searcher.search_batch(queries, config, engine="batched")
+
+
+def test_probabilistic_backends_fall_back_to_serial(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=5, queue_size=20, visited_backend="bloom")
+    assert not searcher.supports_batched(config)
+    # auto mode silently runs the serial loop ...
+    results = searcher.search_batch(queries[:4], config)
+    assert len(results) == 4
+    # ... while forcing the batched engine is a hard error.
+    with pytest.raises(ValueError, match="exact visited backend"):
+        searcher.search_batch(queries[:4], config, engine="batched")
+
+
+def test_stats_match_serial(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=10, queue_size=30, probe_steps=2)
+    serial_stats = [SearchStats() for _ in queries]
+    batched_stats = [SearchStats() for _ in queries]
+    searcher.search_batch(queries, config, engine="serial", stats=serial_stats)
+    searcher.search_batch(queries, config, engine="batched", stats=batched_stats)
+    for ser, bat in zip(serial_stats, batched_stats):
+        assert ser.iterations == bat.iterations
+        assert ser.distance_computations == bat.distance_computations
+        assert ser.visited_inserts == bat.visited_inserts
+        assert ser.visited_peak == bat.visited_peak
+
+
+def test_meter_totals_match_serial(parity_data, parity_graphs):
+    data, queries = parity_data
+    dim = data.shape[1]
+    flops = get_metric("l2").flops_per_distance(dim)
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=10, queue_size=30, visited_deletion=True)
+    serial_ops, batched_ops = OpCounter(), OpCounter()
+    searcher.search_batch(
+        queries, config, engine="serial", meter=CountingMeter(serial_ops, dim, flops)
+    )
+    searcher.search_batch(
+        queries, config, engine="batched", meter=CountingMeter(batched_ops, dim, flops)
+    )
+    assert vars(serial_ops) == vars(batched_ops)
+
+
+def test_stats_length_mismatch_rejected(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=5, queue_size=20)
+    with pytest.raises(ValueError, match="stats"):
+        searcher.search_batch(queries, config, stats=[SearchStats()])
+
+
+# -- float32 coercion ---------------------------------------------------------
+
+
+def test_float64_dataset_warns_and_coerces(rng):
+    data64 = rng.standard_normal((60, 8))
+    assert data64.dtype == np.float64
+    graph = build_nsw(data64.astype(np.float32), m=4, seed=1)
+    with pytest.warns(UserWarning, match="float32"):
+        searcher = SongSearcher(graph, data64)
+    assert searcher.data.dtype == np.float32
+    assert searcher.data.flags["C_CONTIGUOUS"]
+    config = SearchConfig(k=3, queue_size=8)
+    queries = rng.standard_normal((6, 8)).astype(np.float32)
+    assert_exact_parity(searcher, queries, config)
+
+
+def test_float32_dataset_not_copied(rng):
+    data = np.ascontiguousarray(rng.standard_normal((50, 8)).astype(np.float32))
+    graph = build_nsw(data, m=4, seed=1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        searcher = SongSearcher(graph, data)
+    assert searcher.data is data
+    assert searcher.batched().data is data
+
+
+def test_norms_cache_shared_between_engines(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = SongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=5, queue_size=20, metric="cosine")
+    searcher.search_batch(queries, config, engine="batched")
+    assert searcher.batched().data_norms() is searcher.data_norms()
+    expect = np.linalg.norm(data, axis=1)
+    assert np.array_equal(searcher.data_norms(), expect)

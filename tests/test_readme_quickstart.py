@@ -2,7 +2,7 @@
 
 import numpy as np
 
-from repro import GpuSongIndex, SearchConfig, build_nsw
+from repro import GpuSongIndex, SearchConfig, SongSearcher, build_nsw
 
 
 def test_readme_quickstart_flow():
@@ -21,3 +21,10 @@ def test_readme_quickstart_flow():
     assert results[0][0] == (0.0, 0)  # self-query finds itself first
     assert timing.qps(50) > 0
     assert len(results[0][:3]) == 3
+
+    # The batched-engine snippet: lockstep results match the serial loop.
+    searcher = SongSearcher(graph, data)
+    queries = data[:50]
+    batched = searcher.search_batch(queries, config)
+    serial = searcher.search_batch(queries, config, engine="serial")
+    assert batched == serial
