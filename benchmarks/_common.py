@@ -1,17 +1,26 @@
-"""Benchmark helpers: sweep grids and report output.
+"""Benchmark helpers: sweep grids, report output, and build-artifact cache.
 
 Reports are printed *and* written to ``benchmarks/results/<name>.txt`` so
-they survive pytest's output capture.
+they survive pytest's output capture.  Graph construction dominates many
+benchmark runs, so :func:`cached_graph` persists built indexes under
+``benchmarks/.cache/`` keyed by (builder, dataset fingerprint, params);
+delete that directory to force rebuilds.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+from typing import Callable
+
 import numpy as np
 
 from repro.data.datasets import Dataset
+from repro.graphs import FixedDegreeGraph, load_graph, save_graph
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
 
 #: Frontier-queue sizes swept for SONG / HNSW.
 QUEUE_GRID = (10, 20, 40, 80, 160, 320)
@@ -26,6 +35,44 @@ def emit_report(name: str, text: str) -> None:
     with open(path, "w") as f:
         f.write(text + "\n")
     print(f"\n{text}\n[report written to {path}]")
+
+
+def dataset_fingerprint(data: np.ndarray) -> str:
+    """Short content hash of a dataset array (shape + float32 bytes)."""
+    arr = np.ascontiguousarray(data, dtype=np.float32)
+    digest = hashlib.sha1()
+    digest.update(repr(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.hexdigest()[:16]
+
+
+def cached_graph(
+    builder: str,
+    data: np.ndarray,
+    build_fn: Callable[[], FixedDegreeGraph],
+    **params,
+) -> FixedDegreeGraph:
+    """Build-artifact cache: load a graph from disk or build and persist it.
+
+    The cache key is ``(builder, dataset fingerprint, params)``, so any
+    change to the data or the build parameters produces a fresh artifact
+    while re-runs of the same benchmark skip construction entirely.  A
+    corrupt or stale-format file is discarded and rebuilt.
+    """
+    spec = json.dumps(params, sort_keys=True, default=str)
+    key = hashlib.sha1(
+        f"{builder}|{dataset_fingerprint(data)}|{spec}".encode()
+    ).hexdigest()[:20]
+    path = os.path.join(CACHE_DIR, f"{builder}-{key}.npz")
+    if os.path.exists(path):
+        try:
+            return load_graph(path)
+        except (ValueError, OSError, KeyError):
+            os.remove(path)
+    graph = build_fn()
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    save_graph(graph, path)
+    return graph
 
 
 def with_saturated_queries(dataset: Dataset, factor: int = 4) -> Dataset:

@@ -9,7 +9,7 @@
 import numpy as np
 import pytest
 
-from _common import emit_report, with_saturated_queries
+from _common import cached_graph, emit_report, with_saturated_queries
 from repro import GpuSongIndex, build_nsw
 from repro.core.config import SearchConfig
 from repro.eval import batch_recall, format_curve, sweep_gpu_song
@@ -84,9 +84,14 @@ def test_ablation_graph_degree(benchmark, assets):
         sat = with_saturated_queries(ds)
         rows, out = [], {}
         for degree in (4, 8, 16, 32):
-            graph = build_nsw(
-                ds.data, m=max(2, degree // 2), ef_construction=48,
-                max_degree=degree, seed=7,
+            m = max(2, degree // 2)
+            graph = cached_graph(
+                "nsw", ds.data,
+                lambda: build_nsw(
+                    ds.data, m=m, ef_construction=48,
+                    max_degree=degree, seed=7,
+                ),
+                m=m, ef_construction=48, max_degree=degree, seed=7,
             )
             gpu = GpuSongIndex(graph, ds.data)
             pts = sweep_gpu_song(sat, gpu, [80], k=10)

@@ -1,0 +1,168 @@
+"""Vectorized NN-descent construction vs the serial reference builder.
+
+The construction tentpole: rewriting NN-descent's local join as blocked
+fused distance calls over candidate-pair tiles should cut build time by
+an integer factor while keeping graph recall (fraction of true kNN edges
+recovered) within a small tolerance of the serial builder.  This
+benchmark races ``build_engine="serial"`` against ``"batched"`` on the
+same synthetic dataset, gates on both speedup and recall gap, and
+records the outcome in ``benchmarks/results/BENCH_build.json``.
+
+Run directly::
+
+    PYTHONPATH=src python -m benchmarks.bench_build_speed --smoke  # <60 s gate
+    PYTHONPATH=src python -m benchmarks.bench_build_speed          # full (n=20k, d=64)
+
+or via pytest (smoke-sized)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_build_speed.py -x -q
+
+The full run takes a few minutes: the serial builder alone needs ~90 s
+at n=20k on a laptop core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+try:
+    from _common import RESULTS_DIR, emit_report
+except ImportError:  # executed as `python -m benchmarks.bench_build_speed`
+    from benchmarks._common import RESULTS_DIR, emit_report
+
+from repro.eval import sweep_build_engines
+from repro.graphs.bruteforce_knn import knn_neighbors
+
+#: Smoke gate: batched must clearly beat serial with a near-equal graph.
+SMOKE = dict(n=2000, dim=32, k=10, min_speedup=1.5, max_recall_gap=0.05)
+#: Full acceptance run: >= 5x at n=20k, d=64, k=10, recall within 0.02.
+FULL = dict(n=20_000, dim=64, k=10, min_speedup=5.0, max_recall_gap=0.02)
+
+
+def run_build_race(
+    n: int,
+    dim: int,
+    k: int,
+    min_speedup: float,
+    max_recall_gap: float,
+    data_seed: int = 42,
+    build_seed: int = 3,
+) -> dict:
+    """Build the kNN graph under both engines and compare time + recall."""
+    rng = np.random.default_rng(data_seed)
+    data = rng.standard_normal((n, dim)).astype(np.float32)
+    start = time.perf_counter()
+    exact = knn_neighbors(data, k)
+    exact_seconds = time.perf_counter() - start
+
+    points = sweep_build_engines(
+        data, k=k, engines=("serial", "batched"), seed=build_seed, exact=exact
+    )
+    serial, batched = points["serial"], points["batched"]
+    speedup = (
+        serial.extra["build_seconds"] / batched.extra["build_seconds"]
+        if batched.extra["build_seconds"] > 0
+        else float("inf")
+    )
+    recall_gap = serial.recall - batched.recall
+    return {
+        "config": {
+            "n": n,
+            "dim": dim,
+            "k": k,
+            "data_seed": data_seed,
+            "build_seed": build_seed,
+        },
+        "exact_knn_seconds": round(exact_seconds, 4),
+        "serial_seconds": round(serial.extra["build_seconds"], 4),
+        "batched_seconds": round(batched.extra["build_seconds"], 4),
+        "serial_recall": round(serial.recall, 6),
+        "batched_recall": round(batched.recall, 6),
+        "speedup": round(speedup, 2),
+        "recall_gap": round(recall_gap, 6),
+        "min_speedup": min_speedup,
+        "max_recall_gap": max_recall_gap,
+        "passed": speedup >= min_speedup and recall_gap <= max_recall_gap,
+    }
+
+
+def format_result(result: dict, mode: str) -> str:
+    cfg = result["config"]
+    lines = [
+        f"Batched NN-descent construction vs serial builder ({mode})",
+        f"  dataset       : synthetic n={cfg['n']} d={cfg['dim']} k={cfg['k']}",
+        f"  exact kNN     : {result['exact_knn_seconds']:.2f}s (recall reference)",
+        f"  serial        : {result['serial_seconds']:.2f}s "
+        f"(graph recall {result['serial_recall']:.4f})",
+        f"  batched       : {result['batched_seconds']:.2f}s "
+        f"(graph recall {result['batched_recall']:.4f})",
+        f"  speedup       : {result['speedup']:.2f}x "
+        f"(required >= {result['min_speedup']:.1f}x)",
+        f"  recall gap    : {result['recall_gap']:+.4f} "
+        f"(allowed <= {result['max_recall_gap']:.2f})",
+        f"  verdict       : {'PASS' if result['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
+def write_artifact(result: dict, mode: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "BENCH_build.json")
+    payload = dict(result)
+    payload["mode"] = mode
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+# -- pytest entry point (smoke-sized) ----------------------------------------
+
+
+def test_build_speed():
+    result = run_build_race(**SMOKE)
+    emit_report("bench_build_speed", format_result(result, "smoke"))
+    write_artifact(result, "smoke")
+    assert result["speedup"] >= result["min_speedup"], (
+        f"build speedup {result['speedup']:.2f}x below the "
+        f"{result['min_speedup']:.1f}x gate"
+    )
+    assert result["recall_gap"] <= result["max_recall_gap"], (
+        f"batched graph recall trails serial by {result['recall_gap']:.4f} "
+        f"(allowed {result['max_recall_gap']:.2f})"
+    )
+
+
+# -- CLI entry point ----------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Race batched NN-descent construction against the serial builder"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast gate (<60 s): speedup >= 1.5x at n=2000",
+    )
+    parser.add_argument("--data-seed", type=int, default=42)
+    parser.add_argument("--build-seed", type=int, default=3)
+    args = parser.parse_args(argv)
+    params = dict(SMOKE if args.smoke else FULL)
+    mode = "smoke" if args.smoke else "full"
+    result = run_build_race(
+        data_seed=args.data_seed, build_seed=args.build_seed, **params
+    )
+    emit_report("bench_build_speed", format_result(result, mode))
+    path = write_artifact(result, mode)
+    print(f"[artifact written to {path}]")
+    return 0 if result["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,7 @@ NSG baseline is the same best-first search costed with the single-thread
 CPU model, so the ratio isolates the GPU execution benefit.
 """
 
-from _common import QUEUE_GRID, emit_report, with_saturated_queries
+from _common import QUEUE_GRID, cached_graph, emit_report, with_saturated_queries
 from repro import GpuSongIndex, build_nsg
 from repro.core.cpu_song import CpuSongIndex
 from repro.core.machine import DEFAULT_CPU
@@ -16,7 +16,11 @@ from repro.eval.sweep import qps_at_recall
 
 def _run(assets):
     ds = assets.dataset("sift")
-    nsg = build_nsg(ds.data, degree=16, knn=16, search_len=40)
+    nsg = cached_graph(
+        "nsg", ds.data,
+        lambda: build_nsg(ds.data, degree=16, knn=16, search_len=40),
+        degree=16, knn=16, search_len=40,
+    )
     sat = with_saturated_queries(ds)
     gpu = GpuSongIndex(nsg, ds.data)
     cpu = CpuSongIndex(nsg, ds.data, model=DEFAULT_CPU)

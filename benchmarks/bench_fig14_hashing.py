@@ -13,7 +13,7 @@ the representation.
 
 import numpy as np
 
-from _common import emit_report, with_saturated_queries
+from _common import cached_graph, emit_report, with_saturated_queries
 from repro import GpuSongIndex
 from repro.core.config import SearchConfig
 from repro.data.datasets import Dataset
@@ -51,7 +51,9 @@ def _run(assets):
 
     rows, curves = [], {}
     # Full-precision arm.
-    graph = build_knn_graph(ds.data, DEGREE)
+    graph = cached_graph(
+        "knn", ds.data, lambda: build_knn_graph(ds.data, DEGREE), degree=DEGREE
+    )
     gpu = GpuSongIndex(graph, ds.data, device="titanx")
     results, timing = gpu.search_batch(sat_queries, cfg)
     recall = batch_recall(results, sat_gt)

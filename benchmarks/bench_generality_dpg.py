@@ -8,7 +8,7 @@ large enough queue, and the GPU speedup over the CPU work model is the
 same order of magnitude regardless of which graph is underneath.
 """
 
-from _common import emit_report, with_saturated_queries
+from _common import cached_graph, emit_report, with_saturated_queries
 from repro import GpuSongIndex, build_nsg, build_nsw
 from repro.core.cpu_song import CpuSongIndex
 from repro.core.machine import DEFAULT_CPU
@@ -27,9 +27,17 @@ def _run(assets):
     graphs = {
         "NSW": assets.nsw("sift"),
         "HNSW-L0": assets.hnsw("sift").base_layer_graph(),
-        "NSG": build_nsg(ds.data, degree=16, knn=16, search_len=40),
-        "DPG": build_dpg(ds.data, degree=16),
-        "kNN": build_knn_graph(ds.data, 16),
+        "NSG": cached_graph(
+            "nsg", ds.data,
+            lambda: build_nsg(ds.data, degree=16, knn=16, search_len=40),
+            degree=16, knn=16, search_len=40,
+        ),
+        "DPG": cached_graph(
+            "dpg", ds.data, lambda: build_dpg(ds.data, degree=16), degree=16
+        ),
+        "kNN": cached_graph(
+            "knn", ds.data, lambda: build_knn_graph(ds.data, 16), degree=16
+        ),
     }
     rows, out = [], {}
     for name, graph in graphs.items():

@@ -48,8 +48,17 @@ class BenchAssets:
     def nsw(self, name: str):
         key = ("nsw", name)
         if key not in self._cache:
+            from _common import cached_graph
+
             ds = self.dataset(name)
-            self._cache[key] = build_nsw(ds.data, m=8, ef_construction=48, seed=7)
+            self._cache[key] = cached_graph(
+                "nsw",
+                ds.data,
+                lambda: build_nsw(ds.data, m=8, ef_construction=48, seed=7),
+                m=8,
+                ef_construction=48,
+                seed=7,
+            )
         return self._cache[key]
 
     def gpu_index(self, name: str, device: str = "v100") -> GpuSongIndex:

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Minimal CI gate: the tier-1 test suite plus the batched-engine smoke
-# benchmark (parity + speedup >= 1x at B=64, runs in well under 60 s).
+# Minimal CI gate: the tier-1 test suite plus the smoke benchmarks —
+# batched search engine (parity + speedup >= 1x at B=64) and batched
+# graph construction (speedup + graph-recall gap gates).  Each smoke
+# runs in well under 60 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
 python -m pytest -x -q
 python -m benchmarks.bench_batched_engine --smoke
+python -m benchmarks.bench_build_speed --smoke

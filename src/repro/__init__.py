@@ -20,6 +20,7 @@ Quickstart::
 
 from repro.core import (
     BatchedSongSearcher,
+    BuildConfig,
     CpuSongIndex,
     GpuSongIndex,
     OnlineSongIndex,
@@ -43,6 +44,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "SearchConfig",
+    "BuildConfig",
     "SearchStats",
     "OptimizationLevel",
     "SongSearcher",

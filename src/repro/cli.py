@@ -70,17 +70,29 @@ def cmd_build(args) -> int:
     start = time.time()
     if args.graph == "nsw":
         graph = build_nsw(
-            dataset.data, m=args.m, ef_construction=args.ef_construction, seed=7
+            dataset.data,
+            m=args.m,
+            ef_construction=args.ef_construction,
+            seed=7,
+            build_engine=args.build_engine,
         )
     elif args.graph == "nsg":
-        graph = build_nsg(dataset.data, degree=2 * args.m, knn=2 * args.m)
+        graph = build_nsg(
+            dataset.data,
+            degree=2 * args.m,
+            knn=2 * args.m,
+            build_engine=args.build_engine,
+        )
     else:
         from repro.graphs import build_knn_graph
 
         graph = build_knn_graph(dataset.data, 2 * args.m)
     elapsed = time.time() - start
     save_graph(graph, args.out)
-    print(f"built {args.graph} over {dataset.num_data} points in {elapsed:.1f}s")
+    print(
+        f"built {args.graph} ({args.build_engine}) over "
+        f"{dataset.num_data} points in {elapsed:.1f}s"
+    )
     print(f"  {graph}")
     print(f"  index size: {graph.memory_bytes() / 1024:.0f} KB -> {args.out}")
     return 0
@@ -152,7 +164,13 @@ def cmd_sweep(args) -> int:
     series = {}
     graph = None
     if "song" in args.methods or "batched" in args.methods:
-        graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+        graph = build_nsw(
+            dataset.data,
+            m=8,
+            ef_construction=48,
+            seed=7,
+            build_engine=args.build_engine,
+        )
     if "song" in args.methods:
         gpu = GpuSongIndex(graph, dataset.data, device=args.device)
         series["SONG"] = sweep_gpu_song(dataset, gpu, queues, k=args.k)
@@ -162,7 +180,13 @@ def cmd_sweep(args) -> int:
             dataset, searcher, queues, k=args.k, engine="batched"
         )
     if "hnsw" in args.methods:
-        hnsw = HNSWIndex(dataset.data, m=8, ef_construction=48, seed=1).build()
+        hnsw = HNSWIndex(
+            dataset.data,
+            m=8,
+            ef_construction=48,
+            seed=1,
+            build_engine=args.build_engine,
+        ).build()
         series["HNSW"] = sweep_hnsw(dataset, hnsw, queues, k=args.k)
     if "ivfpq" in args.methods:
         ivf = IVFPQIndex(dataset.dim, nlist=32, m=8, ksub=64, seed=0)
@@ -201,6 +225,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--graph", choices=["nsw", "nsg", "knn"], default="nsw")
     p_build.add_argument("--m", type=int, default=8, help="NSW connections per point")
     p_build.add_argument("--ef-construction", type=int, default=48)
+    p_build.add_argument(
+        "--build-engine", choices=["serial", "batched"], default="serial",
+        help="construction engine (batched = vectorized generation inserts)",
+    )
     p_build.add_argument("--out", required=True, help="output .npz path")
     p_build.set_defaults(func=cmd_build)
 
@@ -230,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue sizes to sweep",
     )
     p_sweep.add_argument("--device", default="v100")
+    p_sweep.add_argument(
+        "--build-engine", choices=["serial", "batched"], default="serial",
+        help="construction engine for the swept indexes",
+    )
     p_sweep.add_argument("--plot", action="store_true", help="render an ASCII plot")
     p_sweep.set_defaults(func=cmd_sweep)
     return parser

@@ -18,7 +18,12 @@ Public entry points:
   of Fig. 15.
 """
 
-from repro.core.config import OptimizationLevel, SearchConfig
+from repro.core.config import (
+    BUILD_ENGINES,
+    BuildConfig,
+    OptimizationLevel,
+    SearchConfig,
+)
 from repro.core.algorithm1 import algorithm1_search
 from repro.core.song import SearchStats, SongSearcher
 from repro.core.batched import BatchedSongSearcher
@@ -31,6 +36,8 @@ __all__ = [
     "ShardedSongIndex",
     "OnlineSongIndex",
     "SearchConfig",
+    "BuildConfig",
+    "BUILD_ENGINES",
     "SearchStats",
     "OptimizationLevel",
     "algorithm1_search",

@@ -125,6 +125,7 @@ class BatchedSongSearcher:
         config: SearchConfig,
         meter=None,
         stats: Optional[Sequence[SearchStats]] = None,
+        entry_points: Optional[np.ndarray] = None,
     ) -> List[List[Tuple[float, int]]]:
         """Top-``config.k`` neighbors for every row of ``queries``.
 
@@ -143,6 +144,11 @@ class BatchedSongSearcher:
         stats:
             Optional sequence of ``B`` :class:`SearchStats`, filled with
             per-lane counts identical to the serial engine's.
+        entry_points:
+            Optional ``(B,)`` per-lane start vertices (defaults to the
+            graph's entry point for every lane).  Batched graph
+            construction uses this to resume each insertion's search from
+            its upper-layer descent.
         """
         if VisitedBackend(config.visited_backend) not in EXACT_VISITED_BACKENDS:
             raise ValueError(
@@ -162,8 +168,17 @@ class BatchedSongSearcher:
         num_queries = len(queries)
         if num_queries == 0:
             return []
+        if entry_points is not None:
+            entry_points = np.asarray(entry_points, dtype=np.int64)
+            if entry_points.shape != (num_queries,):
+                raise ValueError(
+                    f"entry_points must have shape ({num_queries},), got "
+                    f"{entry_points.shape}"
+                )
+            if entry_points.min() < 0 or entry_points.max() >= self.graph.num_vertices:
+                raise ValueError("entry_points out of range")
         meter = meter if meter is not None else NullMeter()
-        state = _LockstepState(self, queries, config, meter)
+        state = _LockstepState(self, queries, config, meter, entry_points)
         while state.round():
             pass
         results = state.results()
@@ -181,7 +196,7 @@ class _LockstepState:
     active lane and returns False once the batch has drained.
     """
 
-    def __init__(self, searcher, queries, config, meter):
+    def __init__(self, searcher, queries, config, meter, entry_points=None):
         graph = searcher.graph
         self.config = config
         self.meter = meter
@@ -214,22 +229,21 @@ class _LockstepState:
         self.visited_inserts = np.zeros(b, dtype=np.int64)
         self.visited_peak = np.zeros(b, dtype=np.int64)
 
-        # Seed every lane with the entry point, like the serial searcher.
-        start = graph.entry_point
+        # Seed every lane with its entry point, like the serial searcher.
+        if entry_points is None:
+            start = np.full(b, graph.entry_point, dtype=np.int64)
+        else:
+            start = entry_points
         meter.stage("distance")
-        seed_rows = np.broadcast_to(self.data[start], (b, 1, self.dim))
-        seed_norms = (
-            None
-            if self.norms is None
-            else np.broadcast_to(self.norms[start], (b, 1))
-        )
+        seed_rows = self.data[start][:, None, :]
+        seed_norms = None if self.norms is None else self.norms[start][:, None]
         d0 = self.metric.batch_many(queries, seed_rows, seed_norms)[:, 0]
         meter.bulk_distance(b, self.dim)
         meter.stage("maintain")
-        self.visited[:, start] = True
+        self.visited[np.arange(b), start] = True
         self.visited_len[:] = 1
         meter.visited_insert(b)
-        self.frontier.seed(pack_keys(d0, np.full(b, start, dtype=np.int64)))
+        self.frontier.seed(pack_keys(d0, start))
         meter.push_frontier(b)
 
     # -- one lockstep iteration ----------------------------------------------

@@ -1,4 +1,4 @@
-"""Search configuration: every knob the paper evaluates."""
+"""Search and build configuration: every knob the paper evaluates."""
 
 from __future__ import annotations
 
@@ -6,6 +6,9 @@ import enum
 from dataclasses import dataclass, field, replace
 
 from repro.structures.visited import VisitedBackend
+
+#: Valid graph-construction engines (mirrored by every graph builder).
+BUILD_ENGINES = ("serial", "batched")
 
 
 class OptimizationLevel(str, enum.Enum):
@@ -132,3 +135,46 @@ class SearchConfig:
             opts = dict(visited_backend=VisitedBackend.CUCKOO)
         opts.update(kwargs)
         return cls(**opts)
+
+
+@dataclass(frozen=True)
+class BuildConfig:
+    """Parameters of graph construction (the build-side twin of
+    :class:`SearchConfig`).
+
+    Attributes
+    ----------
+    engine:
+        ``"serial"`` runs the reference per-point/per-pair build loops;
+        ``"batched"`` runs the vectorized construction layer (NN-descent
+        local joins as fused pair tiles, NSW/HNSW insertion in lockstep
+        generation batches).
+    insert_batch:
+        Cap on one insertion generation's size for the batched NSW/HNSW
+        engines.
+    max_candidates:
+        Per-vertex join-list cap for batched NN-descent (``None`` keeps
+        the builder default).
+    seed:
+        Construction seed forwarded to the builders.
+    """
+
+    engine: str = "batched"
+    insert_batch: int = 512
+    max_candidates: int = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.engine not in BUILD_ENGINES:
+            raise ValueError(
+                f"unknown build engine {self.engine!r}; "
+                f"expected one of {BUILD_ENGINES}"
+            )
+        if self.insert_batch <= 0:
+            raise ValueError("insert_batch must be positive")
+        if self.max_candidates is not None and self.max_candidates <= 0:
+            raise ValueError("max_candidates must be positive")
+
+    def with_options(self, **kwargs) -> "BuildConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)

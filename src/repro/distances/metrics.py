@@ -117,6 +117,63 @@ class Metric:
         out[nz] = -dots[nz] / denom[nz]
         return out
 
+    def pair_many(
+        self,
+        left: np.ndarray,
+        right: np.ndarray,
+        left_norms: np.ndarray = None,
+        right_norms: np.ndarray = None,
+    ) -> np.ndarray:
+        """Row-paired distances: ``out[i] = dist(left[i], right[i])``.
+
+        The construction-side bulk evaluator: a flat candidate-pair list
+        (NN-descent's local join) reduces through one row-wise ``einsum``
+        instead of a ``(T, 1, d)`` panel gather.  ``left_norms`` /
+        ``right_norms`` carry cached per-row values of
+        :meth:`point_sq_norms` for L2 and :meth:`point_norms` for cosine
+        (ignored for inner product); L2 uses the norm identity
+        ``|u - v|^2 = |u|^2 + |v|^2 - 2 u.v``, which is numerically close
+        to — not bitwise identical with — the subtract-square form, and is
+        clamped at zero.
+        """
+        dots = np.einsum("ij,ij->i", left, right)
+        if self.name == "l2":
+            lsq = (
+                left_norms
+                if left_norms is not None
+                else np.einsum("ij,ij->i", left, left)
+            )
+            rsq = (
+                right_norms
+                if right_norms is not None
+                else np.einsum("ij,ij->i", right, right)
+            )
+            d = lsq + rsq - 2.0 * dots
+            np.maximum(d, 0.0, out=d)
+            return d
+        if self.name == "ip":
+            return -dots
+        ln = (
+            left_norms
+            if left_norms is not None
+            else np.linalg.norm(left, axis=1)
+        )
+        rn = (
+            right_norms
+            if right_norms is not None
+            else np.linalg.norm(right, axis=1)
+        )
+        denom = ln * rn
+        out = np.zeros_like(dots)
+        nz = denom > 0
+        out[nz] = -dots[nz] / denom[nz]
+        return out
+
+    def point_sq_norms(self, points: np.ndarray) -> np.ndarray:
+        """Row squared L2 norms, for caching ahead of :meth:`pair_many`."""
+        points = np.asarray(points)
+        return np.einsum("ij,ij->i", points, points)
+
     def point_norms(self, points: np.ndarray) -> np.ndarray:
         """Row L2 norms of a dataset, for caching ahead of cosine searches.
 

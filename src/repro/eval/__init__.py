@@ -5,6 +5,7 @@ from repro.eval.sweep import (
     SweepPoint,
     qps_at_recall,
     sweep_batched_song,
+    sweep_build_engines,
     sweep_gpu_song,
     sweep_cpu_song,
     sweep_hnsw,
@@ -21,6 +22,7 @@ __all__ = [
     "batch_recall",
     "SweepPoint",
     "sweep_batched_song",
+    "sweep_build_engines",
     "sweep_gpu_song",
     "sweep_cpu_song",
     "sweep_hnsw",

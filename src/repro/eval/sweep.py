@@ -193,6 +193,41 @@ def sweep_ivfpq(
     return points
 
 
+def sweep_build_engines(
+    data: np.ndarray,
+    k: int = 10,
+    engines: Sequence[str] = ("serial", "batched"),
+    metric: str = "l2",
+    seed: int = 0,
+    exact: Optional[np.ndarray] = None,
+) -> Dict[str, SweepPoint]:
+    """Build-side sweep: NN-descent under each construction engine.
+
+    For every engine, builds the kNN table over ``data`` and reports one
+    point whose ``qps`` is build throughput (points per second) and whose
+    ``recall`` is graph recall against the exact table (computed by brute
+    force when ``exact`` is omitted).  The search-side sweeps above
+    compare query engines; this is their construction counterpart.
+    """
+    from repro.graphs.bruteforce_knn import knn_neighbors
+    from repro.graphs.nn_descent import graph_recall, nn_descent
+
+    if exact is None:
+        exact = knn_neighbors(data, k, metric)
+    points: Dict[str, SweepPoint] = {}
+    for engine in engines:
+        start = time.perf_counter()
+        table = nn_descent(data, k, metric=metric, seed=seed, build_engine=engine)
+        seconds = time.perf_counter() - start
+        points[engine] = SweepPoint(
+            param=len(data),
+            recall=graph_recall(table, exact),
+            qps=len(data) / seconds if seconds > 0 else float("inf"),
+            extra={"build_seconds": seconds},
+        )
+    return points
+
+
 def qps_at_recall(points: List[SweepPoint], target_recall: float) -> Optional[float]:
     """QPS a method achieves at a recall level (log-linear interpolation).
 

@@ -16,7 +16,7 @@ This package implements all of them from scratch:
 
 from repro.graphs.storage import FixedDegreeGraph
 from repro.graphs.bruteforce_knn import build_knn_graph
-from repro.graphs.nn_descent import nn_descent
+from repro.graphs.nn_descent import BUILD_ENGINES, graph_recall, nn_descent
 from repro.graphs.nsw import NSWBuilder, build_nsw
 from repro.graphs.hnsw import HNSWIndex
 from repro.graphs.nsg import NSGBuilder, build_nsg
@@ -30,6 +30,8 @@ __all__ = [
     "FixedDegreeGraph",
     "build_knn_graph",
     "nn_descent",
+    "graph_recall",
+    "BUILD_ENGINES",
     "NSWBuilder",
     "build_nsw",
     "HNSWIndex",

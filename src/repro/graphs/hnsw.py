@@ -5,6 +5,17 @@ assignment, greedy descent through upper layers, ef-bounded best-first
 search at layer 0, and the heuristic neighbor-selection rule (keep a
 candidate only if it is closer to the inserted point than to every
 already-kept neighbor) that gives HNSW its pruned, diverse edges.
+
+``build_engine="batched"`` inserts layer-0 points in generation batches:
+levels are pre-drawn (same RNG draw order as the serial build), points
+that land on upper layers go through the serial insert (they mutate the
+small hierarchy), and each generation's layer-0 searches run as one
+lockstep :class:`~repro.core.batched.BatchedSongSearcher` batch seeded
+per-lane from the serial greedy descents.  Neighbor selection and
+back-link pruning use a precomputed pairwise-distance matrix instead of
+per-pair ``metric.single`` calls.  Points within a generation do not see
+each other, so the batched graph is recall-equivalent, not identical, to
+the serial one (tested in ``tests/test_graph_quality.py``).
 """
 
 from __future__ import annotations
@@ -16,7 +27,11 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.distances import OpCounter, get_metric
+from repro.graphs.nn_descent import BUILD_ENGINES
 from repro.graphs.storage import FixedDegreeGraph
+
+#: Smallest generation the batched scheduler will emit.
+_MIN_GENERATION = 8
 
 
 class HNSWIndex:
@@ -34,6 +49,12 @@ class HNSWIndex:
         Distance measure name.
     seed:
         RNG seed for level assignment.
+    build_engine:
+        ``"serial"`` (default) inserts one point at a time;
+        ``"batched"`` runs layer-0 insertions in lockstep generation
+        batches (see module docstring).
+    insert_batch:
+        Batched engine only: hard cap on one generation's size.
     """
 
     def __init__(
@@ -43,9 +64,20 @@ class HNSWIndex:
         ef_construction: int = 64,
         metric: str = "l2",
         seed: int = 0,
+        build_engine: str = "serial",
+        insert_batch: int = 512,
     ) -> None:
         if m <= 1:
             raise ValueError("m must be at least 2")
+        if build_engine not in BUILD_ENGINES:
+            raise ValueError(
+                f"unknown build_engine {build_engine!r}; "
+                f"expected one of {BUILD_ENGINES}"
+            )
+        if insert_batch <= 0:
+            raise ValueError("insert_batch must be positive")
+        self.build_engine = build_engine
+        self.insert_batch = insert_batch
         self.data = np.asarray(data)
         self.m = m
         self.m0 = 2 * m
@@ -63,17 +95,23 @@ class HNSWIndex:
 
     def build(self) -> "HNSWIndex":
         """Insert every data point."""
-        for v in range(len(self.data)):
-            self._insert(v)
+        n = len(self.data)
+        # one draw per point, in insertion order — identical level
+        # assignment for both engines given the same seed
+        levels = [self._random_level() for _ in range(n)]
+        self._levels = levels
+        if self.build_engine == "batched":
+            self._build_batched(levels)
+        else:
+            for v in range(n):
+                self._insert(v, levels[v])
         self.built = True
         return self
 
     def _random_level(self) -> int:
         return int(-math.log(max(self._rng.random(), 1e-12)) * self._mult)
 
-    def _insert(self, v: int) -> None:
-        level = self._random_level()
-        self._levels.append(level)
+    def _insert(self, v: int, level: int) -> None:
         while len(self._layers) <= level:
             self._layers.append({})
         for l in range(level + 1):
@@ -110,6 +148,107 @@ class HNSWIndex:
             ep = cands[0][1]
         if level > self._levels[self.entry_point]:
             self.entry_point = v
+
+    # -- batched construction ---------------------------------------------
+
+    def _build_batched(self, levels: List[int]) -> None:
+        """Generation-batch insertion (see module docstring)."""
+        from repro.core.batched import BatchedSongSearcher
+        from repro.core.config import SearchConfig
+
+        n = len(self.data)
+        if n == 0:
+            return
+        data32 = np.ascontiguousarray(self.data, dtype=np.float32)
+        ef = self.ef_construction
+        self._insert(0, levels[0])
+        pos = 1
+        while pos < n:
+            size = min(n - pos, max(_MIN_GENERATION, pos), self.insert_batch)
+            batch = range(pos, pos + size)
+            base = [v for v in batch if levels[v] == 0]
+            # upper-layer points (~1/m of inserts) mutate the small
+            # hierarchy — run them through the serial path first
+            for v in batch:
+                if levels[v] > 0:
+                    self._insert(v, levels[v])
+            if base:
+                entries = np.empty(len(base), dtype=np.int64)
+                top = self._levels[self.entry_point]
+                for i, v in enumerate(base):
+                    ep = self.entry_point
+                    for l in range(top, 0, -1):
+                        ep = self._greedy_closest(self.data[v], ep, l)
+                    entries[i] = ep
+                layer0 = self._layers[0]
+                snapshot = FixedDegreeGraph.from_adjacency(
+                    [layer0.get(v, ()) for v in range(n)],
+                    entry_point=self.entry_point,
+                    validate=False,
+                )
+                searcher = BatchedSongSearcher(snapshot, data32)
+                config = SearchConfig(
+                    k=ef, queue_size=ef, metric=self.metric.name
+                )
+                results = searcher.search_batch(
+                    data32[base], config, entry_points=entries
+                )
+                for v, cands in zip(base, results):
+                    self._link_base(v, cands)
+            pos += size
+
+    def _link_base(self, v: int, cands: List[Tuple[float, int]]) -> None:
+        """Connect a layer-0 point from its batch search results."""
+        if not cands:
+            self._layers[0][v] = []
+            return
+        ids = [u for _, u in cands]
+        dists = np.array([d for d, _ in cands])
+        keep = self._select_indices(dists, self._pairwise(ids), self.m)
+        self._layers[0][v] = [ids[i] for i in keep]
+        for i in keep:
+            row = self._layers[0][ids[i]]
+            row.append(v)
+            if len(row) > self.m0:
+                self._reselect_row(ids[i], 0, self.m0)
+
+    def _reselect_row(self, u: int, layer: int, max_deg: int) -> None:
+        """Trim an overfull row with the heuristic, vectorized."""
+        row = self._layers[layer][u]
+        d = self.metric.batch(self.data[u], self.data[row])
+        order = np.lexsort((row, d))  # by distance, ties by id
+        ids = [row[int(i)] for i in order]
+        dists = d[order]
+        keep = self._select_indices(dists, self._pairwise(ids), max_deg)
+        self._layers[layer][u] = [ids[i] for i in keep]
+
+    def _pairwise(self, ids: List[int]) -> np.ndarray:
+        """All-pairs distance matrix over the given vertex ids."""
+        vecs = np.ascontiguousarray(self.data[ids])
+        c, dim = vecs.shape
+        return self.metric.batch_many(
+            vecs, np.broadcast_to(vecs[None, :, :], (c, c, dim))
+        )
+
+    @staticmethod
+    def _select_indices(dists: np.ndarray, pair: np.ndarray, m: int) -> List[int]:
+        """Index-space twin of :meth:`_select_heuristic` over a
+        precomputed pairwise matrix (``dists`` must be ascending)."""
+        chosen: List[int] = []
+        for i in range(len(dists)):
+            if len(chosen) >= m:
+                break
+            d = dists[i]
+            if all(pair[i, j] >= d for j in chosen):
+                chosen.append(i)
+        if len(chosen) < m:  # backfill with nearest rejected candidates
+            picked = set(chosen)
+            for i in range(len(dists)):
+                if len(chosen) >= m:
+                    break
+                if i not in picked:
+                    chosen.append(i)
+        return chosen
 
     def _greedy_closest(self, query: np.ndarray, ep: int, layer: int) -> int:
         """Hill-climb to the local minimum on one layer."""

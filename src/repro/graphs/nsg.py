@@ -38,7 +38,13 @@ class NSGBuilder:
         Distance measure name.
     knn_table:
         Optional precomputed ``(n, knn)`` neighbor table (e.g. from
-        NN-descent); computed exactly when omitted.
+        NN-descent); overrides ``build_engine`` when given.
+    build_engine:
+        How to obtain the bootstrap kNN table when ``knn_table`` is
+        omitted: ``"serial"`` (default) computes it exactly by brute
+        force, ``"batched"`` runs vectorized NN-descent — much faster at
+        scale, approximate.  (The pruning passes themselves are serial in
+        both modes; batching them is an open item on the roadmap.)
     """
 
     def __init__(
@@ -49,26 +55,40 @@ class NSGBuilder:
         search_len: int = 48,
         metric: str = "l2",
         knn_table: np.ndarray = None,
+        build_engine: str = "serial",
     ) -> None:
+        from repro.graphs.nn_descent import BUILD_ENGINES
+
         if degree <= 0:
             raise ValueError("degree must be positive")
+        if build_engine not in BUILD_ENGINES:
+            raise ValueError(
+                f"unknown build_engine {build_engine!r}; "
+                f"expected one of {BUILD_ENGINES}"
+            )
         self.data = np.asarray(data)
         self.degree = degree
         self.knn = knn
         self.search_len = max(search_len, degree)
         self.metric = get_metric(metric)
         self._knn_table = knn_table
+        self.build_engine = build_engine
 
     def build(self) -> FixedDegreeGraph:
         """Run the full NSG pipeline and return the fixed-degree graph."""
         n = len(self.data)
         if n <= self.knn:
             raise ValueError("dataset too small for the requested knn")
-        table = (
-            self._knn_table
-            if self._knn_table is not None
-            else knn_neighbors(self.data, self.knn, self.metric.name)
-        )
+        if self._knn_table is not None:
+            table = self._knn_table
+        elif self.build_engine == "batched":
+            from repro.graphs.nn_descent import nn_descent
+
+            table = nn_descent(
+                self.data, self.knn, metric=self.metric.name, seed=0
+            )
+        else:
+            table = knn_neighbors(self.data, self.knn, self.metric.name)
         nav = medoid(self.data, self.metric.name)
         adj: List[List[int]] = [[] for _ in range(n)]
 
@@ -169,6 +189,7 @@ def build_nsg(
     search_len: int = 48,
     metric: str = "l2",
     knn_table: np.ndarray = None,
+    build_engine: str = "serial",
 ) -> FixedDegreeGraph:
     """One-call NSG construction (see :class:`NSGBuilder`)."""
     return NSGBuilder(
@@ -178,4 +199,5 @@ def build_nsg(
         search_len=search_len,
         metric=metric,
         knn_table=knn_table,
+        build_engine=build_engine,
     ).build()

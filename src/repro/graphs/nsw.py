@@ -5,6 +5,17 @@ inserted one at a time: each new point searches the graph built so far for
 its ``m`` nearest neighbors and connects to them bidirectionally.  Early
 insertions create the long-range "highway" links that make the graph
 navigable.  The final graph is exported as a fixed-degree adjacency array.
+
+Two insertion engines are available.  ``build_engine="serial"`` (default)
+is the reference one-point-at-a-time loop.  ``build_engine="batched"``
+inserts points in *generation batches*: each generation snapshots the
+graph built so far, runs every pending point's entry search through the
+lockstep :class:`~repro.core.batched.BatchedSongSearcher` in one shot, and
+then applies the bidirectional links.  Points inside one generation do not
+see each other — with the generation size capped at the inserted prefix
+(doubling schedule) and by ``insert_batch``, the resulting graph is not
+identical to the serial one but is recall-equivalent (tested; see
+``tests/test_graph_quality.py``).
 """
 
 from __future__ import annotations
@@ -16,6 +27,9 @@ import numpy as np
 from repro.distances import get_metric
 from repro.graphs._search import greedy_search
 from repro.graphs.storage import FixedDegreeGraph
+
+#: Smallest generation the batched scheduler will emit.
+_MIN_GENERATION = 8
 
 
 class NSWBuilder:
@@ -36,6 +50,12 @@ class NSWBuilder:
         Distance measure name.
     seed:
         Insertion order shuffle seed (``None`` keeps dataset order).
+    build_engine:
+        ``"serial"`` (default) inserts one point at a time;
+        ``"batched"`` inserts generation batches through the lockstep
+        search engine.
+    insert_batch:
+        Batched engine only: hard cap on one generation's size.
     """
 
     def __init__(
@@ -46,17 +66,30 @@ class NSWBuilder:
         max_degree: int = None,
         metric: str = "l2",
         seed: int = None,
+        build_engine: str = "serial",
+        insert_batch: int = 512,
     ) -> None:
+        from repro.graphs.nn_descent import BUILD_ENGINES
+
         if m <= 0:
             raise ValueError("m must be positive")
         if ef_construction < m:
             raise ValueError("ef_construction must be at least m")
+        if build_engine not in BUILD_ENGINES:
+            raise ValueError(
+                f"unknown build_engine {build_engine!r}; "
+                f"expected one of {BUILD_ENGINES}"
+            )
+        if insert_batch <= 0:
+            raise ValueError("insert_batch must be positive")
         self.data = np.asarray(data)
         self.m = m
         self.ef_construction = ef_construction
         self.max_degree = max_degree if max_degree is not None else 2 * m
         self.metric = get_metric(metric)
         self.seed = seed
+        self.build_engine = build_engine
+        self.insert_batch = insert_batch
         self._adj: List[List[int]] = []
         self._order: List[int] = []
 
@@ -71,8 +104,11 @@ class NSWBuilder:
             rng.shuffle(order)
         self._adj = [[] for _ in range(n)]
         self._order = order
-        for rank, v in enumerate(order):
-            self._insert(v, order[0], inserted=rank)
+        if self.build_engine == "batched":
+            self._insert_batched(order)
+        else:
+            for rank, v in enumerate(order):
+                self._insert(v, order[0], inserted=rank)
         self._prune()
         entry = order[0]
         self._repair_connectivity(entry)
@@ -97,6 +133,32 @@ class NSWBuilder:
         for _, u in found[: self.m]:
             self._adj[v].append(u)
             self._adj[u].append(v)
+
+    def _insert_batched(self, order: List[int]) -> None:
+        """Generation-batch insertion through the lockstep search engine."""
+        from repro.core.batched import BatchedSongSearcher
+        from repro.core.config import SearchConfig
+
+        n = len(order)
+        data32 = np.ascontiguousarray(np.asarray(self.data), dtype=np.float32)
+        entry = order[0]
+        pos = 1  # order[0] is in the graph with no edges yet
+        while pos < n:
+            inserted = pos
+            size = min(n - pos, max(_MIN_GENERATION, inserted), self.insert_batch)
+            batch = order[pos : pos + size]
+            ef = self.ef_construction
+            snapshot = FixedDegreeGraph.from_adjacency(
+                self._adj, entry_point=entry, validate=False
+            )
+            searcher = BatchedSongSearcher(snapshot, data32)
+            config = SearchConfig(k=ef, queue_size=ef, metric=self.metric.name)
+            results = searcher.search_batch(data32[batch], config)
+            for v, found in zip(batch, results):
+                for _, u in found[: self.m]:
+                    self._adj[v].append(u)
+                    self._adj[u].append(v)
+            pos += size
 
     def _prune(self) -> None:
         """Cut overfull adjacency lists down to the closest neighbors."""
@@ -156,6 +218,8 @@ def build_nsw(
     max_degree: int = None,
     metric: str = "l2",
     seed: int = None,
+    build_engine: str = "serial",
+    insert_batch: int = 512,
 ) -> FixedDegreeGraph:
     """One-call NSW construction (see :class:`NSWBuilder`)."""
     return NSWBuilder(
@@ -165,4 +229,6 @@ def build_nsw(
         max_degree=max_degree,
         metric=metric,
         seed=seed,
+        build_engine=build_engine,
+        insert_batch=insert_batch,
     ).build()

@@ -49,10 +49,15 @@ class FixedDegreeGraph:
         adjacency: Sequence[Sequence[int]],
         degree: int = None,
         entry_point: int = 0,
+        validate: bool = True,
     ) -> "FixedDegreeGraph":
         """Build from per-vertex neighbor lists, truncating to ``degree``.
 
-        When ``degree`` is omitted it is the maximum list length.
+        When ``degree`` is omitted it is the maximum list length.  With
+        ``validate=False`` the per-neighbor range/self-loop checks are
+        skipped and rows are written directly — the fast path for batched
+        construction, which snapshots a large in-progress adjacency every
+        insertion generation and already guarantees well-formed lists.
         """
         n = len(adjacency)
         if n == 0:
@@ -60,6 +65,15 @@ class FixedDegreeGraph:
         if degree is None:
             degree = max(1, max(len(a) for a in adjacency))
         graph = cls(n, degree, entry_point)
+        if not validate:
+            adj = graph._adj
+            counts = graph._counts
+            for v, neighbors in enumerate(adjacency):
+                c = min(len(neighbors), degree)
+                if c:
+                    adj[v, :c] = neighbors[:c] if c < len(neighbors) else neighbors
+                    counts[v] = c
+            return graph
         for v, neighbors in enumerate(adjacency):
             graph.set_neighbors(v, list(neighbors)[:degree])
         return graph

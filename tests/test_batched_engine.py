@@ -316,3 +316,50 @@ def test_norms_cache_shared_between_engines(parity_data, parity_graphs):
     assert searcher.batched().data_norms() is searcher.data_norms()
     expect = np.linalg.norm(data, axis=1)
     assert np.array_equal(searcher.data_norms(), expect)
+
+
+# -- per-lane entry points (used by batched graph construction) ---------------
+
+
+def test_entry_points_default_matches_explicit(parity_data, parity_graphs):
+    data, queries = parity_data
+    graph = parity_graphs["nsw"]
+    searcher = BatchedSongSearcher(graph, data)
+    config = SearchConfig(k=5, queue_size=20)
+    default = searcher.search_batch(queries, config)
+    entries = np.full(len(queries), graph.entry_point, dtype=np.int64)
+    explicit = searcher.search_batch(queries, config, entry_points=entries)
+    assert default == explicit
+
+
+def test_entry_points_change_the_search(parity_data, parity_graphs):
+    data, queries = parity_data
+    graph = parity_graphs["nsw"]
+    searcher = BatchedSongSearcher(graph, data)
+    # A tiny exploration budget keeps lanes near their start vertex, so
+    # different entry points must surface in the result lists.
+    config = SearchConfig(k=5, queue_size=5)
+    entries = np.arange(len(queries), dtype=np.int64) % graph.num_vertices
+    moved = searcher.search_batch(queries, config, entry_points=entries)
+    baseline = searcher.search_batch(queries, config)
+    assert moved != baseline
+
+
+def test_entry_points_bad_shape_rejected(parity_data, parity_graphs):
+    data, queries = parity_data
+    searcher = BatchedSongSearcher(parity_graphs["nsw"], data)
+    config = SearchConfig(k=5, queue_size=20)
+    with pytest.raises(ValueError, match="entry_points"):
+        searcher.search_batch(
+            queries, config, entry_points=np.zeros(3, dtype=np.int64)
+        )
+
+
+def test_entry_points_out_of_range_rejected(parity_data, parity_graphs):
+    data, queries = parity_data
+    graph = parity_graphs["nsw"]
+    searcher = BatchedSongSearcher(graph, data)
+    config = SearchConfig(k=5, queue_size=20)
+    entries = np.full(len(queries), graph.num_vertices, dtype=np.int64)
+    with pytest.raises(ValueError, match="out of range"):
+        searcher.search_batch(queries, config, entry_points=entries)

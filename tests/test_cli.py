@@ -21,6 +21,19 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--dataset", "sift"])
         assert args.methods == ["song"]
         assert args.k == 10
+        assert args.build_engine == "serial"
+
+    def test_build_engine_flag(self):
+        args = build_parser().parse_args(
+            ["build", "--dataset", "sift", "--out", "x.npz",
+             "--build-engine", "batched"]
+        )
+        assert args.build_engine == "batched"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "--dataset", "sift", "--out", "x.npz",
+                 "--build-engine", "gpu"]
+            )
 
 
 class TestCommands:
@@ -49,6 +62,21 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recall@5" in out
         assert "QPS" in out
+
+    def test_build_batched_engine_roundtrip(self, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        rc = main(
+            ["build", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--out", index_path, "--build-engine", "batched"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(batched)" in out
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--index", index_path, "--k", "5", "--queue", "30"]
+        )
+        assert rc == 0
 
     def test_search_index_mismatch_errors(self, tmp_path, capsys):
         index_path = str(tmp_path / "idx.npz")
