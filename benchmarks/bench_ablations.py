@@ -6,7 +6,6 @@
 4. Coalesced vs scattered bulk-distance access in the cost model.
 """
 
-import numpy as np
 import pytest
 
 from _common import cached_graph, emit_report, with_saturated_queries

@@ -7,11 +7,9 @@ batch exceeds the simulated device's resident-warp capacity.
 """
 
 import numpy as np
-import pytest
 
 from _common import emit_report
 from repro.core.config import SearchConfig
-from repro.data.datasets import Dataset
 from repro.eval.report import format_table
 
 BATCHES = (25, 100, 400, 1600, 3200)

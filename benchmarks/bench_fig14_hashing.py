@@ -13,10 +13,9 @@ the representation.
 
 import numpy as np
 
-from _common import cached_graph, emit_report, with_saturated_queries
+from _common import cached_graph, emit_report
 from repro import GpuSongIndex
 from repro.core.config import SearchConfig
-from repro.data.datasets import Dataset
 from repro.eval import batch_recall
 from repro.eval.report import format_table
 from repro.graphs.bruteforce_knn import build_knn_graph

@@ -9,7 +9,7 @@ same order of magnitude regardless of which graph is underneath.
 """
 
 from _common import cached_graph, emit_report, with_saturated_queries
-from repro import GpuSongIndex, build_nsg, build_nsw
+from repro import GpuSongIndex, build_nsg
 from repro.core.cpu_song import CpuSongIndex
 from repro.core.machine import DEFAULT_CPU
 from repro.eval import sweep_cpu_song, sweep_gpu_song

@@ -7,7 +7,6 @@ plus the laptop-scale analogue actually used in Fig. 14.
 """
 
 from _common import emit_report
-from repro.data import make_dataset
 from repro.eval.report import format_table
 from repro.hashing import SignRandomProjection
 

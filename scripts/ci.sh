@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
-# Minimal CI gate: the tier-1 test suite plus the smoke benchmarks —
-# batched search engine (parity + speedup >= 1x at B=64) and batched
-# graph construction (speedup + graph-recall gap gates).  Each smoke
-# runs in well under 60 s.
+# Minimal CI gate: static analysis, the tier-1 test suite, and the smoke
+# benchmarks — batched search engine (parity + speedup >= 1x at B=64) and
+# batched graph construction (speedup + graph-recall gap gates).  Each
+# smoke runs in well under 60 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
+
+# Kernel sanitizer + hot-path lint (warnings fail too: --strict).
+python -m repro.analysis --strict
+
+# ruff is optional tooling (config in pyproject.toml); gate on presence
+# so the image does not need it installed.
+if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+else
+    echo "ci: ruff not installed, skipping ruff check"
+fi
 
 python -m pytest -x -q
 python -m benchmarks.bench_batched_engine --smoke

@@ -1,0 +1,47 @@
+"""Static/dynamic analysis for the repo's SIMT substrate and hot paths.
+
+Two engines, both runnable as ``python -m repro.analysis`` and gated in
+``scripts/ci.sh``:
+
+* the **kernel sanitizer** (:mod:`repro.analysis.sanitizer`) replays
+  lane-accurate :class:`TraceRecorder` streams from the
+  :class:`~repro.simt.simulator.WarpSimulator` and flags SIMT hazards —
+  shared-memory races, OOB accesses, uninitialized-register reads,
+  divergence violations and analytic-model drift — over every microkernel
+  in the :mod:`repro.analysis.registry`;
+* the **hot-path linter** (:mod:`repro.analysis.lint`) enforces the
+  vectorization invariants in modules marked ``# lint: hot-path``.
+
+See DESIGN.md Section 9 for the hazard taxonomy and rule catalogue.
+"""
+
+from repro.analysis.findings import Finding, Severity, split_by_severity, worst_severity
+from repro.analysis.lint import HOT_MARKER, LINT_RULES, lint_paths, lint_source, lint_tree
+from repro.analysis.registry import KernelSpec, iter_kernel_specs, sanitize_kernel
+from repro.analysis.sanitizer import (
+    DriftExpectation,
+    check_drift,
+    sanitize_program,
+    sanitize_trace,
+)
+from repro.analysis.trace import TraceRecorder
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "worst_severity",
+    "split_by_severity",
+    "TraceRecorder",
+    "DriftExpectation",
+    "sanitize_program",
+    "sanitize_trace",
+    "check_drift",
+    "KernelSpec",
+    "iter_kernel_specs",
+    "sanitize_kernel",
+    "HOT_MARKER",
+    "LINT_RULES",
+    "lint_source",
+    "lint_paths",
+    "lint_tree",
+]

@@ -1,0 +1,112 @@
+"""CLI for the analysis engines: ``python -m repro.analysis``.
+
+Runs the kernel sanitizer over every registered microkernel and the
+hot-path linter over ``src/repro``, prints one line per finding, and
+exits non-zero when findings gate the build:
+
+* exit 1 if any ``error``-severity finding is present;
+* with ``--strict``, ``warning`` findings also fail (the CI setting).
+
+``--sanitize-only`` / ``--lint-only`` restrict to one engine; ``--json``
+emits machine-readable findings instead of text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.findings import Finding, split_by_severity
+from repro.analysis.lint import lint_tree
+from repro.analysis.registry import iter_kernel_specs, sanitize_kernel
+
+
+def _default_lint_root() -> Path:
+    # src/repro/analysis/__main__.py -> src/repro
+    return Path(__file__).resolve().parent.parent
+
+
+def run_analysis(
+    strict: bool = False,
+    sanitize: bool = True,
+    lint: bool = True,
+    lint_root: Optional[Path] = None,
+) -> "tuple[List[Finding], int]":
+    """Run the selected engines; returns ``(findings, exit_code)``."""
+    findings: List[Finding] = []
+    if sanitize:
+        for spec in iter_kernel_specs():
+            findings.extend(sanitize_kernel(spec))
+    if lint:
+        findings.extend(lint_tree(lint_root or _default_lint_root()))
+    errors, warnings = split_by_severity(findings)
+    failed = bool(errors) or (strict and bool(warnings))
+    return findings, 1 if failed else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="SIMT kernel sanitizer + hot-path lint",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (the CI gate setting)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON lines"
+    )
+    engine = parser.add_mutually_exclusive_group()
+    engine.add_argument(
+        "--sanitize-only",
+        action="store_true",
+        help="run only the kernel sanitizer",
+    )
+    engine.add_argument(
+        "--lint-only", action="store_true", help="run only the hot-path linter"
+    )
+    parser.add_argument(
+        "--lint-root",
+        type=Path,
+        default=None,
+        help="directory tree to lint (default: the installed repro package)",
+    )
+    args = parser.parse_args(argv)
+
+    findings, code = run_analysis(
+        strict=args.strict,
+        sanitize=not args.lint_only,
+        lint=not args.sanitize_only,
+        lint_root=args.lint_root,
+    )
+    errors, warnings = split_by_severity(findings)
+    if args.json:
+        for f in findings:
+            print(
+                json.dumps(
+                    {
+                        "rule": f.rule,
+                        "severity": f.severity.value,
+                        "location": f.location,
+                        "message": f.message,
+                    }
+                )
+            )
+    else:
+        for f in findings:
+            print(f.format())
+        label = "FAIL" if code else "OK"
+        strict_note = ", strict" if args.strict else ""
+        print(
+            f"repro.analysis: {label} — {len(errors)} error(s), "
+            f"{len(warnings)} warning(s){strict_note}"
+        )
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

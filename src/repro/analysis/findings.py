@@ -1,0 +1,74 @@
+"""Shared finding/severity types for both analysis engines.
+
+The kernel sanitizer and the hot-path linter report through one
+:class:`Finding` shape so the CLI, CI gate and tests can treat "a SIMT
+race at pc 7 of ``heap_push``" and "a per-element loop at
+``batched.py:359``" uniformly: every finding names the rule that fired,
+where it fired, and how severe it is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+class Severity(enum.Enum):
+    """How a finding gates CI.
+
+    ``ERROR`` fails every run; ``WARNING`` fails only under ``--strict``
+    (advisory hazards like imperfect coalescing that a kernel may waive).
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (``shared-race``, ``hot-loop``, ...).
+    severity:
+        :class:`Severity` of the violation.
+    location:
+        Where it fired — ``kernel:<name> pc=<n> <Op>`` for sanitizer
+        findings, ``<path>:<line>`` for lint findings.
+    message:
+        Human-readable explanation with the concrete evidence (lanes,
+        addresses, counts).
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+
+    def format(self) -> str:
+        """One-line report rendering."""
+        return f"{self.location}: {self.severity.value}: [{self.rule}] {self.message}"
+
+
+def worst_severity(findings: Iterable[Finding]) -> Severity:
+    """The most severe level present (``WARNING`` when empty)."""
+    worst = Severity.WARNING
+    for f in findings:
+        if f.severity is Severity.ERROR:
+            return Severity.ERROR
+    return worst
+
+
+def split_by_severity(
+    findings: Sequence[Finding],
+) -> "tuple[List[Finding], List[Finding]]":
+    """Partition into ``(errors, warnings)``."""
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    warnings = [f for f in findings if f.severity is Severity.WARNING]
+    return errors, warnings

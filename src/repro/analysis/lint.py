@@ -1,0 +1,303 @@
+"""Hot-path lint: AST rules for the modules the searcher's inner loop runs.
+
+Files opt in with a ``# lint: hot-path`` marker comment (the four
+dataset-scale modules carry it: ``core/batched.py``, ``structures/soa.py``,
+``graphs/nn_descent.py``, ``distances/metrics.py``).  Marked files are
+held to the repo's vectorization invariants:
+
+``hot-loop``
+    No per-element Python ``for`` loop over a dataset-sized iterable:
+    ``for .. in range(<non-constant>)``, ``for .. in enumerate(..)`` and
+    ``for .. in <x>.tolist()`` are flagged.  Loops over constant literal
+    ranges (unrolled small factors) and ``while`` loops are exempt; the
+    batch-level loops the design permits (per-batch result assembly, the
+    bounded NN-descent iteration loop, tile loops) carry explicit
+    allows.
+``float64-upcast``
+    Packed-key arrays (``uint64`` from ``pack_keys`` / ``PAD_KEY``) must
+    not meet raw Python float literals in arithmetic — numpy silently
+    upcasts ``uint64 op float`` to float64, which loses the low id bits
+    of a packed key.  Names assigned from packing primitives are tracked
+    through simple dataflow and flagged when they reach a ``BinOp``
+    against a float constant.
+``exports``
+    A hot module must declare ``__all__``, every exported name must
+    exist at module top level (error), and exported functions/classes
+    plus the module itself must carry docstrings (warning).
+
+Escape hatch: ``# lint: allow(<rule>[, <rule>...])`` on the flagged
+line, on the line directly above it, or on the ``def`` line of the
+enclosing function (a function-level waiver, used e.g. for the serial
+NN-descent reference engine that exists precisely to stay readable).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.analysis.findings import Finding, Severity
+
+#: Marker comment that opts a file into the hot-path rules.
+HOT_MARKER = "# lint: hot-path"
+
+#: Rule identifiers the allow() escape hatch accepts.
+LINT_RULES = ("hot-loop", "float64-upcast", "exports")
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(\s*([a-zA-Z0-9_\-, ]+?)\s*\)")
+
+#: Callables whose results are packed uint64 keys (dataflow seeds).
+_PACK_SOURCES = {"pack_keys", "uint64"}
+_PACK_CONSTANTS = {"PAD_KEY"}
+
+
+def _allow_map(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """1-based line → set of rule names allowed on that line."""
+    allows: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _ALLOW_RE.search(line)
+        if m:
+            allows[i] = {part.strip() for part in m.group(1).split(",") if part.strip()}
+    return allows
+
+
+class _FunctionLines(ast.NodeVisitor):
+    """Maps every node's line to the ``def`` line of its enclosing function."""
+
+    def __init__(self) -> None:
+        self.enclosing: Dict[int, int] = {}
+        self._stack: List[int] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._stack.append(node.lineno)
+        self.generic_visit(node)
+        self._stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def generic_visit(self, node: ast.AST) -> None:
+        lineno = getattr(node, "lineno", None)
+        if lineno is not None and self._stack:
+            self.enclosing.setdefault(lineno, self._stack[-1])
+        super().generic_visit(node)
+
+
+def _call_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _is_const_int(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_const_int(node.operand)
+    return False
+
+
+def _hot_loop_reason(iter_node: ast.AST) -> Optional[str]:
+    """Why a ``for`` iterable looks per-element, or ``None`` if exempt."""
+    if not isinstance(iter_node, ast.Call):
+        return None
+    name = _call_name(iter_node)
+    if name == "range" and not all(_is_const_int(a) for a in iter_node.args):
+        return "iterates range() over a non-constant extent"
+    if name == "enumerate":
+        return "iterates enumerate() element by element"
+    if name == "tolist" and isinstance(iter_node.func, ast.Attribute):
+        return "iterates an array converted with .tolist()"
+    return None
+
+
+def _packed_names(tree: ast.Module) -> Set[str]:
+    """Names assigned (transitively, two passes) from packing primitives."""
+    packed: Set[str] = set()
+
+    def value_is_packed(value: ast.AST) -> bool:
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name in _PACK_SOURCES:
+                return True
+        if isinstance(value, ast.Name) and (
+            value.id in _PACK_CONSTANTS or value.id in packed
+        ):
+            return True
+        if isinstance(value, ast.Attribute) and value.attr in _PACK_CONSTANTS:
+            return True
+        if isinstance(value, ast.BinOp):
+            return value_is_packed(value.left) or value_is_packed(value.right)
+        return False
+
+    for _ in range(2):  # one propagation round is enough for chains of two
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and value_is_packed(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        packed.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if value_is_packed(node.value) and isinstance(node.target, ast.Name):
+                    packed.add(node.target.id)
+    return packed
+
+
+def _check_exports(tree: ast.Module, path: str) -> List[Finding]:
+    findings: List[Finding] = []
+    top_level: Dict[str, ast.AST] = {}
+    exported: Optional[List[str]] = None
+    export_line = 1
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            top_level[node.name] = node
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    top_level[target.id] = node
+                    if target.id == "__all__":
+                        export_line = node.lineno
+                        try:
+                            exported = [
+                                elt.value
+                                for elt in node.value.elts  # type: ignore[attr-defined]
+                                if isinstance(elt, ast.Constant)
+                            ]
+                        except AttributeError:
+                            exported = None
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            top_level[node.target.id] = node
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                top_level[alias.asname or alias.name.split(".")[0]] = node
+
+    if ast.get_docstring(tree) is None:
+        findings.append(
+            Finding(
+                rule="exports",
+                severity=Severity.WARNING,
+                location=f"{path}:1",
+                message="hot module has no module docstring",
+            )
+        )
+    if exported is None:
+        findings.append(
+            Finding(
+                rule="exports",
+                severity=Severity.ERROR,
+                location=f"{path}:1",
+                message="hot module does not declare __all__ (or it is not a literal list)",
+            )
+        )
+        return findings
+    for name in exported:
+        node = top_level.get(name)
+        if node is None:
+            findings.append(
+                Finding(
+                    rule="exports",
+                    severity=Severity.ERROR,
+                    location=f"{path}:{export_line}",
+                    message=f"__all__ exports {name!r} but the module does not define it",
+                )
+            )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if ast.get_docstring(node) is None:
+                findings.append(
+                    Finding(
+                        rule="exports",
+                        severity=Severity.WARNING,
+                        location=f"{path}:{node.lineno}",
+                        message=f"exported {name!r} has no docstring",
+                    )
+                )
+    return findings
+
+
+def lint_source(source: str, path: str = "<string>") -> List[Finding]:
+    """Lint one file's text; returns findings (empty for unmarked files)."""
+    lines = source.splitlines()
+    # The marker must be a standalone comment line, so merely *mentioning*
+    # it (docstrings, this module's own constant) does not opt a file in.
+    if not any(line.strip() == HOT_MARKER for line in lines):
+        return []
+    allows = _allow_map(lines)
+    tree = ast.parse(source, filename=path)
+    functions = _FunctionLines()
+    functions.visit(tree)
+
+    def allowed(rule: str, lineno: int) -> bool:
+        for candidate in (lineno, lineno - 1, functions.enclosing.get(lineno)):
+            if candidate is not None and rule in allows.get(candidate, ()):
+                return True
+        return False
+
+    findings: List[Finding] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.For):
+            reason = _hot_loop_reason(node.iter)
+            if reason and not allowed("hot-loop", node.lineno):
+                findings.append(
+                    Finding(
+                        rule="hot-loop",
+                        severity=Severity.ERROR,
+                        location=f"{path}:{node.lineno}",
+                        message=(
+                            f"per-element Python loop in a hot module ({reason}); "
+                            "vectorize or annotate `# lint: allow(hot-loop)`"
+                        ),
+                    )
+                )
+
+    packed = _packed_names(tree)
+    if packed:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            sides = (node.left, node.right)
+            has_packed = any(
+                isinstance(s, ast.Name) and s.id in packed for s in sides
+            )
+            has_float = any(
+                isinstance(s, ast.Constant) and isinstance(s.value, float)
+                for s in sides
+            )
+            if has_packed and has_float and not allowed("float64-upcast", node.lineno):
+                names = [s.id for s in sides if isinstance(s, ast.Name) and s.id in packed]
+                findings.append(
+                    Finding(
+                        rule="float64-upcast",
+                        severity=Severity.ERROR,
+                        location=f"{path}:{node.lineno}",
+                        message=(
+                            f"packed uint64 key {names[0]!r} meets a raw float "
+                            "literal: numpy upcasts to float64 and drops low id "
+                            "bits; use an explicit np.uint64 operand"
+                        ),
+                    )
+                )
+
+    for finding in _check_exports(tree, path):
+        lineno = int(finding.location.rsplit(":", 1)[1])
+        if not allowed("exports", lineno):
+            findings.append(finding)
+    return findings
+
+
+def lint_paths(paths: Iterable[Path]) -> List[Finding]:
+    """Lint a set of files (non-Python and unmarked files contribute nothing)."""
+    findings: List[Finding] = []
+    for path in paths:
+        p = Path(path)
+        if p.suffix != ".py":
+            continue
+        findings.extend(lint_source(p.read_text(), str(p)))
+    return findings
+
+
+def lint_tree(root: Path) -> List[Finding]:
+    """Recursively lint every ``.py`` under ``root`` (sorted, stable order)."""
+    return lint_paths(sorted(Path(root).rglob("*.py")))

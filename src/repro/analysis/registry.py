@@ -1,0 +1,260 @@
+"""Sanitizer registry: every microkernel in :mod:`repro.simt.kernels`.
+
+Each :class:`KernelSpec` packages a microkernel the way its runner
+launches it — program, memory image, input registers — together with the
+*declared* shared-memory budget in words (what a
+:class:`~repro.simt.memory.SharedMemoryBudget` would reserve, which may
+be smaller than the runner's defensive over-allocation) and the analytic
+model's :class:`~repro.analysis.sanitizer.DriftExpectation` for the run.
+
+Expected transaction counts are produced by the same
+:class:`~repro.simt.memory.MemorySpace` formulas the analytic meters
+use, so the registry is a live cross-check: if either the lane-accurate
+interpreter or the analytic accounting changes shape, the drift rule
+fires here before the cost model silently diverges.
+
+``python -m repro.analysis`` sanitizes every registered spec;
+:func:`iter_kernel_specs` is the test suite's parametrization source.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterator, List
+
+import numpy as np
+
+from repro.analysis.findings import Finding
+from repro.analysis.sanitizer import (
+    DriftExpectation,
+    check_drift,
+    sanitize_program,
+    sanitize_trace,
+)
+from repro.analysis.trace import TraceRecorder
+from repro.simt import kernels
+from repro.simt.memory import MemorySpace
+from repro.simt.simulator import WARP_SIZE, WarpSimulator
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One sanitizer target.
+
+    ``make(tracer)`` builds a fully-configured simulator (program, memory
+    image, input registers) with the tracer attached, mirroring how the
+    kernel's runner launches it.  ``shared_words`` is the declared
+    shared-memory budget the OOB check enforces; ``waive`` lists rules
+    whose findings are expected for this kernel (e.g. a deliberate
+    scattered-read measurement waives ``uncoalesced-global``).
+    """
+
+    name: str
+    make: Callable[[TraceRecorder], WarpSimulator]
+    shared_words: int
+    drift: DriftExpectation = field(default_factory=DriftExpectation)
+    waive: FrozenSet[str] = frozenset()
+
+
+def sanitize_kernel(spec: KernelSpec) -> List[Finding]:
+    """Run one spec under tracing and return its (non-waived) findings."""
+    recorder = TraceRecorder()
+    sim = spec.make(recorder)
+    stats = sim.run()
+    findings = sanitize_program(sim.program, name=spec.name)
+    findings += sanitize_trace(
+        recorder,
+        shared_words=spec.shared_words,
+        global_words=len(sim.global_mem),
+        name=spec.name,
+    )
+    findings += check_drift(stats, recorder, spec.drift, name=spec.name)
+    return [f for f in findings if f.rule not in spec.waive]
+
+
+# --------------------------------------------------------------------------
+# spec builders
+# --------------------------------------------------------------------------
+
+#: shfl_down steps one warp_reduce issues (log2 of the warp width).
+REDUCE_STEPS = int(math.log2(WARP_SIZE))
+
+
+def _distance_spec(name: str, metric: str, dim: int) -> KernelSpec:
+    if metric == "l2":
+        program = kernels.squared_l2_kernel(dim)
+    elif metric == "ip":
+        program = kernels.dot_product_kernel(dim)
+    elif metric == "cosine":
+        program = kernels.cosine_kernel(dim)
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        rng = np.random.default_rng(7)
+        shared = np.zeros(max(dim, WARP_SIZE))
+        shared[:dim] = rng.standard_normal(dim)
+        global_mem = np.zeros(max(dim, WARP_SIZE))
+        global_mem[:dim] = rng.standard_normal(dim)
+        sim = WarpSimulator(program, global_mem=global_mem, shared_mem=shared, tracer=tracer)
+        sim.set_register("query_base", 0.0)
+        sim.set_register("vec_base", 0.0)
+        return sim
+
+    reductions = 3 if metric == "cosine" else 1
+    return KernelSpec(
+        name=name,
+        make=make,
+        shared_words=max(dim, WARP_SIZE),
+        drift=DriftExpectation(
+            global_transactions=MemorySpace().read_coalesced(4 * dim),
+            shfl_count=reductions * REDUCE_STEPS,
+        ),
+    )
+
+
+def _hamming_spec(num_words: int) -> KernelSpec:
+    program = kernels.hamming_kernel(num_words)
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        rng = np.random.default_rng(11)
+        shared = np.zeros(max(num_words, WARP_SIZE))
+        shared[:num_words] = rng.integers(0, 2**32, num_words).astype(np.float64)
+        global_mem = np.zeros(max(num_words, WARP_SIZE))
+        global_mem[:num_words] = rng.integers(0, 2**32, num_words).astype(np.float64)
+        sim = WarpSimulator(program, global_mem=global_mem, shared_mem=shared, tracer=tracer)
+        sim.set_register("query_base", 0.0)
+        sim.set_register("vec_base", 0.0)
+        return sim
+
+    return KernelSpec(
+        name=f"hamming_{num_words}w",
+        make=make,
+        shared_words=max(num_words, WARP_SIZE),
+        drift=DriftExpectation(
+            global_transactions=MemorySpace().read_coalesced(4 * num_words),
+            shfl_count=REDUCE_STEPS,
+        ),
+    )
+
+
+def _warp_reduce_spec() -> KernelSpec:
+    program = kernels.warp_reduce_kernel("acc")
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        sim = WarpSimulator(program, global_mem=np.zeros(8), tracer=tracer)
+        sim.set_register("acc", np.arange(WARP_SIZE, dtype=np.float64))
+        return sim
+
+    return KernelSpec(
+        name="warp_reduce",
+        make=make,
+        shared_words=0,
+        drift=DriftExpectation(global_transactions=0, shfl_count=REDUCE_STEPS),
+    )
+
+
+def _heap_push_spec(name: str, size: int, capacity: int) -> KernelSpec:
+    program = kernels.heap_push_kernel()
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        shared = np.zeros(2 * capacity + WARP_SIZE)
+        shared[:size] = np.sort(np.linspace(0.5, 3.0, size)) if size else []
+        shared[capacity : capacity + size] = np.arange(size, dtype=np.float64)
+        sim = WarpSimulator(program, global_mem=np.zeros(8), shared_mem=shared, tracer=tracer)
+        sim.set_register("heap_base", 0.0)
+        sim.set_register("heap_capacity", float(capacity))
+        sim.set_register("heap_size", float(size))
+        sim.set_register("new_dist", 0.25)
+        sim.set_register("new_id", 99.0)
+        return sim
+
+    return KernelSpec(
+        name=name,
+        make=make,
+        # Declared budget: the two parallel arrays, dists then ids.
+        shared_words=2 * capacity,
+        drift=DriftExpectation(global_transactions=0, shfl_count=0),
+    )
+
+
+def _single_lane_scan_spec(count: int) -> KernelSpec:
+    program = kernels.single_lane_scan_kernel(count)
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        shared = np.zeros(max(count, WARP_SIZE))
+        shared[:count] = np.arange(count, dtype=np.float64)
+        return WarpSimulator(program, global_mem=np.zeros(8), shared_mem=shared, tracer=tracer)
+
+    return KernelSpec(
+        name=f"single_lane_scan_{count}",
+        make=make,
+        shared_words=max(count, WARP_SIZE),
+        drift=DriftExpectation(global_transactions=0, shfl_count=0),
+    )
+
+
+def _warp_probe_spec() -> KernelSpec:
+    program = kernels.warp_parallel_probe_kernel()
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        table = np.full(WARP_SIZE, -1.0)
+        table[5] = 42.0
+        sim = WarpSimulator(program, global_mem=np.zeros(8), shared_mem=table, tracer=tracer)
+        sim.set_register("table_base", 0.0)
+        sim.set_register("table_mask", float(WARP_SIZE - 1))
+        sim.set_register("home", 3.0)
+        sim.set_register("key", 42.0)
+        return sim
+
+    return KernelSpec(
+        name="warp_parallel_probe",
+        make=make,
+        shared_words=WARP_SIZE,
+        drift=DriftExpectation(global_transactions=0, shfl_count=0),
+    )
+
+
+def _strided_read_spec(stride: int) -> KernelSpec:
+    program = kernels.strided_read_kernel(stride)
+    span = (WARP_SIZE - 1) * stride + 1
+
+    def make(tracer: TraceRecorder) -> WarpSimulator:
+        global_mem = np.arange(max(span, WARP_SIZE), dtype=np.float64)
+        return WarpSimulator(program, global_mem=global_mem, tracer=tracer)
+
+    meter = MemorySpace()
+    if stride == 1:
+        expected = meter.read_coalesced(4 * WARP_SIZE)
+        waive: FrozenSet[str] = frozenset()
+    else:
+        # Scattered by construction: the kernel exists to measure this,
+        # so the coalescing warning is waived, but the transaction count
+        # must still match the analytic scattered-read accounting.
+        expected = meter.read_scattered(WARP_SIZE)
+        waive = frozenset({"uncoalesced-global"})
+
+    return KernelSpec(
+        name=f"strided_read_{stride}",
+        make=make,
+        shared_words=0,
+        drift=DriftExpectation(global_transactions=expected, shfl_count=0),
+        waive=waive,
+    )
+
+
+def iter_kernel_specs() -> Iterator[KernelSpec]:
+    """Every registered microkernel launch, in a stable order."""
+    yield _distance_spec("squared_l2_64", "l2", 64)
+    yield _distance_spec("squared_l2_48_ragged", "l2", 48)
+    yield _distance_spec("dot_product_64", "ip", 64)
+    yield _distance_spec("cosine_64", "cosine", 64)
+    yield _hamming_spec(8)
+    yield _warp_reduce_spec()
+    yield _heap_push_spec("heap_push", size=5, capacity=16)
+    yield _heap_push_spec("heap_push_full", size=16, capacity=16)
+    yield _single_lane_scan_spec(24)
+    yield _warp_probe_spec()
+    yield _strided_read_spec(1)
+    yield _strided_read_spec(32)

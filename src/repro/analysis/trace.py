@@ -1,0 +1,199 @@
+"""Lane-accurate execution tracing for the kernel sanitizer.
+
+:class:`TraceRecorder` plugs into
+:class:`~repro.simt.simulator.WarpSimulator` (the ``tracer`` constructor
+argument) and records an ordered event stream: every instruction issue
+with its active mask, every shared/global memory access with the
+per-lane addresses it generated, every register initialization/write,
+and every reconvergence point (``EndIf`` and loop exit).  The sanitizer
+(:mod:`repro.analysis.sanitizer`) replays this stream to detect hazards
+the functional interpreter executes silently.
+
+Tracing is per warp; an :class:`~repro.simt.simulator.SMSimulator` run
+composes naturally — give each resident warp its own recorder and
+sanitize each trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.simt import isa
+from repro.simt.simulator import WARP_SIZE
+
+
+@dataclass(frozen=True)
+class InstrEvent:
+    """One instruction issue: program counter, opcode and active mask."""
+
+    seq: int
+    pc: int
+    ins: isa.Instruction
+    mask: np.ndarray  # (32,) bool copy of the active mask at issue
+
+
+@dataclass(frozen=True)
+class RegInitEvent:
+    """A register initialized externally via ``set_register`` (all lanes)."""
+
+    seq: int
+    name: str
+
+
+@dataclass(frozen=True)
+class RegWriteEvent:
+    """A register written by an instruction under ``mask``."""
+
+    seq: int
+    name: str
+    mask: np.ndarray
+
+
+@dataclass(frozen=True)
+class MemEvent:
+    """One shared/global memory access by the active lanes.
+
+    ``addrs[i]`` is the word address lane ``lanes[i]`` touched.  ``cost``
+    is the interpreter's serialization count for the access: bank
+    conflicts for shared, 128-byte transactions for global.
+    """
+
+    seq: int
+    pc: int
+    ins: isa.Instruction
+    space: str  # "shared" | "global"
+    kind: str  # "read" | "write"
+    addrs: np.ndarray  # (num_active,) int64
+    lanes: np.ndarray  # (num_active,) int64 lane indices
+    cost: int
+
+
+@dataclass(frozen=True)
+class ReconvergeEvent:
+    """A reconvergence point; ``mask`` is the active mask after the pop."""
+
+    seq: int
+    pc: int
+    mask: np.ndarray
+
+
+TraceEvent = Union[InstrEvent, RegInitEvent, RegWriteEvent, MemEvent, ReconvergeEvent]
+
+
+class TraceRecorder:
+    """Event sink for one warp's execution (see module docstring)."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+
+    def _next(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    # -- WarpSimulator hooks -------------------------------------------------
+
+    def on_instruction(self, pc: int, ins: isa.Instruction, mask: np.ndarray) -> None:
+        self.events.append(InstrEvent(self._next(), pc, ins, mask.copy()))
+
+    def on_reg_init(self, name: str) -> None:
+        self.events.append(RegInitEvent(self._next(), name))
+
+    def on_reg_write(self, name: str, mask: np.ndarray) -> None:
+        self.events.append(RegWriteEvent(self._next(), name, mask.copy()))
+
+    def on_shared_access(
+        self,
+        pc: int,
+        ins: isa.Instruction,
+        kind: str,
+        addrs: np.ndarray,
+        mask: np.ndarray,
+        conflicts: int,
+    ) -> None:
+        lanes = np.flatnonzero(mask)
+        self.events.append(
+            MemEvent(self._next(), pc, ins, "shared", kind, addrs.copy(), lanes, conflicts)
+        )
+
+    def on_global_access(
+        self,
+        pc: int,
+        ins: isa.Instruction,
+        kind: str,
+        addrs: np.ndarray,
+        mask: np.ndarray,
+        transactions: int,
+    ) -> None:
+        lanes = np.flatnonzero(mask)
+        self.events.append(
+            MemEvent(
+                self._next(), pc, ins, "global", kind, addrs.copy(), lanes, transactions
+            )
+        )
+
+    def on_reconverge(self, pc: int, mask: np.ndarray) -> None:
+        self.events.append(ReconvergeEvent(self._next(), pc, mask.copy()))
+
+    # -- derived views -------------------------------------------------------
+
+    def instructions(self) -> List[InstrEvent]:
+        return [e for e in self.events if isinstance(e, InstrEvent)]
+
+    def mem_events(self, space: Optional[str] = None) -> List[MemEvent]:
+        return [
+            e
+            for e in self.events
+            if isinstance(e, MemEvent) and (space is None or e.space == space)
+        ]
+
+    def count_ops(self, op_type: type) -> int:
+        """Issued instructions of one ISA opcode type."""
+        return sum(1 for e in self.instructions() if isinstance(e.ins, op_type))
+
+
+def instruction_reads(ins: isa.Instruction) -> Tuple[str, ...]:
+    """Register names an instruction reads under its active mask.
+
+    ``ShflDown`` is excluded — it reads cross-lane and is handled
+    specially by the sanitizer (see :func:`shfl_read_lanes`).
+    """
+    if isinstance(ins, isa.Mov):
+        ops: Tuple[isa.Operand, ...] = (ins.src,)
+    elif isinstance(ins, isa.Binary):
+        ops = (ins.a, ins.b)
+    elif isinstance(ins, isa.Unary):
+        ops = (ins.a,)
+    elif isinstance(ins, isa.Fma):
+        ops = (ins.a, ins.b, ins.c)
+    elif isinstance(ins, isa.Cmp):
+        ops = (ins.a, ins.b)
+    elif isinstance(ins, isa.Popc):
+        ops = (ins.a,)
+    elif isinstance(ins, (isa.Ldg, isa.Lds)):
+        ops = (ins.addr,)
+    elif isinstance(ins, (isa.Stg, isa.Sts)):
+        ops = (ins.addr, ins.src)
+    elif isinstance(ins, isa.Vote):
+        ops = (ins.src,)
+    elif isinstance(ins, (isa.If, isa.While)):
+        ops = (ins.pred,)
+    else:  # LaneId, ShflDown, Else, EndIf, EndWhile
+        ops = ()
+    return tuple(op for op in ops if isinstance(op, str))
+
+
+def shfl_read_lanes(delta: int) -> np.ndarray:
+    """Boolean mask of the lanes a ``ShflDown(delta)`` reads from.
+
+    Lane ``l`` reads lane ``min(l + delta, 31)`` when ``l + delta < 32``
+    and its own value otherwise, so the union of source lanes is
+    ``{delta, ..., 31}``.
+    """
+    mask = np.zeros(WARP_SIZE, dtype=bool)
+    mask[min(delta, WARP_SIZE - 1) :] = True
+    return mask

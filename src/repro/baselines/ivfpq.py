@@ -14,7 +14,7 @@ quality — visible on clustered datasets (NYTimes/GloVe analogues).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ with median splits on the highest-variance dimension and best-first
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np

@@ -23,7 +23,6 @@ import sys
 import time
 from typing import List
 
-import numpy as np
 
 from repro import __version__
 

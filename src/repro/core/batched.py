@@ -37,6 +37,8 @@ are therefore routed to the serial engine by
 
 from __future__ import annotations
 
+# lint: hot-path
+
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,6 +62,8 @@ from repro.structures.soa import (
     unpack_ids,
 )
 from repro.structures.visited import VisitedBackend
+
+__all__ = ["BatchedSongSearcher"]
 
 
 class BatchedSongSearcher:
@@ -349,8 +353,11 @@ class _LockstepState:
 
     # -- result extraction ----------------------------------------------------
 
-    def results(self) -> List[List[Tuple[float, int]]]:
-        """Per-lane top-``k`` lists, ascending, deduplicated by id."""
+    def results(self) -> List[List[Tuple[float, int]]]:  # lint: allow(hot-loop)
+        """Per-lane top-``k`` lists, ascending, deduplicated by id.
+
+        O(B·k) assembly of the Python return shape, not dataset-sized.
+        """
         keys = self.topk.keys
         ids = unpack_ids(keys)
         dists = unpack_distances(keys)
@@ -370,8 +377,8 @@ class _LockstepState:
             out.append(lane)
         return out
 
-    def fill_stats(self, stats: Sequence[SearchStats]) -> None:
-        """Accumulate per-lane counters into caller-provided stats."""
+    def fill_stats(self, stats: Sequence[SearchStats]) -> None:  # lint: allow(hot-loop)
+        """Accumulate per-lane counters into caller-provided stats (O(B))."""
         for b, entry in enumerate(stats):
             entry.iterations += int(self.iterations[b])
             entry.distance_computations += int(self.distance_computations[b])

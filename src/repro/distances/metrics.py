@@ -8,9 +8,20 @@ candidates with a single convention.
 
 from __future__ import annotations
 
+# lint: hot-path
+
 from typing import Dict
 
 import numpy as np
+
+__all__ = [
+    "METRICS",
+    "Metric",
+    "get_metric",
+    "single_distance",
+    "batch_distance",
+    "pairwise_distance",
+]
 
 #: Registered metric names.
 METRICS = ("l2", "ip", "cosine")

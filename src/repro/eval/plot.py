@@ -8,7 +8,7 @@ curves without a plotting dependency.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.eval.sweep import SweepPoint
 

@@ -26,6 +26,8 @@ recall-equivalent — graphs for the same seed.
 
 from __future__ import annotations
 
+# lint: hot-path
+
 from typing import List, Optional, Set, Tuple
 
 import numpy as np
@@ -33,6 +35,8 @@ import numpy as np
 from repro.distances import get_metric
 from repro.distances.metrics import Metric
 from repro.structures.soa import PAD_KEY, pack_keys, unpack_distances, unpack_ids
+
+__all__ = ["BUILD_ENGINES", "nn_descent", "graph_recall"]
 
 #: Valid construction engines, shared by every graph builder.
 BUILD_ENGINES = ("serial", "batched")
@@ -128,7 +132,7 @@ def _nn_descent_batched(
 
     keys, flags = _init_pools(data, k, m, rng, norms)
 
-    for _ in range(max_iters):
+    for _ in range(max_iters):  # lint: allow(hot-loop) — bounded round loop
         ids = unpack_ids(keys)
         # Per-entry sample_rate coin flip: sampled new entries join this
         # round and turn old, exactly like the serial loop.
@@ -212,7 +216,7 @@ def _init_pools(
         if not len(deficient):
             return keys, flags
     # Exact fallback: fill remaining short rows one by one.
-    for v in deficient.tolist():
+    for v in deficient.tolist():  # lint: allow(hot-loop) — rare residue, O(|deficient|)
         have = set(unpack_ids(keys[v][keys[v] != PAD_KEY]).tolist())
         pool = np.array([u for u in range(n) if u != v and u not in have])
         extra = pool[rng.choice(len(pool), size=k - len(have), replace=False)]
@@ -413,7 +417,7 @@ def _pair_distances(
     (squared norms for L2, norms for cosine, ``None`` for ip).
     """
     out = np.empty(len(p1), dtype=np.float32)
-    for start in range(0, len(p1), _PAIR_TILE):
+    for start in range(0, len(p1), _PAIR_TILE):  # lint: allow(hot-loop) — tile loop
         stop = min(start + _PAIR_TILE, len(p1))
         i1 = p1[start:stop]
         i2 = p2[start:stop]
@@ -455,7 +459,7 @@ def _best_candidates(
 # -- serial engine (semantic reference) ---------------------------------------
 
 
-def _nn_descent_serial(
+def _nn_descent_serial(  # lint: allow(hot-loop) — per-pair semantic reference
     data: np.ndarray,
     k: int,
     metric: str,

@@ -19,7 +19,7 @@ stack, exactly the reconvergence discipline real SIMT hardware applies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Union
 
 Operand = Union[str, int, float]  # register name or immediate
 

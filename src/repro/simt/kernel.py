@@ -10,7 +10,7 @@ and a stage profile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List
 
 from repro.simt.cost import CostModel
 from repro.simt.device import DeviceSpec

@@ -158,13 +158,18 @@ def heap_push_kernel() -> List[isa.Instruction]:
     ``heap_size`` (current entries), ``new_dist``, ``new_id``.  Lane 0
     appends the entry and sifts it up; all other lanes idle — the warp
     divergence the paper's Fig. 10 charges to maintenance.  Outputs the
-    new size in ``heap_size_out``.
+    new size in ``heap_size_out``.  A push against a full heap is a
+    no-op (the caller pops the root first to replace it); without the
+    capacity guard the append would land the id one word past the heap's
+    shared allocation and the distance inside the ids segment.
     """
     return [
         isa.LaneId(dst="lane"),
         isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
         isa.Mov(dst="heap_size_out", src="heap_size"),
-        isa.If(pred="is0"),
+        isa.Cmp(rel="lt", dst="has_room", a="heap_size", b="heap_capacity"),
+        isa.Binary(op="and", dst="do_push", a="is0", b="has_room"),
+        isa.If(pred="do_push"),
         # append at index i = heap_size
         isa.Mov(dst="i", src="heap_size"),
         isa.Binary(op="add", dst="addr_d", a="heap_base", b="i"),

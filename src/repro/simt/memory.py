@@ -17,7 +17,7 @@ Two concerns live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 #: Bytes served per coalesced transaction (cache line).
 COALESCED_TRANSACTION_BYTES = 128
@@ -57,14 +57,19 @@ class MemorySpace:
         return self.coalesced_bytes + self.scattered_accesses * SCATTERED_SECTOR_BYTES
 
     def merge(self, other: "MemorySpace") -> None:
-        self.coalesced_bytes += other.coalesced_bytes
-        self.scattered_accesses += other.scattered_accesses
-        self.shared_accesses += other.shared_accesses
+        """Fold another meter's counters into this one.
+
+        Generic over ``dataclasses.fields`` so a counter added later is
+        conserved automatically instead of silently dropped (the hazard
+        ``shared_accesses`` originally hit: it postdates ``merge``).
+        """
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
     def reset(self) -> None:
-        self.coalesced_bytes = 0
-        self.scattered_accesses = 0
-        self.shared_accesses = 0
+        """Zero every counter (field-generic, like :meth:`merge`)."""
+        for f in fields(self):
+            setattr(self, f.name, 0)
 
 
 @dataclass

@@ -104,6 +104,21 @@ class Warp:
             self.memory.read_scattered(num_ops)
         self._charge(num_ops * per_op)
 
+    # -- aggregation ----------------------------------------------------------
+
+    def merge(self, other: "Warp") -> None:
+        """Fold another warp's meters into this one.
+
+        Conserves every counter: total cycles, the full memory tally
+        (field-generic :meth:`MemorySpace.merge`) and per-stage
+        attribution, preserving the invariant that ``cycles`` equals the
+        sum of ``stage_cycles`` values when both operands satisfy it.
+        """
+        self.cycles += other.cycles
+        self.memory.merge(other.memory)
+        for stage, c in other.stage_cycles.items():
+            self.stage_cycles[stage] = self.stage_cycles.get(stage, 0.0) + c
+
     # -- internals ------------------------------------------------------------
 
     def _overlapped_latency(self, spilled: bool = False) -> float:

@@ -16,9 +16,20 @@ any real entry and therefore always sorts to the end of a row.
 
 from __future__ import annotations
 
+# lint: hot-path
+
 from typing import Optional, Tuple
 
 import numpy as np
+
+__all__ = [
+    "PAD_KEY",
+    "pack_keys",
+    "unpack_distances",
+    "unpack_ids",
+    "BatchedTopK",
+    "BatchedFrontier",
+]
 
 #: Sentinel for an empty slot; sorts after every real packed key.
 PAD_KEY = np.uint64(0xFFFFFFFFFFFFFFFF)

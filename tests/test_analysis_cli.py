@@ -1,0 +1,88 @@
+"""CLI tests for ``python -m repro.analysis``: exit codes, engine
+selection, JSON output, and the --strict gate."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.__main__ import main, run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BAD_HOT_MODULE = (
+    '"""Doc."""\n'
+    "# lint: hot-path\n"
+    "__all__ = []\n"
+    "def f(n):\n"
+    "    for i in range(n):\n"
+    "        pass\n"
+)
+
+
+def run_cli(*args):
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+class TestRunAnalysis:
+    def test_repo_is_clean_under_strict(self):
+        findings, code = run_analysis(strict=True)
+        assert code == 0, [f.format() for f in findings]
+
+    def test_seeded_lint_error_fails(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_HOT_MODULE)
+        findings, code = run_analysis(sanitize=False, lint_root=tmp_path)
+        assert code == 1
+        assert any(f.rule == "hot-loop" for f in findings)
+
+    def test_warnings_fail_only_under_strict(self, tmp_path):
+        (tmp_path / "warn.py").write_text("# lint: hot-path\n__all__ = []\n")
+        _, lax = run_analysis(sanitize=False, lint_root=tmp_path)
+        _, strict = run_analysis(strict=True, sanitize=False, lint_root=tmp_path)
+        assert (lax, strict) == (0, 1)
+
+
+class TestMainEntryPoint:
+    def test_clean_run_exit_zero(self, capsys):
+        assert main(["--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "strict" in out
+
+    def test_lint_only_on_seeded_tree(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_HOT_MODULE)
+        assert main(["--lint-only", "--lint-root", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "[hot-loop]" in out and "FAIL" in out
+
+    def test_sanitize_only_ignores_lint_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_HOT_MODULE)
+        assert main(["--sanitize-only", "--lint-root", str(tmp_path)]) == 0
+
+    def test_json_output_is_parseable(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(BAD_HOT_MODULE)
+        main(["--json", "--lint-only", "--lint-root", str(tmp_path)])
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        records = [json.loads(line) for line in lines]
+        assert records and records[0]["rule"] == "hot-loop"
+        assert set(records[0]) == {"rule", "severity", "location", "message"}
+
+
+class TestModuleInvocation:
+    """The exact commands scripts/ci.sh runs."""
+
+    def test_python_dash_m_strict_exits_zero(self):
+        proc = run_cli("--strict")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_ci_script_invokes_strict_analysis(self):
+        ci = (REPO_ROOT / "scripts" / "ci.sh").read_text()
+        assert "python -m repro.analysis --strict" in ci
+        assert "ruff check" in ci

@@ -1,0 +1,343 @@
+"""Kernel-sanitizer tests: every hazard class on purpose-built broken
+kernels, plus the clean bill of health for the real registry."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    DriftExpectation,
+    TraceRecorder,
+    check_drift,
+    iter_kernel_specs,
+    sanitize_kernel,
+    sanitize_program,
+    sanitize_trace,
+)
+from repro.analysis.findings import Severity
+from repro.simt import isa
+from repro.simt.kernels import heap_push_kernel, run_heap_push, squared_l2_kernel
+from repro.simt.simulator import WARP_SIZE, SMSimulator, WarpSimulator
+
+
+def run_traced(program, regs=None, shared=None, global_mem=None):
+    recorder = TraceRecorder()
+    sim = WarpSimulator(
+        program,
+        global_mem=global_mem if global_mem is not None else np.zeros(64),
+        shared_mem=shared,
+        tracer=recorder,
+    )
+    for name, values in (regs or {}).items():
+        sim.set_register(name, values)
+    stats = sim.run()
+    return sim, recorder, stats
+
+
+def rules(findings):
+    return {f.rule for f in findings}
+
+
+class TestSharedRace:
+    def test_intra_instruction_multi_lane_store(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Mov(dst="zero", src=0.0),
+            isa.Sts(addr="zero", src="lane"),  # 32 lanes, one address
+        ]
+        _, rec, _ = run_traced(program, shared=np.zeros(32))
+        findings = sanitize_trace(rec, shared_words=32)
+        assert "shared-race" in rules(findings)
+
+    def test_cross_lane_write_read_without_reconvergence(self):
+        # Lane 0 stores word 0 in the then-branch; lanes 1..31 read it in
+        # the else-branch *before* the EndIf reconverges them.
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+            isa.Mov(dst="zero", src=0.0),
+            isa.If(pred="is0"),
+            isa.Sts(addr="zero", src="lane"),
+            isa.Else(),
+            isa.Lds(dst="peek", addr="zero"),
+            isa.EndIf(),
+        ]
+        _, rec, _ = run_traced(program, shared=np.zeros(32))
+        findings = sanitize_trace(rec, shared_words=32)
+        race = [f for f in findings if f.rule == "shared-race"]
+        assert race and "races with the write" in race[0].message
+
+    def test_read_after_reconvergence_is_ordered(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+            isa.Mov(dst="zero", src=0.0),
+            isa.If(pred="is0"),
+            isa.Sts(addr="zero", src="lane"),
+            isa.EndIf(),
+            isa.Lds(dst="peek", addr="zero"),  # after reconvergence: fine
+        ]
+        _, rec, _ = run_traced(program, shared=np.zeros(32))
+        assert sanitize_trace(rec, shared_words=32) == []
+
+    def test_same_lane_rewrite_is_not_a_race(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+            isa.Mov(dst="zero", src=0.0),
+            isa.If(pred="is0"),
+            isa.Sts(addr="zero", src="lane"),
+            isa.Lds(dst="back", addr="zero"),
+            isa.Sts(addr="zero", src="back"),
+            isa.EndIf(),
+        ]
+        _, rec, _ = run_traced(program, shared=np.zeros(32))
+        assert sanitize_trace(rec, shared_words=32) == []
+
+
+class TestOutOfBounds:
+    def test_shared_store_past_declared_budget(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+            isa.If(pred="is0"),
+            isa.Mov(dst="addr", src=40.0),
+            isa.Sts(addr="addr", src=1.0),
+            isa.EndIf(),
+        ]
+        # The array over-allocates (64 words) so execution is silent; the
+        # declared budget of 32 words makes it a finding.
+        _, rec, _ = run_traced(program, shared=np.zeros(64))
+        findings = sanitize_trace(rec, shared_words=32)
+        oob = [f for f in findings if f.rule == "shared-oob"]
+        assert oob and oob[0].severity is Severity.ERROR
+        assert "[40]" in oob[0].message
+
+    def test_global_read_out_of_allocation(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Binary(op="add", dst="addr", a="lane", b=100.0),
+            isa.Ldg(dst="v", addr="addr"),
+        ]
+        _, rec, _ = run_traced(program, global_mem=np.zeros(256))
+        findings = sanitize_trace(rec, global_words=64)
+        assert "global-oob" in rules(findings)
+
+    def test_in_bounds_is_clean(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Ldg(dst="v", addr="lane"),
+        ]
+        _, rec, _ = run_traced(program, global_mem=np.zeros(32))
+        assert sanitize_trace(rec, global_words=32) == []
+
+
+class TestUninitializedRead:
+    def test_partial_mask_write_then_full_mask_read(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+            isa.If(pred="is0"),
+            isa.Mov(dst="x", src=1.0),
+            isa.EndIf(),
+            isa.Binary(op="add", dst="y", a="x", b=1.0),  # lanes 1..31 read junk
+        ]
+        _, rec, _ = run_traced(program)
+        uninit = [f for f in sanitize_trace(rec) if f.rule == "uninit-read"]
+        assert uninit and "'x'" in uninit[0].message
+        assert "lanes" in uninit[0].message
+
+    def test_shuffle_reads_lanes_that_never_wrote(self):
+        # Lanes 0..15 write src; a full-warp ShflDown(16) reads 16..31.
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="lt", dst="lo", a="lane", b=16.0),
+            isa.If(pred="lo"),
+            isa.Mov(dst="src", src=5.0),
+            isa.EndIf(),
+            isa.ShflDown(dst="tmp", src="src", delta=16),
+        ]
+        _, rec, _ = run_traced(program)
+        uninit = [f for f in sanitize_trace(rec) if f.rule == "uninit-read"]
+        assert uninit and "ShflDown" in uninit[0].message
+
+    def test_set_register_initializes_all_lanes(self):
+        program = [isa.Binary(op="add", dst="y", a="x", b=1.0)]
+        _, rec, _ = run_traced(program, regs={"x": 3.0})
+        assert sanitize_trace(rec) == []
+
+
+class TestDivergenceHygiene:
+    def test_shuffle_under_partial_mask(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Cmp(rel="eq", dst="is0", a="lane", b=0.0),
+            isa.Mov(dst="val", src=3.0),
+            isa.If(pred="is0"),
+            isa.ShflDown(dst="tmp", src="val", delta=16),
+            isa.EndIf(),
+        ]
+        _, rec, _ = run_traced(program)
+        findings = [f for f in sanitize_trace(rec) if f.rule == "divergent-shuffle"]
+        assert findings and findings[0].severity is Severity.ERROR
+
+    def test_stale_loop_predicate_is_static(self):
+        program = [
+            isa.Mov(dst="go", src=1.0),
+            isa.While(pred="go"),
+            isa.Mov(dst="x", src=2.0),  # never writes `go`
+            isa.EndWhile(),
+        ]
+        findings = sanitize_program(program)
+        assert rules(findings) == {"stale-loop-predicate"}
+
+    def test_loop_that_updates_predicate_is_clean(self):
+        assert sanitize_program(squared_l2_kernel(64)) == []
+
+    def test_empty_mask_issue_from_synthetic_trace(self):
+        rec = TraceRecorder()
+        rec.on_instruction(0, isa.Mov(dst="x", src=1.0), np.zeros(WARP_SIZE, dtype=bool))
+        assert "empty-mask-issue" in rules(sanitize_trace(rec))
+
+
+class TestCoalescingAndConflicts:
+    def test_scattered_global_read_warns(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Binary(op="mul", dst="addr", a="lane", b=32.0),
+            isa.Ldg(dst="v", addr="addr"),
+        ]
+        _, rec, _ = run_traced(program, global_mem=np.zeros(1024))
+        warns = [f for f in sanitize_trace(rec) if f.rule == "uncoalesced-global"]
+        assert warns and warns[0].severity is Severity.WARNING
+
+    def test_bank_conflicted_shared_read_warns(self):
+        program = [
+            isa.LaneId(dst="lane"),
+            isa.Binary(op="mul", dst="addr", a="lane", b=32.0),  # all bank 0
+            isa.Lds(dst="v", addr="addr"),
+        ]
+        _, rec, _ = run_traced(program, shared=np.zeros(1024))
+        warns = [f for f in sanitize_trace(rec, shared_words=1024)
+                 if f.rule == "bank-conflict"]
+        assert warns and "32" in warns[0].message
+
+
+class TestModelDrift:
+    def test_transaction_mismatch_fires(self):
+        _, rec, stats = run_traced(
+            squared_l2_kernel(64),
+            regs={"query_base": 0.0, "vec_base": 0.0},
+            shared=np.zeros(64),
+            global_mem=np.zeros(64),
+        )
+        wrong = DriftExpectation(global_transactions=stats.global_transactions + 1)
+        assert "model-drift" in rules(check_drift(stats, rec, wrong))
+
+    def test_shuffle_count_mismatch_fires(self):
+        _, rec, stats = run_traced(
+            squared_l2_kernel(64),
+            regs={"query_base": 0.0, "vec_base": 0.0},
+            shared=np.zeros(64),
+            global_mem=np.zeros(64),
+        )
+        wrong = DriftExpectation(shfl_count=4)  # warp_reduce issues 5
+        findings = check_drift(stats, rec, wrong)
+        assert any("ShflDown" in f.message for f in findings)
+
+    def test_matching_expectation_is_clean(self):
+        _, rec, stats = run_traced(
+            squared_l2_kernel(64),
+            regs={"query_base": 0.0, "vec_base": 0.0},
+            shared=np.zeros(64),
+            global_mem=np.zeros(64),
+        )
+        ok = DriftExpectation(global_transactions=2, shfl_count=5)
+        assert check_drift(stats, rec, ok) == []
+
+
+@pytest.mark.parametrize("spec", iter_kernel_specs(), ids=lambda s: s.name)
+def test_registry_kernel_is_clean(spec):
+    """Every registered microkernel runs clean under the sanitizer."""
+    assert sanitize_kernel(spec) == []
+
+
+class TestHeapPushRegression:
+    """The capacity guard the sanitizer forced into ``heap_push_kernel``."""
+
+    @staticmethod
+    def _unguarded():
+        """The pre-fix kernel: push gated on lane 0 only, not capacity."""
+        program = heap_push_kernel()
+        idx = next(
+            i for i, ins in enumerate(program)
+            if isinstance(ins, isa.If) and ins.pred == "do_push"
+        )
+        return program[:idx] + [isa.If(pred="is0")] + program[idx + 1:]
+
+    def _run(self, program, size, capacity):
+        recorder = TraceRecorder()
+        shared = np.zeros(2 * capacity + WARP_SIZE)
+        shared[:size] = np.linspace(0.5, 3.0, size)
+        shared[capacity : capacity + size] = np.arange(size, dtype=np.float64)
+        sim = WarpSimulator(
+            program, global_mem=np.zeros(8), shared_mem=shared, tracer=recorder
+        )
+        sim.set_register("heap_base", 0.0)
+        sim.set_register("heap_capacity", float(capacity))
+        sim.set_register("heap_size", float(size))
+        sim.set_register("new_dist", 0.25)
+        sim.set_register("new_id", 99.0)
+        sim.run()
+        return sim, recorder
+
+    def test_sanitizer_flags_unguarded_push_at_capacity(self):
+        _, rec = self._run(self._unguarded(), size=16, capacity=16)
+        findings = sanitize_trace(rec, shared_words=2 * 16)
+        oob = [f for f in findings if f.rule == "shared-oob"]
+        assert oob, "unguarded full-heap push must write past the budget"
+        assert any("[32]" in f.message for f in oob)
+
+    def test_fixed_kernel_is_clean_at_capacity(self):
+        _, rec = self._run(heap_push_kernel(), size=16, capacity=16)
+        assert sanitize_trace(rec, shared_words=2 * 16) == []
+
+    def test_full_heap_push_is_a_noop(self):
+        dists = np.sort(np.linspace(0.5, 3.0, 8))
+        ids = np.arange(8, dtype=np.float64)
+        out_d, out_i, new_size, _ = run_heap_push(
+            dists, ids, size=8, new_dist=0.25, new_id=99, capacity=8
+        )
+        assert new_size == 8
+        np.testing.assert_array_equal(out_d, dists)
+        assert 99 not in out_i
+
+    def test_non_full_push_still_works(self):
+        dists = np.sort(np.linspace(0.5, 3.0, 5))
+        ids = np.arange(5, dtype=np.float64)
+        out_d, out_i, new_size, _ = run_heap_push(
+            dists, ids, size=5, new_dist=0.25, new_id=99, capacity=8
+        )
+        assert new_size == 6
+        assert out_d[0] == pytest.approx(0.25)
+        assert out_i[0] == 99
+
+
+class TestSMComposition:
+    def test_per_warp_recorders_under_sm_interleaving(self):
+        racy = [
+            isa.LaneId(dst="lane"),
+            isa.Mov(dst="zero", src=0.0),
+            isa.Sts(addr="zero", src="lane"),
+        ]
+        clean = [
+            isa.LaneId(dst="lane"),
+            isa.Sts(addr="lane", src="lane"),
+        ]
+        recorders = [TraceRecorder(), TraceRecorder()]
+        warps = [
+            WarpSimulator(racy, np.zeros(8), np.zeros(32), tracer=recorders[0]),
+            WarpSimulator(clean, np.zeros(8), np.zeros(32), tracer=recorders[1]),
+        ]
+        SMSimulator(warps).run()
+        assert "shared-race" in rules(sanitize_trace(recorders[0], shared_words=32))
+        assert sanitize_trace(recorders[1], shared_words=32) == []

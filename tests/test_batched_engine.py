@@ -9,7 +9,6 @@ packed-key machinery the structure-of-arrays state rests on.
 
 from __future__ import annotations
 
-import itertools
 import warnings
 
 import numpy as np

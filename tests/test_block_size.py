@@ -1,6 +1,5 @@
 """Block-size extension and latency-percentile tests."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SearchConfig

@@ -1,6 +1,5 @@
 """CLI and ASCII plot tests."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main

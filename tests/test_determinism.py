@@ -1,6 +1,5 @@
 """Determinism guarantees: the docs promise reports regenerate exactly."""
 
-import numpy as np
 
 from repro.core.config import SearchConfig
 from repro.core.gpu_kernel import GpuSongIndex

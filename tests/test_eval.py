@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import SearchConfig
 from repro.core.cpu_song import CpuSongIndex
 from repro.core.gpu_kernel import GpuSongIndex
 from repro.eval.recall import batch_recall, recall_at_k

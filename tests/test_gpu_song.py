@@ -1,6 +1,5 @@
 """GPU SONG index tests: placement, timing behaviour, paper shapes."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import SearchConfig

@@ -1,6 +1,5 @@
 """Graph diagnostics tests."""
 
-import numpy as np
 import pytest
 
 from repro.graphs.stats import bfs_hops, compute_stats, edge_length_percentiles

@@ -1,7 +1,6 @@
 """End-to-end integration tests across the whole stack."""
 
 import numpy as np
-import pytest
 
 from repro import (
     GpuSongIndex,

@@ -8,7 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.simt import isa
-from repro.simt.kernels import cosine_kernel, heap_push_kernel, run_heap_push
+from repro.simt.kernels import cosine_kernel, run_heap_push
 from repro.simt.simulator import WarpSimulator
 
 

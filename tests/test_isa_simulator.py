@@ -6,7 +6,6 @@ import pytest
 from repro.simt import isa
 from repro.simt.simulator import (
     GLOBAL_LATENCY,
-    WARP_SIZE,
     SMSimulator,
     WarpSimulator,
 )

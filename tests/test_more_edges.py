@@ -1,7 +1,6 @@
 """Additional edge-case coverage for training and sweep paths."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.pq import ProductQuantizer
 from repro.baselines.ivfpq import IVFPQIndex

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.simt.cost import CostModel
-from repro.simt.device import DEVICE_PRESETS, DeviceSpec, get_device
+from repro.simt.device import DEVICE_PRESETS, get_device
 from repro.simt.memory import (
     COALESCED_TRANSACTION_BYTES,
     MemorySpace,

@@ -9,8 +9,6 @@ import numpy as np
 import pytest
 
 from repro.simt.kernels import (
-    dot_product_kernel,
-    hamming_kernel,
     run_distance_kernel,
     run_hamming_kernel,
     single_lane_scan_kernel,

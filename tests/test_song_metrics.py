@@ -11,8 +11,6 @@ import pytest
 from repro.baselines.flat import FlatIndex
 from repro.core.config import SearchConfig
 from repro.core.song import SongSearcher
-from repro.eval.recall import batch_recall
-from repro.graphs import build_nsw
 from repro.graphs.bruteforce_knn import build_knn_graph
 
 
