@@ -10,12 +10,24 @@ export PYTHONPATH=src
 # Kernel sanitizer + hot-path lint (warnings fail too: --strict).
 python -m repro.analysis --strict
 
-# ruff is optional tooling (config in pyproject.toml); gate on presence
-# so the image does not need it installed.
+# Static verifier: abstract interpretation of every registered kernel
+# plus the Theorem 1-3 search-invariant proofs.
+python -m repro.analysis --verify --strict
+
+# Negative control: the verify gate must FAIL on the known-bad fixture
+# kernels, or the proof obligations are not actually being checked.
+if python -m repro.analysis --verify-only --strict --include-known-bad \
+        >/dev/null 2>&1; then
+    echo "ci: verifier accepted the known-bad kernels — gate is broken" >&2
+    exit 1
+fi
+
+# ruff is a pinned dev dependency (pyproject.toml extra `dev`); the gate
+# is unconditional — a missing install fails CI instead of skipping.
 if command -v ruff >/dev/null 2>&1; then
     ruff check .
 else
-    echo "ci: ruff not installed, skipping ruff check"
+    python -m ruff check .
 fi
 
 python -m pytest -x -q

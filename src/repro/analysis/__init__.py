@@ -10,14 +10,36 @@ Two engines, both runnable as ``python -m repro.analysis`` and gated in
   divergence violations and analytic-model drift — over every microkernel
   in the :mod:`repro.analysis.registry`;
 * the **hot-path linter** (:mod:`repro.analysis.lint`) enforces the
-  vectorization invariants in modules marked ``# lint: hot-path``.
+  vectorization invariants in modules marked ``# lint: hot-path``;
+* the **static verifier** (:mod:`repro.analysis.verifier`, opt-in via
+  ``--verify``) abstractly interprets every registered kernel — proving
+  memory bounds, termination, divergence safety and static cost bounds
+  for *all* inputs — and checks SONG's Theorem 1–3 data-structure
+  invariants against the real search loop.
 
-See DESIGN.md Section 9 for the hazard taxonomy and rule catalogue.
+See DESIGN.md Section 9 for the hazard taxonomy and rule catalogue, and
+Section 10 for the abstract domains and invariant encodings.
 """
 
 from repro.analysis.findings import Finding, Severity, split_by_severity, worst_severity
 from repro.analysis.lint import HOT_MARKER, LINT_RULES, lint_paths, lint_source, lint_tree
-from repro.analysis.registry import KernelSpec, iter_kernel_specs, sanitize_kernel
+from repro.analysis.registry import (
+    KernelSpec,
+    iter_kernel_specs,
+    sanitize_kernel,
+    verify_kernel,
+)
+from repro.analysis.verifier import (
+    AbstractValue,
+    Interval,
+    StaticBounds,
+    VerificationReport,
+    check_all_invariants,
+    check_bounded_queue,
+    check_search_invariants,
+    iter_known_bad_specs,
+    verify_program,
+)
 from repro.analysis.sanitizer import (
     DriftExpectation,
     check_drift,
@@ -39,6 +61,16 @@ __all__ = [
     "KernelSpec",
     "iter_kernel_specs",
     "sanitize_kernel",
+    "verify_kernel",
+    "AbstractValue",
+    "Interval",
+    "StaticBounds",
+    "VerificationReport",
+    "verify_program",
+    "check_all_invariants",
+    "check_bounded_queue",
+    "check_search_invariants",
+    "iter_known_bad_specs",
     "HOT_MARKER",
     "LINT_RULES",
     "lint_source",

@@ -1,14 +1,20 @@
 """CLI for the analysis engines: ``python -m repro.analysis``.
 
-Runs the kernel sanitizer over every registered microkernel and the
-hot-path linter over ``src/repro``, prints one line per finding, and
+Runs the kernel sanitizer over every registered microkernel, the
+hot-path linter over ``src/repro``, and (with ``--verify``) the static
+verifier — abstract interpretation of every registered kernel plus the
+Theorem 1–3 search-invariant checks — prints one line per finding, and
 exits non-zero when findings gate the build:
 
 * exit 1 if any ``error``-severity finding is present;
 * with ``--strict``, ``warning`` findings also fail (the CI setting).
 
-``--sanitize-only`` / ``--lint-only`` restrict to one engine; ``--json``
-emits machine-readable findings instead of text.
+``--sanitize-only`` / ``--lint-only`` / ``--verify-only`` restrict to
+one engine; ``--json`` emits machine-readable findings instead of text,
+sorted by (severity, location, rule, message) so reports are
+deterministic across runs.  ``--include-known-bad`` adds the
+deliberately broken fixture kernels to the verify set — the negative
+control ci.sh uses to prove the gate actually fails.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ from typing import List, Optional
 
 from repro.analysis.findings import Finding, split_by_severity
 from repro.analysis.lint import lint_tree
-from repro.analysis.registry import iter_kernel_specs, sanitize_kernel
+from repro.analysis.registry import iter_kernel_specs, sanitize_kernel, verify_kernel
 
 
 def _default_lint_root() -> Path:
@@ -29,10 +35,17 @@ def _default_lint_root() -> Path:
     return Path(__file__).resolve().parent.parent
 
 
+def _finding_sort_key(f: Finding):
+    """Deterministic report order: errors first, then by place and rule."""
+    return (f.severity.value != "error", f.location, f.rule, f.message)
+
+
 def run_analysis(
     strict: bool = False,
     sanitize: bool = True,
     lint: bool = True,
+    verify: bool = False,
+    include_known_bad: bool = False,
     lint_root: Optional[Path] = None,
 ) -> "tuple[List[Finding], int]":
     """Run the selected engines; returns ``(findings, exit_code)``."""
@@ -42,6 +55,17 @@ def run_analysis(
             findings.extend(sanitize_kernel(spec))
     if lint:
         findings.extend(lint_tree(lint_root or _default_lint_root()))
+    if verify:
+        from repro.analysis.verifier.fixtures import iter_known_bad_specs
+        from repro.analysis.verifier.invariants import check_all_invariants
+
+        for spec in iter_kernel_specs():
+            findings.extend(verify_kernel(spec).findings)
+        if include_known_bad:
+            for spec in iter_known_bad_specs():
+                findings.extend(verify_kernel(spec).findings)
+        findings.extend(check_all_invariants())
+    findings.sort(key=_finding_sort_key)
     errors, warnings = split_by_severity(findings)
     failed = bool(errors) or (strict and bool(warnings))
     return findings, 1 if failed else 0
@@ -50,7 +74,7 @@ def run_analysis(
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="SIMT kernel sanitizer + hot-path lint",
+        description="SIMT kernel sanitizer + static verifier + hot-path lint",
     )
     parser.add_argument(
         "--strict",
@@ -59,6 +83,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--json", action="store_true", help="emit findings as JSON lines"
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the static verifier (abstract interpretation of every "
+        "registered kernel + Theorem 1-3 invariant checks)",
+    )
+    parser.add_argument(
+        "--include-known-bad",
+        action="store_true",
+        help="verify the known-bad fixture kernels too (negative CI control; "
+        "implies a failing exit)",
     )
     engine = parser.add_mutually_exclusive_group()
     engine.add_argument(
@@ -69,6 +105,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     engine.add_argument(
         "--lint-only", action="store_true", help="run only the hot-path linter"
     )
+    engine.add_argument(
+        "--verify-only",
+        action="store_true",
+        help="run only the static verifier",
+    )
     parser.add_argument(
         "--lint-root",
         type=Path,
@@ -77,10 +118,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    only = args.sanitize_only or args.lint_only or args.verify_only
     findings, code = run_analysis(
         strict=args.strict,
-        sanitize=not args.lint_only,
-        lint=not args.sanitize_only,
+        sanitize=args.sanitize_only or not only,
+        lint=args.lint_only or not only,
+        verify=args.verify_only or ((not only) and args.verify),
+        include_known_bad=args.include_known_bad,
         lint_root=args.lint_root,
     )
     errors, warnings = split_by_severity(findings)

@@ -21,11 +21,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Iterator, List
+from typing import Callable, FrozenSet, Iterator, List, Mapping, Tuple
 
 import numpy as np
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, Severity
 from repro.analysis.sanitizer import (
     DriftExpectation,
     check_drift,
@@ -55,6 +55,11 @@ class KernelSpec:
     shared_words: int
     drift: DriftExpectation = field(default_factory=DriftExpectation)
     waive: FrozenSet[str] = frozenset()
+    #: Input registers whose *abstract* range is wider than the concrete
+    #: launch values ``make`` installs: the verifier proves the kernel for
+    #: every value in ``[lo, hi]`` (uniform across lanes), not just the
+    #: one the sanitizer traces.
+    verify_ranges: Mapping[str, Tuple[float, float]] = field(default_factory=dict)
 
 
 def sanitize_kernel(spec: KernelSpec) -> List[Finding]:
@@ -71,6 +76,78 @@ def sanitize_kernel(spec: KernelSpec) -> List[Finding]:
     )
     findings += check_drift(stats, recorder, spec.drift, name=spec.name)
     return [f for f in findings if f.rule not in spec.waive]
+
+
+def verify_kernel(spec: KernelSpec):
+    """Statically verify one spec; no instruction is ever executed.
+
+    Builds the simulator only to recover the launch configuration —
+    program, memory sizes, input registers — then hands everything to the
+    abstract interpreter.  Registers named in ``spec.verify_ranges``
+    are widened from their concrete launch values to the declared
+    abstract interval, so the proof covers the whole range.  On top of
+    the interpreter's findings this adds the ``static-bound-vs-model``
+    obligation: the static worst-case transaction/shuffle bounds must
+    dominate the analytic :class:`DriftExpectation` counts, otherwise
+    either the bound or the cost model is wrong.
+
+    Returns the :class:`~repro.analysis.verifier.absint.VerificationReport`
+    with waived rules filtered out.
+    """
+    from repro.analysis.verifier.absint import verify_program
+    from repro.analysis.verifier.domain import AbstractValue
+
+    sim = spec.make(TraceRecorder())
+    inputs = {
+        reg: AbstractValue.from_lanes(values) for reg, values in sim.regs.items()
+    }
+    for reg, (lo, hi) in spec.verify_ranges.items():
+        integral = float(lo).is_integer() and float(hi).is_integer()
+        inputs[reg] = AbstractValue.uniform_range(float(lo), float(hi), integral=integral)
+
+    report = verify_program(
+        sim.program,
+        shared_words=spec.shared_words,
+        global_words=len(sim.global_mem),
+        inputs=inputs,
+        name=spec.name,
+    )
+
+    location = f"kernel:{spec.name}"
+    checks = (
+        ("global transactions", spec.drift.global_transactions,
+         report.bounds.global_transactions),
+        ("shfl issues", spec.drift.shfl_count, report.bounds.shfl_count),
+    )
+    for label, analytic, static in checks:
+        if analytic is None:
+            continue
+        if static is None:
+            report.findings.append(Finding(
+                rule="static-bound-vs-model",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"no static bound on {label} but the analytic model "
+                    f"expects {analytic}"
+                ),
+            ))
+        elif static < analytic:
+            report.findings.append(Finding(
+                rule="static-bound-vs-model",
+                severity=Severity.ERROR,
+                location=location,
+                message=(
+                    f"static {label} bound {static} does not dominate the "
+                    f"analytic model's {analytic}"
+                ),
+            ))
+        else:
+            report.proven.append(
+                f"{label}: static bound {static} >= analytic {analytic}"
+            )
+    report.findings[:] = [f for f in report.findings if f.rule not in spec.waive]
+    return report
 
 
 # --------------------------------------------------------------------------
@@ -176,6 +253,8 @@ def _heap_push_spec(name: str, size: int, capacity: int) -> KernelSpec:
         # Declared budget: the two parallel arrays, dists then ids.
         shared_words=2 * capacity,
         drift=DriftExpectation(global_transactions=0, shfl_count=0),
+        # The static proof covers every legal occupancy, not just `size`.
+        verify_ranges={"heap_size": (0.0, float(capacity))},
     )
 
 
@@ -213,6 +292,8 @@ def _warp_probe_spec() -> KernelSpec:
         make=make,
         shared_words=WARP_SIZE,
         drift=DriftExpectation(global_transactions=0, shfl_count=0),
+        # Any home slot is safe: the table mask folds the probe window in.
+        verify_ranges={"home": (0.0, float(WARP_SIZE - 1))},
     )
 
 

@@ -1,0 +1,993 @@
+"""Abstract interpretation of SIMT ISA programs (the static verifier core).
+
+:func:`verify_program` walks a structured ``simt.isa`` program once per
+fixpoint iteration — never executing it — and discharges five proof
+obligations:
+
+``static-oob-shared`` / ``static-oob-global``
+    Every ``Lds/Sts/Ldg/Stg`` address interval must lie inside the
+    declared budget *for all lane values and all admitted inputs*; a
+    failure reports the counterexample interval.
+``static-divergent-shuffle``
+    ``ShflDown`` must not appear inside a control region whose predicate
+    can diverge (inactive lanes would contribute stale values).
+``static-unbounded-loop``
+    Every ``While`` must carry a ranking argument: each path through the
+    body either moves a ranking register toward the loop bound by a
+    positive constant, halves it (``floor((i - c) * f)``, the heap-sift
+    parent step), or writes a constant that falsifies the predicate.
+``static-uninit-read``
+    Registers must be definitely assigned on every path before use.
+``static-bound-vs-model``
+    The walker also derives worst-case cycle / global-transaction /
+    shuffle counts from loop trip bounds and per-access coalescing
+    analysis; callers compare them against the analytic
+    :mod:`repro.simt.cost` expectations (the static bound must dominate).
+
+Loops are analysed to fixpoint with widening after a few iterations;
+precision is recovered by re-applying the loop predicate at the body
+entry (``i < dim`` restores ``i ≤ dim − 1`` even after ``i`` widens).
+States are path-local: a register's abstraction describes the *active*
+lanes of the current path, and reconvergence points join branch states,
+which is what keeps lane-affine strides alive through divergent loops.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.verifier.domain import (
+    AbstractValue,
+    Interval,
+    Parity,
+    binary_transfer,
+    unary_transfer,
+)
+from repro.simt import isa
+from repro.simt.simulator import (
+    GLOBAL_LATENCY,
+    NUM_BANKS,
+    SHARED_LATENCY,
+    WARP_SIZE,
+    WORDS_PER_TRANSACTION,
+)
+
+__all__ = ["verify_program", "VerificationReport", "StaticBounds"]
+
+#: Fixpoint iterations before interval widening kicks in.
+_WIDEN_AFTER = 3
+#: Hard cap on fixpoint iterations (widening guarantees earlier exit).
+_MAX_FIXPOINT = 16
+
+_INF = float("inf")
+
+
+# --------------------------------------------------------------------------
+# structured program tree
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _IfBlock:
+    pc: int
+    pred: str
+    then: List["_Item"]
+    els: List["_Item"]
+    has_else: bool
+
+
+@dataclass
+class _WhileBlock:
+    pc: int
+    pred: str
+    body: List["_Item"]
+
+
+_Item = Union[Tuple[int, isa.Instruction], _IfBlock, _WhileBlock]
+
+
+def _build_blocks(program: Sequence[isa.Instruction]) -> List[_Item]:
+    """Parse the flat instruction list into a nested block tree."""
+    pos = 0
+
+    def parse(stop_on: Tuple[type, ...]) -> List[_Item]:
+        nonlocal pos
+        items: List[_Item] = []
+        while pos < len(program):
+            ins = program[pos]
+            if isinstance(ins, stop_on):
+                return items
+            if isinstance(ins, isa.If):
+                pc = pos
+                pos += 1
+                then = parse((isa.Else, isa.EndIf))
+                has_else = isinstance(program[pos], isa.Else)
+                els: List[_Item] = []
+                if has_else:
+                    pos += 1
+                    els = parse((isa.EndIf,))
+                pos += 1  # consume EndIf
+                items.append(_IfBlock(pc, ins.pred, then, els, has_else))
+            elif isinstance(ins, isa.While):
+                pc = pos
+                pos += 1
+                body = parse((isa.EndWhile,))
+                pos += 1  # consume EndWhile
+                items.append(_WhileBlock(pc, ins.pred, body))
+            else:
+                items.append((pos, ins))
+                pos += 1
+        return items
+
+    return parse(())
+
+
+# --------------------------------------------------------------------------
+# predicate facts (for branch refinement)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _CmpFact:
+    rel: str
+    a: isa.Operand
+    b: isa.Operand
+    snapshot: Tuple[Tuple[str, int], ...]  # (reg, version) at creation
+
+    def shape(self) -> tuple:
+        return ("cmp", self.rel, self.a, self.b)
+
+
+@dataclass(frozen=True)
+class _BoolFact:
+    op: str  # "and" | "or"
+    a: str
+    b: str
+    snapshot: Tuple[Tuple[str, int], ...]
+
+    def shape(self) -> tuple:
+        return (self.op, self.a, self.b)
+
+
+_Fact = Union[_CmpFact, _BoolFact]
+
+_NEGATE = {"lt": "ge", "le": "gt", "gt": "le", "ge": "lt", "eq": "ne", "ne": "eq"}
+
+
+# --------------------------------------------------------------------------
+# abstract state
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class _State:
+    regs: Dict[str, AbstractValue] = field(default_factory=dict)
+    defined: Set[str] = field(default_factory=set)
+    facts: Dict[str, _Fact] = field(default_factory=dict)
+    versions: Dict[str, int] = field(default_factory=dict)
+    reachable: bool = True
+
+    def copy(self) -> "_State":
+        return _State(
+            dict(self.regs),
+            set(self.defined),
+            dict(self.facts),
+            dict(self.versions),
+            self.reachable,
+        )
+
+    def value(self, op: isa.Operand) -> AbstractValue:
+        if isinstance(op, str):
+            return self.regs.get(op, AbstractValue.top())
+        return AbstractValue.const(op)
+
+    def write(self, dst: str, value: AbstractValue) -> None:
+        self.regs[dst] = value
+        self.defined.add(dst)
+        self.versions[dst] = self.versions.get(dst, 0) + 1
+        self.facts.pop(dst, None)
+
+    def fact_valid(self, fact: _Fact) -> bool:
+        return all(self.versions.get(reg, 0) == ver for reg, ver in fact.snapshot)
+
+    def snapshot_of(self, *operands: isa.Operand) -> Tuple[Tuple[str, int], ...]:
+        return tuple(
+            (op, self.versions.get(op, 0)) for op in operands if isinstance(op, str)
+        )
+
+
+def _join_states(a: _State, b: _State) -> _State:
+    if not a.reachable:
+        return b
+    if not b.reachable:
+        return a
+    regs: Dict[str, AbstractValue] = {}
+    for reg in set(a.regs) | set(b.regs):
+        if reg in a.regs and reg in b.regs:
+            regs[reg] = a.regs[reg].join(b.regs[reg])
+        else:
+            # Defined on one path only; def-before-use flags bad reads.
+            regs[reg] = a.regs.get(reg, b.regs.get(reg))  # type: ignore[arg-type]
+    versions = dict(a.versions)
+    for reg, ver in b.versions.items():
+        versions[reg] = max(versions.get(reg, 0), ver)
+    facts: Dict[str, _Fact] = {}
+    for reg in set(a.facts) & set(b.facts):
+        fa, fb = a.facts[reg], b.facts[reg]
+        # A fact survives a join when both paths establish the same
+        # relation and neither path invalidated it; re-stamp it against
+        # the joined version map (each path's execution satisfies it).
+        if fa.shape() == fb.shape() and a.fact_valid(fa) and b.fact_valid(fb):
+            operands = (fa.a, fa.b) if isinstance(fa, _CmpFact) else (fa.a, fa.b)
+            snapshot = tuple(
+                (reg2, versions.get(reg2, 0))
+                for reg2 in operands
+                if isinstance(reg2, str)
+            )
+            facts[reg] = (
+                _CmpFact(fa.rel, fa.a, fa.b, snapshot)
+                if isinstance(fa, _CmpFact)
+                else _BoolFact(fa.op, fa.a, fa.b, snapshot)
+            )
+    return _State(regs, a.defined & b.defined, facts, versions, True)
+
+
+def _widen_states(older: _State, newer: _State) -> _State:
+    joined = _join_states(older, newer)
+    if not older.reachable or not newer.reachable:
+        return joined
+    for reg in list(joined.regs):
+        if reg in older.regs and reg in newer.regs:
+            joined.regs[reg] = older.regs[reg].widen(newer.regs[reg])
+    return joined
+
+
+def _states_equal(a: _State, b: _State) -> bool:
+    if a.reachable != b.reachable or a.defined != b.defined:
+        return False
+    if set(a.regs) != set(b.regs):
+        return False
+    for reg, av in a.regs.items():
+        if av != b.regs[reg]:
+            return False
+    return {r: f.shape() for r, f in a.facts.items()} == {
+        r: f.shape() for r, f in b.facts.items()
+    }
+
+
+# --------------------------------------------------------------------------
+# predicate refinement
+# --------------------------------------------------------------------------
+
+
+def _refine_cmp(state: _State, rel: str, a: isa.Operand, b: isa.Operand) -> None:
+    av, bv = state.value(a), state.value(b)
+    step = 1.0 if (av.integral and bv.integral) else 0.0
+    na, nb = av.interval, bv.interval
+    if rel == "lt":
+        na = na.meet(Interval(-_INF, bv.interval.hi - step))
+        nb = nb.meet(Interval(av.interval.lo + step, _INF))
+    elif rel == "le":
+        na = na.meet(Interval(-_INF, bv.interval.hi))
+        nb = nb.meet(Interval(av.interval.lo, _INF))
+    elif rel == "gt":
+        na = na.meet(Interval(bv.interval.lo + step, _INF))
+        nb = nb.meet(Interval(-_INF, av.interval.hi - step))
+    elif rel == "ge":
+        na = na.meet(Interval(bv.interval.lo, _INF))
+        nb = nb.meet(Interval(-_INF, av.interval.hi))
+    elif rel == "eq":
+        na = nb = av.interval.meet(bv.interval)
+    else:  # ne: no interval refinement
+        return
+    if na.is_empty or nb.is_empty:
+        state.reachable = False
+        return
+    if isinstance(a, str):
+        state.regs[a] = av.with_interval(na)
+    if isinstance(b, str):
+        state.regs[b] = bv.with_interval(nb)
+
+
+def _assume(state: _State, pred: str, truth: bool, depth: int = 0) -> None:
+    """Refine ``state`` in place under ``pred == truth`` (best effort)."""
+    if depth > 4 or not state.reachable:
+        return
+    pv = state.regs.get(pred)
+    if pv is not None and pv.integral and pv.interval.lo >= 0.0 and pv.interval.hi <= 1.0:
+        want = Interval.const(1.0 if truth else 0.0)
+        narrowed = pv.interval.meet(want)
+        if narrowed.is_empty:
+            state.reachable = False
+            return
+        state.regs[pred] = pv.with_interval(narrowed)
+    fact = state.facts.get(pred)
+    if fact is None or not state.fact_valid(fact):
+        return
+    if isinstance(fact, _CmpFact):
+        rel = fact.rel if truth else _NEGATE[fact.rel]
+        _refine_cmp(state, rel, fact.a, fact.b)
+    elif fact.op == "and" and truth:
+        _assume(state, fact.a, True, depth + 1)
+        _assume(state, fact.b, True, depth + 1)
+    elif fact.op == "or" and not truth:
+        _assume(state, fact.a, False, depth + 1)
+        _assume(state, fact.b, False, depth + 1)
+
+
+# --------------------------------------------------------------------------
+# symbolic write classification (loop ranking functions)
+# --------------------------------------------------------------------------
+
+_OPAQUE = ("opaque",)
+
+
+def _sym_of(sym: Dict[str, tuple], op: isa.Operand) -> tuple:
+    if isinstance(op, str):
+        return sym.get(op, ("leaf", op))
+    return ("const", float(op))
+
+
+def _sym_step(sym: Dict[str, tuple], ins: isa.Instruction) -> None:
+    """Track straight-line expressions (for the halving-pattern matcher)."""
+    if isinstance(ins, isa.Mov):
+        sym[ins.dst] = _sym_of(sym, ins.src)
+    elif isinstance(ins, isa.Binary) and ins.op in ("add", "sub", "mul"):
+        sym[ins.dst] = (ins.op, _sym_of(sym, ins.a), _sym_of(sym, ins.b))
+    elif isinstance(ins, isa.Unary) and ins.op == "floor":
+        sym[ins.dst] = ("floor", _sym_of(sym, ins.a))
+    else:
+        dst = getattr(ins, "dst", None)
+        if isinstance(dst, str):
+            sym[dst] = _OPAQUE
+
+
+def _match_halving(expr: tuple, var: str) -> bool:
+    """Match ``[floor] (var - c) * f`` with c ≥ 1 and 0 < f ≤ 1.
+
+    For integral ``var ≥ 1`` this write decreases the value by at least 1
+    (``(i - c)·f ≤ i - c ≤ i - 1``), the heap sift-up parent step.
+    """
+    if expr[0] == "floor":
+        expr = expr[1]
+    if expr[0] != "mul":
+        return False
+    left, right = expr[1], expr[2]
+    if right[0] == "const" and 0.0 < right[1] <= 1.0:
+        sub = left
+    elif left[0] == "const" and 0.0 < left[1] <= 1.0:
+        sub = right
+    else:
+        return False
+    return (
+        sub[0] == "sub"
+        and sub[1] == ("leaf", var)
+        and sub[2][0] == "const"
+        and sub[2][1] >= 1.0
+    )
+
+
+# --------------------------------------------------------------------------
+# reports
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaticBounds:
+    """Worst-case resource bounds; ``None`` means no finite bound."""
+
+    cycles: Optional[float]
+    global_transactions: Optional[float]
+    shfl_count: Optional[float]
+
+
+@dataclass
+class VerificationReport:
+    """What one :func:`verify_program` run proved (or failed to)."""
+
+    name: str
+    findings: List[Finding]
+    proven: List[str]
+    bounds: StaticBounds
+    loop_trips: Dict[int, Optional[float]]
+    shared_span: Optional[Interval]
+    global_span: Optional[Interval]
+    outputs: Dict[str, AbstractValue]
+
+    @property
+    def ok(self) -> bool:
+        """True iff every obligation was discharged."""
+        return not self.findings
+
+
+# --------------------------------------------------------------------------
+# the interpreter
+# --------------------------------------------------------------------------
+
+_READ_FIELDS = {
+    isa.Mov: ("src",),
+    isa.Binary: ("a", "b"),
+    isa.Unary: ("a",),
+    isa.Fma: ("a", "b", "c"),
+    isa.Cmp: ("a", "b"),
+    isa.Popc: ("a",),
+    isa.Ldg: ("addr",),
+    isa.Stg: ("addr", "src"),
+    isa.Lds: ("addr",),
+    isa.Sts: ("addr", "src"),
+    isa.ShflDown: ("src",),
+    isa.Vote: ("src",),
+}
+
+
+class _Verifier:
+    def __init__(
+        self,
+        program: Sequence[isa.Instruction],
+        *,
+        shared_words: int,
+        global_words: int,
+        inputs: Dict[str, AbstractValue],
+        name: str,
+    ) -> None:
+        isa.validate_program(program)
+        self.program = list(program)
+        self.items = _build_blocks(self.program)
+        self.shared_words = shared_words
+        self.global_words = global_words
+        self.inputs = dict(inputs)
+        self.name = name
+        self.findings: List[Finding] = []
+        self.proven: List[str] = []
+        self._seen: Set[tuple] = set()
+        self.div_stack: List[bool] = []
+        self.mem_worst: Dict[int, float] = {}  # pc -> worst txns / conflicts
+        self.loop_trips: Dict[int, Optional[float]] = {}
+        self.shared_span: Optional[Interval] = None
+        self.global_span: Optional[Interval] = None
+
+    # -- findings ----------------------------------------------------------
+
+    def _flag(self, rule: str, pc: int, message: str, key: tuple) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        op = type(self.program[pc]).__name__
+        self.findings.append(
+            Finding(
+                rule=rule,
+                severity=Severity.ERROR,
+                location=f"kernel:{self.name} pc={pc} {op}",
+                message=message,
+            )
+        )
+
+    # -- entry point -------------------------------------------------------
+
+    def run(self) -> VerificationReport:
+        state = _State()
+        for reg, av in self.inputs.items():
+            state.regs[reg] = av
+            state.defined.add(reg)
+        final = self._exec_items(self.items, state)
+        bounds = self._compute_bounds()
+        return VerificationReport(
+            name=self.name,
+            findings=self.findings,
+            proven=self.proven,
+            bounds=bounds,
+            loop_trips=dict(self.loop_trips),
+            shared_span=self.shared_span,
+            global_span=self.global_span,
+            outputs=dict(final.regs) if final.reachable else {},
+        )
+
+    # -- structured walk ---------------------------------------------------
+
+    def _exec_items(self, items: List[_Item], state: _State) -> _State:
+        for item in items:
+            if not state.reachable:
+                break
+            if isinstance(item, tuple):
+                self._exec_instr(item[0], item[1], state)
+            elif isinstance(item, _IfBlock):
+                state = self._exec_if(item, state)
+            else:
+                state = self._exec_while(item, state)
+        return state
+
+    def _check_reads(self, pc: int, ins: isa.Instruction, state: _State) -> None:
+        for fieldname in _READ_FIELDS.get(type(ins), ()):
+            op = getattr(ins, fieldname)
+            if isinstance(op, str) and op not in state.defined:
+                self._flag(
+                    "static-uninit-read",
+                    pc,
+                    f"register {op!r} may be read before assignment on this path",
+                    ("uninit", pc, op),
+                )
+                state.regs.setdefault(op, AbstractValue.top())
+                state.defined.add(op)  # report once, keep walking
+
+    def _check_pred_read(self, pc: int, pred: str, state: _State) -> None:
+        if pred not in state.defined:
+            self._flag(
+                "static-uninit-read",
+                pc,
+                f"predicate {pred!r} may be read before assignment",
+                ("uninit", pc, pred),
+            )
+            state.regs.setdefault(pred, AbstractValue.top())
+            state.defined.add(pred)
+
+    def _exec_if(self, blk: _IfBlock, state: _State) -> _State:
+        self._check_pred_read(blk.pc, blk.pred, state)
+        pred_av = state.value(blk.pred)
+        divergent = not pred_av.is_uniform
+        then_in = state.copy()
+        _assume(then_in, blk.pred, True)
+        else_in = state.copy()
+        _assume(else_in, blk.pred, False)
+        self.div_stack.append(divergent)
+        then_out = self._exec_items(blk.then, then_in) if then_in.reachable else then_in
+        else_out = self._exec_items(blk.els, else_in) if else_in.reachable else else_in
+        self.div_stack.pop()
+        return _join_states(then_out, else_out)
+
+    def _exec_while(self, blk: _WhileBlock, state: _State) -> _State:
+        self._check_pred_read(blk.pc, blk.pred, state)
+        entry = state
+        head = state
+        entered = False
+        for iteration in range(_MAX_FIXPOINT):
+            body_in = head.copy()
+            _assume(body_in, blk.pred, True)
+            if not body_in.reachable:
+                break
+            entered = True
+            divergent = not head.value(blk.pred).is_uniform
+            self.div_stack.append(divergent)
+            body_out = self._exec_items(blk.body, body_in)
+            self.div_stack.pop()
+            new_head = _join_states(entry, body_out)
+            if _states_equal(new_head, head):
+                break
+            if iteration >= _WIDEN_AFTER:
+                head = _widen_states(head, new_head)
+            else:
+                head = new_head
+        terminates, trips = self._analyze_termination(blk, entry, head, entered)
+        self.loop_trips[blk.pc] = 0.0 if not entered else trips
+        if entered and not terminates:
+            self._flag(
+                "static-unbounded-loop",
+                blk.pc,
+                f"no ranking argument proves While({blk.pred!r}) terminates: "
+                "every path through the body must step a ranking register "
+                "toward the bound, halve it, or write an exiting constant",
+                ("loop", blk.pc),
+            )
+        elif entered:
+            self.proven.append(
+                f"pc={blk.pc} While({blk.pred}) terminates"
+                + (f" within {int(trips)} iteration(s)" if trips not in (None, _INF) else "")
+            )
+        exit_state = head.copy()
+        _assume(exit_state, blk.pred, False)
+        return exit_state
+
+    # -- instructions ------------------------------------------------------
+
+    def _exec_instr(self, pc: int, ins: isa.Instruction, state: _State) -> None:
+        self._check_reads(pc, ins, state)
+        if isinstance(ins, isa.Mov):
+            state.write(ins.dst, state.value(ins.src))
+        elif isinstance(ins, isa.LaneId):
+            state.write(ins.dst, AbstractValue.lane_id())
+        elif isinstance(ins, isa.Binary):
+            a, b = state.value(ins.a), state.value(ins.b)
+            state.write(ins.dst, binary_transfer(ins.op, a, b))
+            if (
+                ins.op in ("and", "or")
+                and isinstance(ins.a, str)
+                and isinstance(ins.b, str)
+                and ins.dst not in (ins.a, ins.b)  # self-writes stale the fact
+            ):
+                state.facts[ins.dst] = _BoolFact(
+                    ins.op, ins.a, ins.b, state.snapshot_of(ins.a, ins.b)
+                )
+        elif isinstance(ins, isa.Unary):
+            state.write(ins.dst, unary_transfer(ins.op, state.value(ins.a)))
+        elif isinstance(ins, isa.Fma):
+            prod = binary_transfer("mul", state.value(ins.a), state.value(ins.b))
+            state.write(ins.dst, binary_transfer("add", prod, state.value(ins.c)))
+        elif isinstance(ins, isa.Cmp):
+            a, b = state.value(ins.a), state.value(ins.b)
+            stride = 0.0 if (a.is_uniform and b.is_uniform) else None
+            state.write(
+                ins.dst, AbstractValue(Interval(0.0, 1.0), Parity.TOP, True, stride)
+            )
+            if ins.dst not in (ins.a, ins.b):  # self-writes stale the fact
+                state.facts[ins.dst] = _CmpFact(
+                    ins.rel, ins.a, ins.b, state.snapshot_of(ins.a, ins.b)
+                )
+        elif isinstance(ins, isa.Popc):
+            src = state.value(ins.a)
+            stride = 0.0 if src.is_uniform else None
+            state.write(
+                ins.dst, AbstractValue(Interval(0.0, 64.0), Parity.TOP, True, stride)
+            )
+        elif isinstance(ins, isa.ShflDown):
+            if any(self.div_stack):
+                self._flag(
+                    "static-divergent-shuffle",
+                    pc,
+                    "shfl_down inside a potentially divergent control region: "
+                    "inactive lanes contribute stale values",
+                    ("shfl", pc),
+                )
+            src = state.value(ins.src)
+            stride = 0.0 if src.is_uniform else None
+            state.write(
+                ins.dst, AbstractValue(src.interval, src.parity, src.integral, stride)
+            )
+        elif isinstance(ins, isa.Vote):
+            interval = (
+                Interval(-1.0, float(WARP_SIZE - 1))
+                if ins.mode == "ballot_ffs"
+                else Interval(0.0, 1.0)
+            )
+            state.write(ins.dst, AbstractValue(interval, Parity.TOP, True, 0.0))
+        elif isinstance(ins, isa.Ldg):
+            addr = state.value(ins.addr)
+            self._check_mem(pc, addr, "global")
+            state.write(ins.dst, self._loaded_value(addr))
+        elif isinstance(ins, isa.Lds):
+            addr = state.value(ins.addr)
+            self._check_mem(pc, addr, "shared")
+            state.write(ins.dst, self._loaded_value(addr))
+        elif isinstance(ins, isa.Stg):
+            self._check_mem(pc, state.value(ins.addr), "global")
+        elif isinstance(ins, isa.Sts):
+            self._check_mem(pc, state.value(ins.addr), "shared")
+        # Else / EndIf / EndWhile never reach here (consumed by the parser).
+
+    @staticmethod
+    def _loaded_value(addr: AbstractValue) -> AbstractValue:
+        # Memory contents are unknown; a uniform address still yields a
+        # uniform value (every lane reads the same word).
+        return AbstractValue(
+            Interval.top(), Parity.TOP, False, 0.0 if addr.is_uniform else None
+        )
+
+    # -- memory obligations ------------------------------------------------
+
+    def _check_mem(self, pc: int, addr: AbstractValue, space: str) -> None:
+        budget = self.shared_words if space == "shared" else self.global_words
+        as_int = addr.interval.trunc()  # the interpreter casts to int64
+        if space == "shared":
+            self.shared_span = as_int if self.shared_span is None else self.shared_span.hull(as_int)
+            worst = self._worst_conflicts(addr)
+        else:
+            self.global_span = as_int if self.global_span is None else self.global_span.hull(as_int)
+            worst = self._worst_transactions(addr)
+        self.mem_worst[pc] = max(self.mem_worst.get(pc, 0.0), worst)
+        if as_int.lo < 0.0 or as_int.hi > budget - 1:
+            self._flag(
+                f"static-oob-{space}",
+                pc,
+                f"cannot prove {space} address in bounds: derived interval "
+                f"[{as_int.lo:g}, {as_int.hi:g}] vs budget [0, {budget - 1}] "
+                f"({addr.divergence})",
+                (f"oob-{space}", pc),
+            )
+        else:
+            self.proven.append(
+                f"pc={pc} {space} access within [{as_int.lo:g}, {as_int.hi:g}] "
+                f"⊆ [0, {budget - 1}]"
+            )
+
+    @staticmethod
+    def _worst_transactions(addr: AbstractValue) -> float:
+        """Upper bound on 128-byte transactions for one warp access."""
+        if addr.stride is None:
+            return float(WARP_SIZE)
+        if addr.stride == 0.0:
+            return 1.0
+        span = (WARP_SIZE - 1) * abs(addr.stride)
+        return float(min(WARP_SIZE, int(span // WORDS_PER_TRANSACTION) + 2))
+
+    @staticmethod
+    def _worst_conflicts(addr: AbstractValue) -> float:
+        """Upper bound on bank-conflict serialisation for one access."""
+        if addr.stride is None:
+            return float(NUM_BANKS)
+        if addr.stride == 0.0:
+            return 1.0  # same word on every lane: broadcast
+        stride = abs(addr.stride)
+        if stride != math.floor(stride):
+            return float(NUM_BANKS)
+        return float(math.gcd(int(stride), NUM_BANKS))
+
+    # -- termination (ranking-function heuristics) -------------------------
+
+    def _analyze_termination(
+        self, blk: _WhileBlock, entry: _State, head: _State, entered: bool
+    ) -> Tuple[bool, Optional[float]]:
+        if not entered:
+            return True, 0.0
+        fact = head.facts.get(blk.pred)
+        if not isinstance(fact, _CmpFact) or not head.fact_valid(fact):
+            return False, None
+        if fact.rel in ("lt", "le") and isinstance(fact.a, str):
+            var, bound, direction, rel = fact.a, fact.b, "up", fact.rel
+        elif fact.rel in ("gt", "ge") and isinstance(fact.a, str):
+            var, bound, direction, rel = fact.a, fact.b, "down", fact.rel
+        elif fact.rel in ("lt", "le") and isinstance(fact.b, str):
+            var, bound, direction, rel = (
+                fact.b,
+                fact.a,
+                "down",
+                {"lt": "gt", "le": "ge"}[fact.rel],
+            )
+        elif fact.rel in ("gt", "ge") and isinstance(fact.b, str):
+            var, bound, direction, rel = (
+                fact.b,
+                fact.a,
+                "up",
+                {"gt": "lt", "ge": "le"}[fact.rel],
+            )
+        else:
+            return False, None
+        if isinstance(bound, str) and self._writes_reg(blk.body, bound):
+            return False, None  # bound is not loop-invariant
+        bound_iv = head.value(bound).interval
+        var_av = head.value(var)
+        # Registers never written in the body keep their head-state value,
+        # so a constant one works as an immediate in the ranking patterns.
+        body_writes = self._written_regs(blk.body)
+        consts: Dict[str, float] = {}
+        for reg, av in head.regs.items():
+            if reg not in body_writes and av.const_value is not None:
+                consts[reg] = av.const_value
+        ok, min_step, progresses = self._classify_writes(
+            blk.body, var, bound_iv, direction, rel, var_av.integral, consts=consts
+        )
+        if not ok or not progresses or min_step is None:
+            return False, None
+        entry_iv = entry.value(var).interval
+        if direction == "up":
+            slack = bound_iv.hi - entry_iv.lo
+        else:
+            slack = entry_iv.hi - bound_iv.lo
+        if not math.isfinite(slack):
+            return True, _INF  # terminates, but with no finite trip bound
+        trips = max(0.0, math.floor(slack / min_step) + 2.0)
+        return True, trips
+
+    def _writes_reg(self, items: List[_Item], reg: str) -> bool:
+        for item in items:
+            if isinstance(item, tuple):
+                if getattr(item[1], "dst", None) == reg:
+                    return True
+            elif isinstance(item, _IfBlock):
+                if self._writes_reg(item.then, reg) or self._writes_reg(item.els, reg):
+                    return True
+            elif self._writes_reg(item.body, reg):
+                return True
+        return False
+
+    def _classify_writes(
+        self,
+        items: List[_Item],
+        var: str,
+        bound: Interval,
+        direction: str,
+        rel: str,
+        integral: bool,
+        sym: Optional[Dict[str, tuple]] = None,
+        nested: bool = False,
+        consts: Optional[Dict[str, float]] = None,
+    ) -> Tuple[bool, Optional[float], bool]:
+        """(all writes compliant, min step, every path progresses)."""
+        if sym is None:
+            sym = {}
+        if consts is None:
+            consts = {}
+        all_ok = True
+        min_step: Optional[float] = None
+        progresses = False
+
+        def note_step(step: float) -> None:
+            nonlocal min_step, progresses
+            min_step = step if min_step is None else min(min_step, step)
+            progresses = True
+
+        for item in items:
+            if isinstance(item, tuple):
+                ins = item[1]
+                if getattr(ins, "dst", None) == var:
+                    step = self._compliant_write(
+                        ins, var, bound, direction, rel, integral, sym, consts
+                    )
+                    if step is None:
+                        all_ok = False
+                    else:
+                        note_step(step)
+                    sym[var] = _OPAQUE  # later halving exprs on stale var invalid
+                else:
+                    _sym_step(sym, ins)
+            elif isinstance(item, _IfBlock):
+                t_ok, t_step, t_prog = self._classify_writes(
+                    item.then, var, bound, direction, rel, integral, dict(sym),
+                    nested, consts,
+                )
+                e_ok, e_step, e_prog = self._classify_writes(
+                    item.els, var, bound, direction, rel, integral, dict(sym),
+                    nested, consts,
+                )
+                all_ok = all_ok and t_ok and e_ok
+                if t_prog and e_prog:
+                    steps = [s for s in (t_step, e_step) if s is not None]
+                    note_step(min(steps))
+                # Conservatively forget expressions after a branch.
+                for written in self._written_regs(item.then) | self._written_regs(item.els):
+                    sym[written] = _OPAQUE
+            else:  # nested While: may run zero times — no progress credit
+                n_ok, _, _ = self._classify_writes(
+                    item.body, var, bound, direction, rel, integral, dict(sym),
+                    True, consts,
+                )
+                all_ok = all_ok and n_ok
+                for written in self._written_regs(item.body):
+                    sym[written] = _OPAQUE
+        return all_ok, min_step, progresses
+
+    def _written_regs(self, items: List[_Item]) -> Set[str]:
+        regs: Set[str] = set()
+        for item in items:
+            if isinstance(item, tuple):
+                dst = getattr(item[1], "dst", None)
+                if isinstance(dst, str):
+                    regs.add(dst)
+            elif isinstance(item, _IfBlock):
+                regs |= self._written_regs(item.then) | self._written_regs(item.els)
+            else:
+                regs |= self._written_regs(item.body)
+        return regs
+
+    def _compliant_write(
+        self,
+        ins: isa.Instruction,
+        var: str,
+        bound: Interval,
+        direction: str,
+        rel: str,
+        integral: bool,
+        sym: Dict[str, tuple],
+        consts: Dict[str, float],
+    ) -> Optional[float]:
+        """The guaranteed progress of one write to ``var``, else None."""
+
+        def resolve(operand) -> Optional[float]:
+            if isinstance(operand, (int, float)):
+                return float(operand)
+            return consts.get(operand)
+
+        # Pattern 1: additive counter — var = var ± positive constant
+        # (immediate or loop-invariant constant register).
+        if isinstance(ins, isa.Binary) and ins.op in ("add", "sub"):
+            operands = (ins.a, ins.b) if ins.op == "add" else (ins.a,)
+            if var in operands:
+                other = ins.b if ins.a == var else ins.a
+                value = resolve(other)
+                if value is not None:
+                    delta = value if ins.op == "add" else -value
+                    if direction == "up" and delta > 0.0:
+                        return delta
+                    if direction == "down" and delta < 0.0:
+                        return -delta
+        # Pattern 2: exit write — a constant that falsifies the predicate
+        # for every admissible bound value.
+        const: Optional[float] = None
+        if isinstance(ins, isa.Mov):
+            const = resolve(ins.src)
+        if const is not None and not bound.is_empty:
+            falsifies = {
+                "lt": const >= bound.hi,
+                "le": const > bound.hi,
+                "gt": const <= bound.lo,
+                "ge": const < bound.lo,
+            }.get(rel, False)
+            if falsifies and math.isfinite(bound.hi if direction == "up" else bound.lo):
+                return _INF  # exits immediately: no trip contribution
+        # Pattern 3: halving — var = [floor]((var - c) * f), c ≥ 1,
+        # 0 < f ≤ 1 (sound for down loops over integral var with bound ≥ 0).
+        if (
+            direction == "down"
+            and integral
+            and bound.lo >= 0.0
+            and isinstance(ins, (isa.Mov, isa.Binary, isa.Unary))
+        ):
+            expr: Optional[tuple] = None
+            if isinstance(ins, isa.Mov) and isinstance(ins.src, str):
+                expr = _sym_of(sym, ins.src)
+            elif isinstance(ins, isa.Unary) and ins.op == "floor":
+                expr = ("floor", _sym_of(sym, ins.a))
+            elif isinstance(ins, isa.Binary) and ins.op in ("mul", "sub"):
+                expr = (ins.op, _sym_of(sym, ins.a), _sym_of(sym, ins.b))
+            if expr is not None and expr != _OPAQUE and _match_halving(expr, var):
+                return 1.0
+        return None
+
+    # -- static resource bounds --------------------------------------------
+
+    def _compute_bounds(self) -> StaticBounds:
+        cycles, txns, shfl = self._cost_items(self.items)
+
+        def finite(x: float) -> Optional[float]:
+            return x if math.isfinite(x) else None
+
+        return StaticBounds(finite(cycles), finite(txns), finite(shfl))
+
+    def _cost_items(self, items: List[_Item]) -> Tuple[float, float, float]:
+        cycles = txns = shfl = 0.0
+        for item in items:
+            if isinstance(item, tuple):
+                pc, ins = item
+                if isinstance(ins, (isa.Ldg, isa.Stg)):
+                    t = self.mem_worst.get(pc, float(WARP_SIZE))
+                    txns += t
+                    cycles += t + (GLOBAL_LATENCY if isinstance(ins, isa.Ldg) else 0.0)
+                elif isinstance(ins, (isa.Lds, isa.Sts)):
+                    c = self.mem_worst.get(pc, float(NUM_BANKS))
+                    cycles += c + (SHARED_LATENCY if isinstance(ins, isa.Lds) else 0.0)
+                else:
+                    cycles += 1.0
+                    if isinstance(ins, isa.ShflDown):
+                        shfl += 1.0
+            elif isinstance(item, _IfBlock):
+                c, t, s = self._cost_items(item.then)
+                ce, te, se = self._cost_items(item.els)
+                # 1 for If, 1 for EndIf, 1 for Else when present; both
+                # branches charged (divergent warps execute both).
+                cycles += 2.0 + (1.0 if item.has_else else 0.0) + c + ce
+                txns += t + te
+                shfl += s + se
+            else:
+                trips = self.loop_trips.get(item.pc, 0.0)
+                t_count = _INF if trips is None else trips
+                c, t, s = self._cost_items(item.body)
+                # trips+1 head evaluations, one EndWhile per iteration.
+                cycles += (t_count + 1.0) + t_count * (c + 1.0)
+                txns += t_count * t
+                shfl += t_count * s
+        return cycles, txns, shfl
+
+
+def verify_program(
+    program: Sequence[isa.Instruction],
+    *,
+    shared_words: int,
+    global_words: int,
+    inputs: Optional[Dict[str, AbstractValue]] = None,
+    name: str = "<program>",
+) -> VerificationReport:
+    """Statically verify one ISA program without executing it.
+
+    ``inputs`` maps externally-initialised registers to their abstract
+    values (anything unlisted is treated as undefined and will trip the
+    def-before-use check on first read).  Returns a
+    :class:`VerificationReport` whose ``findings`` are empty iff every
+    proof obligation was discharged.
+    """
+    return _Verifier(
+        program,
+        shared_words=shared_words,
+        global_words=global_words,
+        inputs=inputs or {},
+        name=name,
+    ).run()

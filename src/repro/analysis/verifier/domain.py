@@ -1,0 +1,468 @@
+"""Abstract domains for the static SIMT verifier.
+
+Three cooperating domains describe the values a register can hold across
+the 32 lanes of a warp *without executing the program*:
+
+* an **interval** — a closed range ``[lo, hi]`` over-approximating every
+  lane's value on every input the kernel admits;
+* a **parity** — even / odd / unknown, tracked only for values proven
+  integral (heap index arithmetic is parity-sensitive: ``(i - 1) / 2``);
+* a **divergence class** — the lattice ``uniform ⊑ lane-affine ⊑
+  divergent``, encoded as an optional exact per-lane stride: a register
+  is *uniform* when every lane provably holds the same value (stride
+  ``0``), *lane-affine* when lane ℓ holds ``base + ℓ·stride`` for a
+  known constant stride, and *divergent* (stride ``None``) otherwise.
+
+The stride encoding is what makes the memory checks precise: a
+lane-affine address with stride 1 coalesces into at most two 128-byte
+transactions and is bank-conflict free, facts the cost-bound pass uses
+without ever materialising 32 concrete addresses.
+
+Transfer functions mirror :mod:`repro.simt.simulator` semantics: bit
+operations truncate to int64 (so their results are integral), ``floor``
+is an identity on proven-integral values, and division by an interval
+containing zero degrades to ⊤ rather than guessing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Interval",
+    "Parity",
+    "AbstractValue",
+    "binary_transfer",
+    "unary_transfer",
+]
+
+_INF = float("inf")
+
+
+class Parity:
+    """The even/odd lattice; meaningful only for integral values."""
+
+    BOTTOM = "bottom"
+    EVEN = "even"
+    ODD = "odd"
+    TOP = "top"
+
+    @staticmethod
+    def of(value: float) -> str:
+        """Parity of one concrete value (TOP for non-integers)."""
+        if value != math.floor(value):
+            return Parity.TOP
+        return Parity.EVEN if int(value) % 2 == 0 else Parity.ODD
+
+    @staticmethod
+    def join(a: str, b: str) -> str:
+        """Least upper bound."""
+        if a == Parity.BOTTOM:
+            return b
+        if b == Parity.BOTTOM:
+            return a
+        return a if a == b else Parity.TOP
+
+    @staticmethod
+    def add(a: str, b: str) -> str:
+        """Parity of a sum (also of a difference)."""
+        if Parity.TOP in (a, b) or Parity.BOTTOM in (a, b):
+            return Parity.TOP
+        return Parity.EVEN if a == b else Parity.ODD
+
+    @staticmethod
+    def mul(a: str, b: str) -> str:
+        """Parity of a product."""
+        if Parity.EVEN in (a, b):
+            return Parity.EVEN
+        if a == Parity.ODD and b == Parity.ODD:
+            return Parity.ODD
+        return Parity.TOP
+
+
+def _mul_bound(x: float, y: float) -> float:
+    # 0 * inf arises only from a genuinely-zero factor: the product of the
+    # underlying concrete values is 0, not NaN.
+    if x == 0.0 or y == 0.0:
+        return 0.0
+    return x * y
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]``; ``lo > hi`` encodes ⊥ (empty)."""
+
+    lo: float
+    hi: float
+
+    # -- construction ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        """The unconstrained interval (−∞, +∞)."""
+        return Interval(-_INF, _INF)
+
+    @staticmethod
+    def const(v: float) -> "Interval":
+        """The degenerate interval [v, v]."""
+        return Interval(float(v), float(v))
+
+    @staticmethod
+    def empty() -> "Interval":
+        """The empty interval (⊥)."""
+        return Interval(_INF, -_INF)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff no concrete value is admitted."""
+        return self.lo > self.hi
+
+    @property
+    def is_const(self) -> bool:
+        """True iff exactly one (finite) value is admitted."""
+        return self.lo == self.hi and math.isfinite(self.lo)
+
+    def contains(self, v: float) -> bool:
+        """Membership test."""
+        return self.lo <= v <= self.hi
+
+    # -- lattice -----------------------------------------------------------
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Join: smallest interval containing both."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> "Interval":
+        """Intersection."""
+        return Interval(max(self.lo, other.lo), min(self.hi, other.hi))
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: jump unstable endpoints to ±∞."""
+        if self.is_empty:
+            return newer
+        if newer.is_empty:
+            return self
+        lo = self.lo if newer.lo >= self.lo else -_INF
+        hi = self.hi if newer.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    # -- arithmetic --------------------------------------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        products = [
+            _mul_bound(self.lo, other.lo),
+            _mul_bound(self.lo, other.hi),
+            _mul_bound(self.hi, other.lo),
+            _mul_bound(self.hi, other.hi),
+        ]
+        return Interval(min(products), max(products))
+
+    def div(self, other: "Interval") -> "Interval":
+        if other.contains(0.0):
+            return Interval.top()
+        quotients = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ]
+        return Interval(min(quotients), max(quotients))
+
+    def minimum(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def maximum(self, other: "Interval") -> "Interval":
+        return Interval(max(self.lo, other.lo), max(self.hi, other.hi))
+
+    def floor(self) -> "Interval":
+        lo = math.floor(self.lo) if math.isfinite(self.lo) else self.lo
+        hi = math.floor(self.hi) if math.isfinite(self.hi) else self.hi
+        return Interval(lo, hi)
+
+    def trunc(self) -> "Interval":
+        """int64-cast semantics (toward zero) — what address casts apply."""
+        lo = math.trunc(self.lo) if math.isfinite(self.lo) else self.lo
+        hi = math.trunc(self.hi) if math.isfinite(self.hi) else self.hi
+        return Interval(lo, hi)
+
+    def absolute(self) -> "Interval":
+        if self.lo >= 0.0:
+            return self
+        if self.hi <= 0.0:
+            return self.neg()
+        return Interval(0.0, max(-self.lo, self.hi))
+
+
+# --------------------------------------------------------------------------
+# abstract values (interval × parity × divergence)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One register's abstraction across all 32 lanes.
+
+    ``stride`` encodes the divergence lattice: ``0.0`` — uniform (every
+    lane equal); a nonzero float — lane-affine (lane ℓ = base + ℓ·stride
+    exactly); ``None`` — divergent (no cross-lane relation known).
+    ``parity`` is only meaningful when ``integral`` is True.
+    """
+
+    interval: Interval
+    parity: str = Parity.TOP
+    integral: bool = False
+    stride: Optional[float] = None
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "AbstractValue":
+        """No information: any value, any lane pattern."""
+        return AbstractValue(Interval.top())
+
+    @staticmethod
+    def const(v: float) -> "AbstractValue":
+        """An immediate: the same known value on every lane."""
+        v = float(v)
+        integral = math.isfinite(v) and v == math.floor(v)
+        return AbstractValue(
+            Interval.const(v),
+            parity=Parity.of(v) if integral else Parity.TOP,
+            integral=integral,
+            stride=0.0,
+        )
+
+    @staticmethod
+    def lane_id() -> "AbstractValue":
+        """The ``LaneId`` result: 0..31 with exact stride 1."""
+        return AbstractValue(Interval(0.0, 31.0), Parity.TOP, True, 1.0)
+
+    @staticmethod
+    def uniform_range(lo: float, hi: float, integral: bool = True) -> "AbstractValue":
+        """A uniform input whose (single) value lies anywhere in [lo, hi]."""
+        return AbstractValue(Interval(float(lo), float(hi)), Parity.TOP, integral, 0.0)
+
+    @staticmethod
+    def from_lanes(values: np.ndarray) -> "AbstractValue":
+        """Abstract one concrete 32-lane register (a simulator input)."""
+        arr = np.asarray(values, dtype=np.float64)
+        lo, hi = float(arr.min()), float(arr.max())
+        integral = bool(np.all(arr == np.floor(arr)))
+        parity = Parity.TOP
+        if integral:
+            mods = np.mod(arr, 2.0)
+            if np.all(mods == 0.0):
+                parity = Parity.EVEN
+            elif np.all(mods == 1.0):
+                parity = Parity.ODD
+        diffs = np.diff(arr)
+        stride: Optional[float] = None
+        if diffs.size == 0 or np.all(diffs == diffs[0]):
+            stride = float(diffs[0]) if diffs.size else 0.0
+        return AbstractValue(Interval(lo, hi), parity, integral, stride)
+
+    # -- divergence queries ------------------------------------------------
+
+    @property
+    def is_uniform(self) -> bool:
+        """True iff every lane provably holds the same value."""
+        return self.stride == 0.0
+
+    @property
+    def divergence(self) -> str:
+        """Human-readable divergence class."""
+        if self.stride == 0.0:
+            return "uniform"
+        if self.stride is not None:
+            return "lane-affine"
+        return "divergent"
+
+    @property
+    def const_value(self) -> Optional[float]:
+        """The single concrete value, when uniform and degenerate."""
+        if self.is_uniform and self.interval.is_const:
+            return self.interval.lo
+        return None
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, other: "AbstractValue") -> "AbstractValue":
+        """Least upper bound (at reconvergence points)."""
+        if self.interval.is_empty:
+            return other
+        if other.interval.is_empty:
+            return self
+        return AbstractValue(
+            self.interval.hull(other.interval),
+            Parity.join(self.parity, other.parity),
+            self.integral and other.integral,
+            self.stride if self.stride == other.stride else None,
+        )
+
+    def widen(self, newer: "AbstractValue") -> "AbstractValue":
+        """Widening join for loop heads."""
+        if self.interval.is_empty:
+            return newer
+        if newer.interval.is_empty:
+            return self
+        return AbstractValue(
+            self.interval.widen(newer.interval),
+            Parity.join(self.parity, newer.parity),
+            self.integral and newer.integral,
+            self.stride if self.stride == newer.stride else None,
+        )
+
+    def with_interval(self, interval: Interval) -> "AbstractValue":
+        """Same value with a refined interval (predicate narrowing)."""
+        return replace(self, interval=interval)
+
+
+# --------------------------------------------------------------------------
+# transfer functions
+# --------------------------------------------------------------------------
+
+
+def _stride_mul(a: AbstractValue, b: AbstractValue) -> Optional[float]:
+    if a.const_value is not None and b.stride is not None:
+        return b.stride * a.const_value
+    if b.const_value is not None and a.stride is not None:
+        return a.stride * b.const_value
+    if a.stride == 0.0 and b.stride == 0.0:
+        return 0.0
+    return None
+
+
+def _bitop(op: str, a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    # The interpreter casts both operands to int64, so results are
+    # integral regardless of inputs; bounds hold only for non-negatives.
+    ai, bi = a.interval.trunc(), b.interval.trunc()
+    stride = 0.0 if (a.stride == 0.0 and b.stride == 0.0) else None
+    nonneg = ai.lo >= 0.0 and bi.lo >= 0.0
+    if op == "and":
+        interval = Interval(0.0, min(ai.hi, bi.hi)) if nonneg else Interval.top()
+        parity = (
+            Parity.EVEN
+            if Parity.EVEN in (a.parity, b.parity)
+            else Parity.mul(a.parity, b.parity)
+        )
+    elif op in ("or", "xor"):
+        # a|b ≤ a+b and a^b ≤ a|b for non-negative integers (no carries).
+        interval = Interval(0.0, ai.hi + bi.hi) if nonneg else Interval.top()
+        if op == "xor":
+            parity = Parity.add(a.parity, b.parity)
+        else:
+            parity = (
+                Parity.ODD
+                if Parity.ODD in (a.parity, b.parity)
+                else Parity.add(a.parity, b.parity)
+            )
+    elif op == "shl":
+        if nonneg and b.const_value is not None:
+            interval = ai.mul(Interval.const(2.0 ** b.const_value))
+        else:
+            interval = Interval.top() if not nonneg else Interval(0.0, _INF)
+        parity = Parity.TOP
+    else:  # shr
+        if nonneg and b.const_value is not None:
+            interval = ai.div(Interval.const(2.0 ** b.const_value)).floor()
+        else:
+            interval = Interval(0.0, ai.hi) if nonneg else Interval.top()
+        parity = Parity.TOP
+    return AbstractValue(interval, parity, True, stride)
+
+
+def binary_transfer(op: str, a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Abstract semantics of ``Binary(op, ·, ·)``."""
+    if op == "add":
+        stride = None if (a.stride is None or b.stride is None) else a.stride + b.stride
+        return AbstractValue(
+            a.interval.add(b.interval),
+            Parity.add(a.parity, b.parity),
+            a.integral and b.integral,
+            stride,
+        )
+    if op == "sub":
+        stride = None if (a.stride is None or b.stride is None) else a.stride - b.stride
+        return AbstractValue(
+            a.interval.sub(b.interval),
+            Parity.add(a.parity, b.parity),
+            a.integral and b.integral,
+            stride,
+        )
+    if op == "mul":
+        return AbstractValue(
+            a.interval.mul(b.interval),
+            Parity.mul(a.parity, b.parity),
+            a.integral and b.integral,
+            _stride_mul(a, b),
+        )
+    if op == "div":
+        stride: Optional[float] = None
+        if b.const_value not in (None, 0.0) and a.stride is not None:
+            stride = a.stride / b.const_value
+        elif a.stride == 0.0 and b.stride == 0.0:
+            stride = 0.0
+        return AbstractValue(a.interval.div(b.interval), Parity.TOP, False, stride)
+    if op in ("min", "max"):
+        interval = (
+            a.interval.minimum(b.interval)
+            if op == "min"
+            else a.interval.maximum(b.interval)
+        )
+        stride = 0.0 if (a.stride == 0.0 and b.stride == 0.0) else None
+        return AbstractValue(
+            interval,
+            Parity.join(a.parity, b.parity) if a.integral and b.integral else Parity.TOP,
+            a.integral and b.integral,
+            stride,
+        )
+    if op in ("and", "or", "xor", "shl", "shr"):
+        return _bitop(op, a, b)
+    raise ValueError(f"unknown binary op {op!r}")
+
+
+def unary_transfer(op: str, a: AbstractValue) -> AbstractValue:
+    """Abstract semantics of ``Unary(op, ·)``."""
+    if op == "neg":
+        stride = None if a.stride is None else -a.stride
+        return AbstractValue(a.interval.neg(), a.parity, a.integral, stride)
+    if op == "abs":
+        if a.interval.lo >= 0.0:
+            return a
+        if a.interval.hi <= 0.0:
+            return unary_transfer("neg", a)
+        stride = 0.0 if a.stride == 0.0 else None
+        return AbstractValue(a.interval.absolute(), Parity.TOP, a.integral, stride)
+    if op == "floor":
+        if a.integral:  # floor is the identity on integral values
+            return a
+        stride = 0.0 if a.stride == 0.0 else None
+        return AbstractValue(a.interval.floor(), Parity.TOP, True, stride)
+    if op == "sqrt":
+        lo = math.sqrt(a.interval.lo) if a.interval.lo > 0.0 else 0.0
+        hi = math.sqrt(a.interval.hi) if a.interval.hi > 0.0 else 0.0
+        stride = 0.0 if a.stride == 0.0 else None
+        return AbstractValue(Interval(lo, hi), Parity.TOP, False, stride)
+    if op == "rsqrt":
+        stride = 0.0 if a.stride == 0.0 else None
+        return AbstractValue(Interval.top(), Parity.TOP, False, stride)
+    raise ValueError(f"unknown unary op {op!r}")

@@ -1,0 +1,147 @@
+"""Deliberately broken kernels the verifier must reject *statically*.
+
+These are the negative fixtures behind the CI gate: each one violates a
+proof obligation in a way PR 3's trace sanitizer could only catch on a
+lucky concrete input, while the abstract interpreter refutes it for all
+inputs without executing a single instruction.  ``iter_known_bad_specs``
+packages them as registry specs so ``python -m repro.analysis --verify
+--include-known-bad`` (and the paired ci.sh check) can assert the gate
+actually fails when a proof is violated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.simt.isa import (
+    Binary,
+    Cmp,
+    EndIf,
+    EndWhile,
+    If,
+    Instruction,
+    LaneId,
+    Mov,
+    ShflDown,
+    Sts,
+    While,
+)
+
+__all__ = [
+    "unguarded_heap_push_kernel",
+    "oob_unbounded_index_kernel",
+    "divergent_shuffle_kernel",
+    "iter_known_bad_specs",
+]
+
+
+def unguarded_heap_push_kernel(heap_capacity: int = 16) -> List[Instruction]:
+    """The PR 3 regression: heap push without the ``has_room`` guard.
+
+    With ``heap_size`` anywhere in ``[0, capacity]`` the id-slot store at
+    ``heap_base + capacity + heap_size`` can reach word ``2 * capacity``,
+    one past the declared two-array budget — an off-by-one the verifier
+    refutes with a counterexample interval instead of hoping a trace
+    happens to start from a full heap.
+    """
+    return [
+        LaneId("lane"),
+        Mov("zero", 0.0),
+        Cmp("eq", "is_lane0", "lane", "zero"),
+        If("is_lane0"),
+        Binary("add", "addr_dist", "heap_base", "heap_size"),
+        Sts("addr_dist", "new_dist"),
+        Mov("cap", float(heap_capacity)),
+        Binary("add", "addr_id", "addr_dist", "cap"),
+        Sts("addr_id", "new_id"),
+        Mov("one", 1.0),
+        Binary("add", "heap_size_out", "heap_size", "one"),
+        EndIf(),
+    ]
+
+
+def oob_unbounded_index_kernel(bound: int = 100) -> List[Instruction]:
+    """A scan whose loop index provably escapes the shared budget.
+
+    Every lane walks ``i`` from its lane id up to ``bound`` storing into
+    ``shared[i]``; the loop terminates (additive ranking function), but
+    with a 32-word budget the address interval reaches ``bound - 1``, so
+    the store is out of bounds for all but tiny bounds.
+    """
+    return [
+        LaneId("i"),
+        Mov("limit", float(bound)),
+        Mov("one", 1.0),
+        Cmp("lt", "more", "i", "limit"),
+        While("more"),
+        Sts("i", "one"),
+        Binary("add", "i", "i", "one"),
+        Cmp("lt", "more", "i", "limit"),
+        EndWhile(),
+    ]
+
+
+def divergent_shuffle_kernel() -> List[Instruction]:
+    """A warp shuffle issued under a divergent mask.
+
+    Half the warp is inactive when ``ShflDown`` executes, so lanes 8..15
+    read from disabled lanes — undefined on real hardware.  The
+    divergence lattice proves the guard is lane-varying, so the verifier
+    flags the shuffle without needing any trace.
+    """
+    return [
+        LaneId("lane"),
+        Mov("acc", 1.0),
+        Mov("half", 16.0),
+        Cmp("lt", "low_half", "lane", "half"),
+        If("low_half"),
+        ShflDown("other", "acc", 8),
+        Binary("add", "acc", "acc", "other"),
+        EndIf(),
+    ]
+
+
+def iter_known_bad_specs() -> Iterator["KernelSpec"]:
+    """Registry specs for the known-bad kernels (verify-only; never traced).
+
+    Each spec reuses the registry plumbing — name, program factory,
+    budgets, ``verify_ranges`` — but is consumed exclusively by
+    ``verify_kernel``; running one through the trace sanitizer would
+    defeat the point of a *static* gate.
+    """
+    from repro.analysis.registry import KernelSpec
+    from repro.simt.simulator import WarpSimulator
+
+    def _wrap(program: List[Instruction], shared_words: int):
+        def make(tracer=None) -> WarpSimulator:
+            shared = np.zeros(max(shared_words, 1))
+            return WarpSimulator(
+                program, global_mem=np.zeros(8), shared_mem=shared, tracer=tracer
+            )
+
+        return make
+
+    cap = 16
+    yield KernelSpec(
+        name="bad_heap_push_unguarded",
+        make=_wrap(unguarded_heap_push_kernel(cap), 2 * cap),
+        shared_words=2 * cap,
+        verify_ranges={
+            "heap_size": (0.0, float(cap)),
+            "heap_base": (0.0, 0.0),
+            "new_dist": (0.0, 1.0),
+            "new_id": (0.0, 63.0),
+        },
+    )
+    yield KernelSpec(
+        name="bad_oob_unbounded_index",
+        make=_wrap(oob_unbounded_index_kernel(), 32),
+        shared_words=32,
+    )
+    yield KernelSpec(
+        name="bad_divergent_shuffle",
+        make=_wrap(divergent_shuffle_kernel(), 0),
+        shared_words=0,
+    )

@@ -12,9 +12,13 @@ them equivalent to the high-level versions.
 
 from __future__ import annotations
 
+# lint: hot-path
+
 from typing import Optional, Tuple
 
 import numpy as np
+
+__all__ = ["FlatMinMaxHeap", "FlatHashSet"]
 
 Entry = Tuple[float, int]
 

@@ -11,7 +11,11 @@ that matters for a GPU port.
 
 from __future__ import annotations
 
+# lint: hot-path
+
 from typing import List, Optional, Tuple
+
+__all__ = ["SymmetricMinMaxHeap", "BoundedPriorityQueue"]
 
 Entry = Tuple[float, int]
 

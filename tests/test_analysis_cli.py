@@ -75,6 +75,56 @@ class TestMainEntryPoint:
         assert set(records[0]) == {"rule", "severity", "location", "message"}
 
 
+class TestVerifyEngine:
+    def test_verify_strict_on_registry_is_clean(self):
+        findings, code = run_analysis(
+            sanitize=False, lint=False, verify=True, strict=True
+        )
+        assert code == 0, [f.format() for f in findings]
+
+    def test_known_bad_kernels_fail_the_gate(self):
+        findings, code = run_analysis(
+            sanitize=False,
+            lint=False,
+            verify=True,
+            strict=True,
+            include_known_bad=True,
+        )
+        assert code == 1
+        got = {f.rule for f in findings}
+        assert {"static-oob-shared", "static-divergent-shuffle"} <= got
+
+    def test_findings_are_sorted_deterministically(self):
+        findings, _ = run_analysis(
+            sanitize=False,
+            lint=False,
+            verify=True,
+            include_known_bad=True,
+        )
+        keys = [
+            (f.severity.value != "error", f.location, f.rule, f.message)
+            for f in findings
+        ]
+        assert keys == sorted(keys)
+
+    def test_verify_json_schema_round_trips(self):
+        proc = run_cli("--verify-only", "--include-known-bad", "--json")
+        assert proc.returncode == 1
+        records = [
+            json.loads(line) for line in proc.stdout.splitlines() if line.strip()
+        ]
+        assert records
+        for record in records:
+            assert set(record) == {"rule", "severity", "location", "message"}
+        locations = [r["location"] for r in records]
+        assert locations == sorted(locations)  # all error-severity here
+
+    def test_verify_json_is_byte_stable(self):
+        first = run_cli("--verify-only", "--include-known-bad", "--json")
+        second = run_cli("--verify-only", "--include-known-bad", "--json")
+        assert first.stdout == second.stdout
+
+
 class TestModuleInvocation:
     """The exact commands scripts/ci.sh runs."""
 
@@ -82,7 +132,18 @@ class TestModuleInvocation:
         proc = run_cli("--strict")
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
+    def test_verify_strict_exits_zero(self):
+        proc = run_cli("--verify-only", "--strict")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
     def test_ci_script_invokes_strict_analysis(self):
         ci = (REPO_ROOT / "scripts" / "ci.sh").read_text()
         assert "python -m repro.analysis --strict" in ci
         assert "ruff check" in ci
+
+    def test_ci_script_gates_the_verifier(self):
+        ci = (REPO_ROOT / "scripts" / "ci.sh").read_text()
+        assert "--verify --strict" in ci
+        # Negative control: CI runs the known-bad fixtures and requires
+        # the gate to reject them, so a silently broken verifier fails CI.
+        assert "--include-known-bad" in ci

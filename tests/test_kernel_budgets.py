@@ -1,0 +1,58 @@
+"""Shared-memory budget drift detection.
+
+Each registered kernel declares ``shared_words``, the budget the OOB
+checker proves against.  These tests pin the relationship: the proof
+holds at the declared budget, and shrinking the budget below the
+statically derived address span makes verification fail.  If someone
+grows a kernel's shared footprint without growing the declaration (or
+vice versa), this is the test that moves.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.registry import iter_kernel_specs, verify_kernel
+
+REGISTRY = list(iter_kernel_specs())
+SHARED_USERS = [
+    s for s in REGISTRY if verify_kernel(s).shared_span is not None
+]
+
+
+@pytest.mark.parametrize("spec", REGISTRY, ids=lambda s: s.name)
+def test_declared_budget_is_proven(spec):
+    report = verify_kernel(spec)
+    assert report.ok, [f.format() for f in report.findings]
+
+
+@pytest.mark.parametrize("spec", REGISTRY, ids=lambda s: s.name)
+def test_span_fits_declared_budget(spec):
+    """The derived footprint never exceeds (nor silently outgrows) the
+    declaration: span ⊆ [0, shared_words)."""
+    report = verify_kernel(spec)
+    if report.shared_span is None:  # kernel touches no shared memory
+        return
+    assert report.shared_span.lo >= 0.0
+    assert report.shared_span.hi <= spec.shared_words - 1, (
+        f"{spec.name}: static footprint {report.shared_span} exceeds the "
+        f"declared budget of {spec.shared_words} words"
+    )
+
+
+@pytest.mark.parametrize("spec", SHARED_USERS, ids=lambda s: s.name)
+def test_shrunk_budget_is_rejected(spec):
+    """Catches silent budget drift: if the declaration shrank below the
+    kernel's real footprint, --verify --strict would fail, not pass."""
+    span_hi = verify_kernel(spec).shared_span.hi
+    shrunk = replace(spec, shared_words=int(span_hi))  # one word short
+    report = verify_kernel(shrunk)
+    assert any(f.rule == "static-oob-shared" for f in report.findings), (
+        f"{spec.name}: budget {int(span_hi)} < footprint hi {span_hi} "
+        "was not flagged"
+    )
+
+
+def test_some_kernels_exercise_shared_memory():
+    """Guard the guard: the shrink test must not be vacuously empty."""
+    assert len(SHARED_USERS) >= 3

@@ -1,0 +1,321 @@
+"""The static verifier: registry proofs, known-bad refutations, and the
+individual checker passes (bounds, termination, divergence, init)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.registry import iter_kernel_specs, verify_kernel
+from repro.analysis.verifier.absint import verify_program
+from repro.analysis.verifier.domain import AbstractValue
+from repro.analysis.verifier.fixtures import iter_known_bad_specs
+from repro.simt.isa import (
+    Binary,
+    Cmp,
+    EndIf,
+    EndWhile,
+    If,
+    LaneId,
+    Ldg,
+    Mov,
+    ShflDown,
+    Sts,
+    Unary,
+    While,
+)
+from repro.simt.simulator import WarpSimulator
+
+REGISTRY = list(iter_kernel_specs())
+KNOWN_BAD = list(iter_known_bad_specs())
+
+
+def rules(report):
+    return {f.rule for f in report.findings}
+
+
+@pytest.fixture
+def forbid_execution(monkeypatch):
+    """Any attempt to actually run a simulator fails the test."""
+
+    def boom(self):
+        raise AssertionError("static verification must not execute the kernel")
+
+    monkeypatch.setattr(WarpSimulator, "run", boom)
+
+
+class TestRegistryKernelsProve:
+    @pytest.mark.parametrize("spec", REGISTRY, ids=lambda s: s.name)
+    def test_kernel_verifies_clean(self, spec, forbid_execution):
+        report = verify_kernel(spec)
+        assert report.ok, [f.format() for f in report.findings]
+        assert report.proven  # at least one discharged obligation
+
+    @pytest.mark.parametrize("spec", REGISTRY, ids=lambda s: s.name)
+    def test_every_loop_has_a_finite_trip_bound(self, spec, forbid_execution):
+        report = verify_kernel(spec)
+        for pc, trips in report.loop_trips.items():
+            assert trips is not None, f"{spec.name}: loop at pc={pc} unbounded"
+
+
+class TestKnownBadKernelsRefute:
+    """ISSUE acceptance: the broken kernels are flagged *statically*."""
+
+    def _by_name(self, name):
+        return next(s for s in KNOWN_BAD if s.name == name)
+
+    def test_unguarded_heap_push_oob(self, forbid_execution):
+        report = verify_kernel(self._by_name("bad_heap_push_unguarded"))
+        assert "static-oob-shared" in rules(report)
+        # The counterexample interval names the offending address range.
+        msg = next(f for f in report.findings if f.rule == "static-oob-shared").message
+        assert "[16, 32]" in msg and "budget" in msg
+
+    def test_oob_via_loop_index(self, forbid_execution):
+        report = verify_kernel(self._by_name("bad_oob_unbounded_index"))
+        assert "static-oob-shared" in rules(report)
+
+    def test_shuffle_under_divergent_mask(self, forbid_execution):
+        report = verify_kernel(self._by_name("bad_divergent_shuffle"))
+        assert rules(report) == {"static-divergent-shuffle"}
+
+    @pytest.mark.parametrize("spec", KNOWN_BAD, ids=lambda s: s.name)
+    def test_all_fixtures_fail(self, spec, forbid_execution):
+        assert not verify_kernel(spec).ok
+
+
+class TestTermination:
+    def test_additive_counter_terminates_with_trip_bound(self):
+        prog = [
+            LaneId("i"),
+            Mov("limit", 64.0),
+            Cmp("lt", "more", "i", "limit"),
+            While("more"),
+            Binary("add", "i", "i", 32.0),
+            Cmp("lt", "more", "i", "limit"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" not in rules(report)
+        (trips,) = report.loop_trips.values()
+        assert trips is not None and trips <= 4
+
+    def test_constant_register_step_is_recognised(self):
+        prog = [
+            Mov("i", 0.0),
+            Mov("n", 10.0),
+            Mov("one", 1.0),
+            Cmp("lt", "more", "i", "n"),
+            While("more"),
+            Binary("add", "i", "i", "one"),
+            Cmp("lt", "more", "i", "n"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" not in rules(report)
+
+    def test_halving_loop_terminates(self):
+        """The heap-sift parent walk: i = floor((i - 1) / 2)."""
+        prog = [
+            Mov("i", 15.0),
+            Mov("zero", 0.0),
+            Cmp("gt", "loop", "i", "zero"),
+            While("loop"),
+            Binary("sub", "pm1", "i", 1.0),
+            Binary("mul", "half", "pm1", 0.5),
+            Unary("floor", "i", "half"),
+            Cmp("gt", "loop", "i", "zero"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" not in rules(report)
+
+    def test_no_progress_loop_is_flagged(self):
+        prog = [
+            Mov("i", 0.0),
+            Mov("n", 10.0),
+            Cmp("lt", "more", "i", "n"),
+            While("more"),
+            Binary("add", "j", "i", 1.0),  # steps the wrong register
+            Cmp("lt", "more", "i", "n"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" in rules(report)
+
+    def test_wrong_direction_step_is_flagged(self):
+        prog = [
+            Mov("i", 0.0),
+            Mov("n", 10.0),
+            Cmp("lt", "more", "i", "n"),
+            While("more"),
+            Binary("sub", "i", "i", 1.0),  # walks away from the bound
+            Cmp("lt", "more", "i", "n"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" in rules(report)
+
+    def test_constant_reassignment_is_not_progress(self):
+        """The hull-decrease trap: Mov(i, 5) forever satisfies i < 10."""
+        prog = [
+            Mov("i", 0.0),
+            Mov("n", 10.0),
+            Cmp("lt", "more", "i", "n"),
+            While("more"),
+            Mov("i", 5.0),
+            Cmp("lt", "more", "i", "n"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" in rules(report)
+
+    def test_exit_write_counts_as_termination(self):
+        prog = [
+            Mov("i", 0.0),
+            Mov("n", 10.0),
+            Cmp("lt", "more", "i", "n"),
+            While("more"),
+            Mov("i", 99.0),  # >= any admissible bound: falsifies i < n
+            Cmp("lt", "more", "i", "n"),
+            EndWhile(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-unbounded-loop" not in rules(report)
+
+
+class TestMemoryBounds:
+    def test_in_budget_store_is_proven(self):
+        prog = [LaneId("lane"), Sts("lane", "lane")]
+        report = verify_program(prog, shared_words=32, global_words=0)
+        assert report.ok
+        assert any("shared" in p for p in report.proven)
+
+    def test_oob_store_reports_counterexample_interval(self):
+        prog = [
+            LaneId("lane"),
+            Binary("add", "addr", "lane", 8.0),
+            Sts("addr", "lane"),
+        ]
+        report = verify_program(prog, shared_words=32, global_words=0)
+        assert "static-oob-shared" in rules(report)
+        msg = next(iter(report.findings)).message
+        assert "[8, 39]" in msg  # the derived lane-address interval
+
+    def test_global_oob_flagged(self):
+        prog = [LaneId("lane"), Ldg("x", "lane")]
+        report = verify_program(prog, shared_words=0, global_words=16)
+        assert "static-oob-global" in rules(report)
+
+    def test_masked_range_is_provably_safe(self):
+        prog = [
+            LaneId("lane"),
+            Binary("add", "slot", "lane", "home"),
+            Binary("and", "slot", "slot", 31.0),
+            Sts("slot", "lane"),
+        ]
+        report = verify_program(
+            prog,
+            shared_words=32,
+            global_words=0,
+            inputs={"home": AbstractValue.uniform_range(0, 1000)},
+        )
+        assert report.ok, [f.format() for f in report.findings]
+
+
+class TestDivergenceAndInit:
+    def test_shuffle_at_top_level_is_fine(self):
+        prog = [Mov("acc", 1.0), ShflDown("t", "acc", 16)]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert report.ok
+
+    def test_shuffle_under_uniform_branch_is_fine(self):
+        prog = [
+            Mov("acc", 1.0),
+            Mov("flag", 1.0),
+            Cmp("eq", "go", "flag", 1.0),
+            If("go"),
+            ShflDown("t", "acc", 16),
+            EndIf(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert report.ok, [f.format() for f in report.findings]
+
+    def test_shuffle_under_divergent_branch_is_flagged(self):
+        prog = [
+            LaneId("lane"),
+            Mov("acc", 1.0),
+            Cmp("lt", "low", "lane", 16.0),
+            If("low"),
+            ShflDown("t", "acc", 8),
+            EndIf(),
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-divergent-shuffle" in rules(report)
+
+    def test_read_of_undefined_register_is_flagged(self):
+        prog = [Binary("add", "x", "y", 1.0)]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-uninit-read" in rules(report)
+
+    def test_register_defined_on_only_one_path_is_flagged(self):
+        prog = [
+            LaneId("lane"),
+            Cmp("lt", "low", "lane", 16.0),
+            If("low"),
+            Mov("x", 1.0),
+            EndIf(),
+            Binary("add", "y", "x", 1.0),  # x undefined on the else path
+        ]
+        report = verify_program(prog, shared_words=0, global_words=0)
+        assert "static-uninit-read" in rules(report)
+
+    def test_register_defined_on_both_paths_is_fine(self):
+        prog = [
+            LaneId("lane"),
+            Cmp("lt", "low", "lane", 16.0),
+            If("low"),
+            Mov("x", 1.0),
+            EndIf(),
+            Cmp("ge", "high", "lane", 16.0),
+            If("high"),
+            Mov("x", 2.0),
+            EndIf(),
+            Binary("add", "y", "x", 1.0),
+        ]
+        # Defined-ness is path-insensitive across *separate* Ifs, so this
+        # still flags — but the same If/Else must not:
+        prog2 = [
+            LaneId("lane"),
+            Cmp("lt", "low", "lane", 16.0),
+            If("low"),
+            Mov("x", 1.0),
+            EndIf(),
+            Mov("x", 2.0),  # unconditional dominator
+            Binary("add", "y", "x", 1.0),
+        ]
+        report2 = verify_program(prog2, shared_words=0, global_words=0)
+        assert report2.ok
+
+
+class TestVerifyRanges:
+    def test_proof_quantifies_over_declared_occupancy(self):
+        """``verify_ranges`` is what the proof quantifies over, not the
+        traced input: the unguarded push is flagged at the declared
+        occupancy range [0, capacity] but proves clean when the range is
+        narrowed below the overflow point."""
+        bad = next(s for s in KNOWN_BAD if s.name == "bad_heap_push_unguarded")
+        assert "static-oob-shared" in rules(verify_kernel(bad))
+        narrowed = dict(bad.verify_ranges)
+        narrowed["heap_size"] = (0.0, 15.0)
+        safe = replace(bad, verify_ranges=narrowed)
+        report = verify_kernel(safe)
+        assert "static-oob-shared" not in rules(report)
+
+    def test_guarded_registry_push_is_safe_even_past_capacity(self):
+        """The registry kernel's has_room guard makes the proof hold for
+        *any* claimed occupancy — the refinement inside the branch caps
+        the store index regardless of the declared range."""
+        spec = next(s for s in REGISTRY if s.name == "heap_push")
+        assert spec.verify_ranges["heap_size"] == (0.0, 16.0)
+        wider = replace(spec, verify_ranges={"heap_size": (0.0, 24.0)})
+        assert verify_kernel(wider).ok

@@ -1,0 +1,173 @@
+"""Unit tests for the verifier's abstract domains (intervals, parity,
+divergence strides, transfer functions)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verifier.domain import (
+    AbstractValue,
+    Interval,
+    Parity,
+    binary_transfer,
+    unary_transfer,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def iv(lo, hi):
+    return Interval(float(lo), float(hi))
+
+
+class TestInterval:
+    def test_lattice_basics(self):
+        assert Interval.empty().is_empty
+        assert Interval.const(3.0).is_const
+        assert Interval.top().contains(1e30)
+        assert iv(0, 4).hull(iv(2, 9)) == iv(0, 9)
+        assert iv(0, 4).meet(iv(2, 9)) == iv(2, 4)
+        assert iv(3, 5).meet(iv(6, 7)).is_empty
+
+    def test_widening_jumps_unstable_bounds(self):
+        assert iv(0, 4).widen(iv(0, 5)) == iv(0, math.inf)
+        assert iv(0, 4).widen(iv(-1, 4)) == iv(-math.inf, 4)
+        assert iv(0, 4).widen(iv(1, 3)) == iv(0, 4)  # stable: unchanged
+
+    @given(finite, finite, finite, finite)
+    @settings(max_examples=60, deadline=None)
+    def test_arithmetic_is_sound(self, a, b, x, y):
+        """Concrete op of members stays inside the abstract result."""
+        first = iv(min(a, b), max(a, b))
+        second = iv(min(x, y), max(x, y))
+        for name, concrete in [
+            ("add", lambda p, q: p + q),
+            ("sub", lambda p, q: p - q),
+            ("mul", lambda p, q: p * q),
+        ]:
+            result = getattr(first, name)(second)
+            for p in (first.lo, first.hi):
+                for q in (second.lo, second.hi):
+                    assert result.lo - 1e-6 <= concrete(p, q) <= result.hi + 1e-6
+
+    def test_div_by_interval_containing_zero_is_top(self):
+        assert iv(1, 2).div(iv(-1, 1)) == Interval.top()
+        assert iv(4, 8).div(iv(2, 2)) == iv(2, 4)
+
+    def test_trunc_is_toward_zero(self):
+        assert iv(-2.7, 3.9).trunc() == iv(-2, 3)
+        assert iv(-2.7, 3.9).floor() == iv(-3, 3)
+
+    def test_mul_handles_zero_times_infinite(self):
+        assert iv(0, 0).mul(Interval.top()) == iv(0, 0)
+
+
+class TestParity:
+    def test_of_and_join(self):
+        assert Parity.of(4.0) == Parity.EVEN
+        assert Parity.of(7.0) == Parity.ODD
+        assert Parity.of(2.5) == Parity.TOP
+        assert Parity.join(Parity.EVEN, Parity.EVEN) == Parity.EVEN
+        assert Parity.join(Parity.EVEN, Parity.ODD) == Parity.TOP
+
+    def test_arithmetic(self):
+        assert Parity.add(Parity.ODD, Parity.ODD) == Parity.EVEN
+        assert Parity.add(Parity.ODD, Parity.EVEN) == Parity.ODD
+        assert Parity.mul(Parity.EVEN, Parity.ODD) == Parity.EVEN
+        assert Parity.mul(Parity.ODD, Parity.ODD) == Parity.ODD
+
+
+class TestDivergenceLattice:
+    def test_constructors_classify(self):
+        assert AbstractValue.const(5.0).divergence == "uniform"
+        assert AbstractValue.lane_id().divergence == "lane-affine"
+        assert AbstractValue.top().divergence == "divergent"
+        assert AbstractValue.uniform_range(0, 16).is_uniform
+
+    def test_from_lanes_recovers_exact_stride(self):
+        affine = AbstractValue.from_lanes(np.arange(32) * 4.0 + 3.0)
+        assert affine.stride == 4.0
+        assert affine.interval == iv(3, 3 + 31 * 4)
+        assert affine.integral
+        uniform = AbstractValue.from_lanes(np.full(32, 7.0))
+        assert uniform.is_uniform
+        ragged = AbstractValue.from_lanes(np.array([1.0, 2.0, 4.0] + [8.0] * 29))
+        assert ragged.stride is None
+
+    def test_affine_strides_compose_through_add_sub(self):
+        lane = AbstractValue.lane_id()
+        base = AbstractValue.const(100.0)
+        addr = binary_transfer("add", base, lane)
+        assert addr.stride == 1.0
+        doubled = binary_transfer("add", addr, lane)
+        assert doubled.stride == 2.0
+        assert binary_transfer("sub", doubled, lane).stride == 1.0
+
+    def test_mul_by_constant_scales_stride(self):
+        lane = AbstractValue.lane_id()
+        assert binary_transfer("mul", lane, AbstractValue.const(8.0)).stride == 8.0
+        assert binary_transfer("div", lane, AbstractValue.const(2.0)).stride == 0.5
+
+    def test_unknown_combination_degrades_to_divergent(self):
+        lane = AbstractValue.lane_id()
+        assert binary_transfer("mul", lane, lane).stride is None
+        assert binary_transfer("min", lane, lane).stride is None
+
+    def test_join_keeps_only_agreeing_strides(self):
+        lane = AbstractValue.lane_id()
+        assert lane.join(lane).stride == 1.0
+        assert lane.join(AbstractValue.const(3.0)).stride is None
+
+
+class TestTransferFunctions:
+    def test_bitand_bounds_nonnegative(self):
+        lane = AbstractValue.lane_id()
+        mask = AbstractValue.const(31.0)
+        masked = binary_transfer("and", lane, mask)
+        assert masked.interval.lo >= 0.0 and masked.interval.hi <= 31.0
+        assert masked.integral
+
+    def test_bitops_are_integral_even_on_float_inputs(self):
+        x = AbstractValue(iv(0.0, 10.5), Parity.TOP, False, None)
+        assert binary_transfer("or", x, x).integral
+
+    def test_floor_is_identity_on_integral(self):
+        lane = AbstractValue.lane_id()
+        floored = unary_transfer("floor", lane)
+        assert floored == lane  # preserves the affine stride
+
+    def test_floor_on_real_interval(self):
+        x = AbstractValue(iv(0.0, 7.5), Parity.TOP, False, 0.0)
+        out = unary_transfer("floor", x)
+        assert out.interval == iv(0, 7)
+        assert out.integral and out.is_uniform
+
+    def test_halving_index_pattern_stays_bounded(self):
+        """(i - 1) * 0.5 then floor — the heap parent computation."""
+        i = AbstractValue.uniform_range(1, 15)
+        pm1 = binary_transfer("sub", i, AbstractValue.const(1.0))
+        half = binary_transfer("mul", pm1, AbstractValue.const(0.5))
+        parent = unary_transfer("floor", half)
+        assert parent.interval == iv(0, 7)
+        assert parent.is_uniform
+
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=60, deadline=None)
+    def test_bitop_bounds_sound_on_concrete_ints(self, p, q):
+        a = AbstractValue.const(float(p))
+        b = AbstractValue.const(float(q))
+        assert binary_transfer("and", a, b).interval.contains(float(p & q))
+        assert binary_transfer("or", a, b).interval.contains(float(p | q))
+        assert binary_transfer("xor", a, b).interval.contains(float(p ^ q))
+
+
+def test_unknown_ops_raise():
+    with pytest.raises(ValueError):
+        binary_transfer("pow", AbstractValue.top(), AbstractValue.top())
+    with pytest.raises(ValueError):
+        unary_transfer("exp", AbstractValue.top())
