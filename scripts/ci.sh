@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Minimal CI gate: static analysis, the tier-1 test suite, and the smoke
-# benchmarks — batched search engine (parity + speedup >= 1x at B=64) and
-# batched graph construction (speedup + graph-recall gap gates).  Each
-# smoke runs in well under 60 s.
+# benchmarks — batched search engine (parity + speedup >= 1x at B=64),
+# batched graph construction (speedup + graph-recall gap gates), and the
+# serving layer (fixed batching misses the p99 SLO at overload while the
+# SLO-aware policy holds it).  Each smoke runs in well under 60 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -33,3 +34,4 @@ fi
 python -m pytest -x -q
 python -m benchmarks.bench_batched_engine --smoke
 python -m benchmarks.bench_build_speed --smoke
+python -m benchmarks.bench_serving --smoke

@@ -9,6 +9,9 @@ Usage::
             --k 10 --queue 80 --device v100
     python -m repro sweep  --dataset sift --n 2000 --methods song hnsw ivfpq \
             --plot
+    python -m repro serve    --dataset sift --n 2000 --rate 2000 --requests 500
+    python -m repro loadtest --dataset sift --n 2000 \
+            --rates 20000 60000 150000 --policy both --slo-ms 2
 
 Everything runs on the synthetic dataset analogues (see
 ``repro.data.DATASET_SPECS``); ``build`` persists the proximity graph so
@@ -204,6 +207,121 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _serving_config(args):
+    from repro import SearchConfig
+    from repro.eval import serving_policy_config
+
+    base = SearchConfig(k=args.k, queue_size=max(args.queue, args.k))
+    return serving_policy_config(
+        args.policy,
+        base,
+        slo_p99_s=args.slo_ms / 1e3,
+        max_queue=args.max_queue,
+        batch_size=args.batch_size,
+        max_batch=args.max_batch,
+    )
+
+
+def cmd_serve(args) -> int:
+    """Serve a synthetic Poisson stream in real time; print metrics JSON."""
+    import asyncio
+    import json
+
+    from repro.graphs import build_nsw
+    from repro.serve import build_server, drive_poisson, summarize
+
+    dataset = _load_dataset(args)
+    graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+    config = _serving_config(args)
+    server = build_server(
+        graph,
+        dataset.data,
+        config,
+        num_replicas=args.replicas,
+        device=args.device,
+    )
+    gt = dataset.ground_truth(args.k)
+
+    async def main():
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+        await server.start()
+        responses = await drive_poisson(
+            server,
+            dataset.queries,
+            args.rate,
+            args.requests,
+            seed=args.seed,
+            ground_truth=gt,
+        )
+        await server.stop()
+        return responses, loop.time() - start
+
+    responses, duration = asyncio.run(main())
+    report = summarize(server, responses, args.rate, duration)
+    print(
+        f"served {report.completed}/{report.num_requests} requests "
+        f"at {report.achieved_qps:,.0f} QPS "
+        f"(p99 {1e3 * report.p99_latency_s:.3f} ms, "
+        f"SLO {'met' if report.slo_met else 'MISSED'})"
+    )
+    print(json.dumps(server.metrics_dict(), indent=2, default=str))
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Deterministic virtual-time loadtest sweep over offered rates."""
+    import json
+
+    from repro.eval import SERVING_POLICIES, format_serving_table, sweep_serving
+    from repro.graphs import build_nsw
+
+    dataset = _load_dataset(args)
+    graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+    policies = SERVING_POLICIES if args.policy == "both" else (args.policy,)
+    from repro import SearchConfig
+
+    series = sweep_serving(
+        graph,
+        dataset.data,
+        dataset.queries,
+        rates=list(args.rates),
+        base=SearchConfig(k=args.k, queue_size=max(args.queue, args.k)),
+        slo_p99_s=args.slo_ms / 1e3,
+        num_requests=args.requests,
+        seed=args.seed,
+        ground_truth=dataset.ground_truth(args.k),
+        num_replicas=args.replicas,
+        device=args.device,
+        policies=policies,
+        max_queue=args.max_queue,
+        batch_size=args.batch_size,
+        max_batch=args.max_batch,
+    )
+    print(format_serving_table(series))
+    if args.out:
+        payload = {
+            policy: [p.to_dict() for p in points]
+            for policy, points in series.items()
+        }
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+def _add_serving_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--queue", type=int, default=64, help="tier-0 ef")
+    parser.add_argument("--slo-ms", type=float, default=2.0, help="p99 SLO")
+    parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument("--device", default="v100")
+    parser.add_argument("--requests", type=int, default=400)
+    parser.add_argument("--batch-size", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--max-queue", type=int, default=256)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -263,6 +381,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--plot", action="store_true", help="render an ASCII plot")
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a synthetic Poisson stream in real time"
+    )
+    _add_dataset_args(p_serve)
+    _add_serving_args(p_serve)
+    p_serve.add_argument("--rate", type=float, default=2000.0, help="offered QPS")
+    p_serve.add_argument(
+        "--policy", choices=["fixed", "adaptive"], default="adaptive"
+    )
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest", help="deterministic virtual-time loadtest sweep"
+    )
+    _add_dataset_args(p_load)
+    _add_serving_args(p_load)
+    p_load.add_argument(
+        "--rates", nargs="+", type=float,
+        default=[20_000.0, 60_000.0, 150_000.0], help="offered QPS points",
+    )
+    p_load.add_argument(
+        "--policy", choices=["fixed", "adaptive", "both"], default="both"
+    )
+    p_load.add_argument("--out", help="write per-policy reports to a JSON file")
+    p_load.set_defaults(func=cmd_loadtest)
     return parser
 
 

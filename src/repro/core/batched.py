@@ -123,6 +123,26 @@ class BatchedSongSearcher:
             np.asarray(query)[None, :], config, meter=meter, stats=batch_stats
         )[0]
 
+    def search_batch_with_stats(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        meter=None,
+        entry_points: Optional[np.ndarray] = None,
+    ) -> Tuple[List[List[Tuple[float, int]]], List[SearchStats]]:
+        """Batch search returning ``(results, per-lane stats)``.
+
+        Convenience for callers that always want the counters — the
+        serving layer prices batches on the simulated GPU by replaying
+        these per-lane stats through the warp cost model.
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        stats = [SearchStats() for _ in range(len(queries))]
+        results = self.search_batch(
+            queries, config, meter=meter, stats=stats, entry_points=entry_points
+        )
+        return results, stats
+
     def search_batch(
         self,
         queries: np.ndarray,

@@ -153,8 +153,10 @@ class BuildConfig:
         Cap on one insertion generation's size for the batched NSW/HNSW
         engines.
     max_candidates:
-        Per-vertex join-list cap for batched NN-descent (``None`` keeps
-        the builder default).
+        Per-vertex join-list cap for batched NN-descent.  ``None``
+        (default) adapts the cap per round to the observed list-length
+        tail (``max(32, 4 * p99)``), so it binds only on genuine hub
+        vertices; pass an int for a fixed cap.
     seed:
         Construction seed forwarded to the builders.
     """

@@ -65,6 +65,8 @@ class OnlineSongIndex:
         self._data = np.zeros((max(capacity, 8), dim), dtype=np.float32)
         self._adjacency: List[List[int]] = []
         self._size = 0
+        self._snapshot: Optional[FixedDegreeGraph] = None
+        self._snapshot_size = -1
 
     def __len__(self) -> int:
         return self._size
@@ -122,12 +124,21 @@ class OnlineSongIndex:
     # -- search -------------------------------------------------------------
 
     def snapshot_graph(self) -> FixedDegreeGraph:
-        """Freeze the current adjacency into fixed-degree storage."""
+        """Freeze the current adjacency into fixed-degree storage.
+
+        The snapshot is cached and only rebuilt after inserts, so
+        alternating search/search traffic (the serving layer's common
+        case) pays the freeze cost once per write, not once per read.
+        """
         if self._size == 0:
             raise RuntimeError("index is empty")
+        if self._snapshot is not None and self._snapshot_size == self._size:
+            return self._snapshot
         graph = FixedDegreeGraph(self._size, self.max_degree, entry_point=0)
         for v in range(self._size):
             graph.set_neighbors(v, self._adjacency[v])
+        self._snapshot = graph
+        self._snapshot_size = self._size
         return graph
 
     def search_batch(

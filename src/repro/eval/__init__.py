@@ -1,6 +1,12 @@
 """Evaluation harness: recall, QPS sweeps and paper-shaped reports."""
 
 from repro.eval.recall import batch_recall, recall_at_k
+from repro.eval.serving import (
+    SERVING_POLICIES,
+    format_serving_table,
+    serving_policy_config,
+    sweep_serving,
+)
 from repro.eval.sweep import (
     SweepPoint,
     qps_at_recall,
@@ -15,18 +21,22 @@ from repro.eval.report import format_curve, format_table
 from repro.eval.stats import bootstrap_ci, paired_bootstrap_pvalue, per_query_recall
 
 __all__ = [
+    "SERVING_POLICIES",
     "bootstrap_ci",
     "paired_bootstrap_pvalue",
     "per_query_recall",
     "recall_at_k",
     "batch_recall",
     "SweepPoint",
+    "format_serving_table",
+    "serving_policy_config",
     "sweep_batched_song",
     "sweep_build_engines",
     "sweep_gpu_song",
     "sweep_cpu_song",
     "sweep_hnsw",
     "sweep_ivfpq",
+    "sweep_serving",
     "qps_at_recall",
     "format_curve",
     "format_table",

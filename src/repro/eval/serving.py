@@ -1,0 +1,136 @@
+"""Serving-layer evaluation: QPS vs latency vs recall **under an SLO**.
+
+Offline sweeps (:mod:`repro.eval.sweep`) measure the engine in isolation:
+every batch is full-size and nothing queues.  A serving system behaves
+differently — latency is dominated by queueing once offered load nears
+capacity, and the interesting trade-off is *recall under load*: how much
+quality the SLO-aware degradation ladder gives up to keep the p99 inside
+the target.  :func:`sweep_serving` measures exactly that, by running the
+same seeded open-loop Poisson workload against a server per offered-load
+point and policy, on the deterministic virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.serve.admission import AdmissionConfig
+from repro.serve.batcher import BatchPolicy
+from repro.serve.loadgen import LoadtestReport, run_loadtest
+from repro.serve.server import ServerConfig, build_server
+
+__all__ = ["SERVING_POLICIES", "serving_policy_config", "sweep_serving", "format_serving_table"]
+
+#: Named serving policies the sweep compares.
+SERVING_POLICIES = ("fixed", "adaptive")
+
+
+def serving_policy_config(
+    policy: str,
+    base: SearchConfig,
+    slo_p99_s: float,
+    max_queue: int = 256,
+    batch_size: int = 8,
+    max_batch: int = 64,
+) -> ServerConfig:
+    """The :class:`ServerConfig` a named policy stands for.
+
+    ``"fixed"`` is the baseline: constant batch size, tier-0 quality,
+    shed only when the bounded queue fills.  ``"adaptive"`` is the full
+    controller: SLO-adaptive batch sizing plus the degradation ladder.
+    """
+    if policy not in SERVING_POLICIES:
+        raise ValueError(
+            f"unknown serving policy {policy!r}; expected one of {SERVING_POLICIES}"
+        )
+    if policy == "fixed":
+        return ServerConfig(
+            base=base,
+            admission=AdmissionConfig(
+                policy="reject", slo_p99_s=slo_p99_s, max_queue=max_queue
+            ),
+            batch=BatchPolicy(
+                mode="fixed", batch_size=batch_size, max_batch=max_batch
+            ),
+        )
+    return ServerConfig(
+        base=base,
+        admission=AdmissionConfig(
+            policy="degrade", slo_p99_s=slo_p99_s, max_queue=max_queue
+        ),
+        batch=BatchPolicy(
+            mode="adaptive", batch_size=batch_size, max_batch=max_batch
+        ),
+    )
+
+
+def sweep_serving(
+    graph,
+    data: np.ndarray,
+    queries: np.ndarray,
+    rates: Sequence[float],
+    base: Optional[SearchConfig] = None,
+    slo_p99_s: float = 0.005,
+    num_requests: int = 400,
+    seed: int = 0,
+    ground_truth: Optional[np.ndarray] = None,
+    num_replicas: int = 1,
+    device: str = "v100",
+    policies: Sequence[str] = SERVING_POLICIES,
+    max_queue: int = 256,
+    batch_size: int = 8,
+    max_batch: int = 64,
+) -> Dict[str, List[LoadtestReport]]:
+    """Loadtest every ``(policy, offered rate)`` pair; return report curves.
+
+    Each point runs on a fresh server and a fresh virtual-time loop with
+    the same arrival seed, so curves are directly comparable and the
+    whole sweep is deterministic.
+    """
+    base = base or SearchConfig(k=10, queue_size=64)
+    series: Dict[str, List[LoadtestReport]] = {}
+    for policy in policies:
+        cfg = serving_policy_config(
+            policy,
+            base,
+            slo_p99_s,
+            max_queue=max_queue,
+            batch_size=batch_size,
+            max_batch=max_batch,
+        )
+        points = []
+        for rate in rates:
+            report = run_loadtest(
+                lambda: build_server(
+                    graph, data, cfg, num_replicas=num_replicas, device=device
+                ),
+                queries,
+                rate_qps=float(rate),
+                num_requests=num_requests,
+                seed=seed,
+                ground_truth=ground_truth,
+            )
+            points.append(report)
+        series[policy] = points
+    return series
+
+
+def format_serving_table(series: Dict[str, List[LoadtestReport]]) -> str:
+    """Render sweep results as an aligned text table."""
+    lines = [
+        f"{'policy':<10} {'offered':>10} {'achieved':>10} {'p50 ms':>8} "
+        f"{'p99 ms':>8} {'SLO':>4} {'shed':>6} {'degr':>6} {'recall':>7}"
+    ]
+    for policy, points in series.items():
+        for p in points:
+            recall = "-" if p.recall is None else f"{p.recall:.4f}"
+            lines.append(
+                f"{policy:<10} {p.offered_qps:>10,.0f} {p.achieved_qps:>10,.0f} "
+                f"{1e3 * p.p50_latency_s:>8.3f} {1e3 * p.p99_latency_s:>8.3f} "
+                f"{'ok' if p.slo_met else 'MISS':>4} {p.shed_rate:>6.1%} "
+                f"{p.degraded_fraction:>6.1%} {recall:>7}"
+            )
+    return "\n".join(lines)

@@ -50,8 +50,25 @@ _PAIR_TILE = 1 << 15
 #: Element budget for one vertex-block of join-pair index generation.
 _PAIR_BLOCK_BUDGET = 1 << 23
 
-#: Default per-vertex join-list cap (see ``max_candidates``).
-_DEFAULT_CAP = 512
+#: Adaptive join-list cap (used when ``max_candidates`` is ``None``):
+#: per round the cap is ``max(floor, mult * p{pct}(per-vertex list
+#: lengths))``.  Tying the cap to the observed tail percentile keeps it
+#: slack for typical degree distributions (it binds on ~nothing, so
+#: results match an uncapped run) while genuine hubs — vertices whose
+#: reverse lists dwarf the population tail — get truncated relative to
+#: the dataset's own statistics instead of a hard-coded 512.
+_ADAPTIVE_CAP_FLOOR = 32
+_ADAPTIVE_CAP_MULT = 4.0
+_ADAPTIVE_CAP_PCT = 99.0
+
+
+def _adaptive_cap(vertices: np.ndarray, n: int) -> int:
+    """Join-list cap derived from this round's per-vertex edge counts."""
+    if not len(vertices):
+        return _ADAPTIVE_CAP_FLOOR
+    counts = np.bincount(vertices, minlength=n)
+    tail = float(np.percentile(counts, _ADAPTIVE_CAP_PCT))
+    return max(_ADAPTIVE_CAP_FLOOR, int(np.ceil(_ADAPTIVE_CAP_MULT * tail)))
 
 
 def nn_descent(
@@ -64,6 +81,7 @@ def nn_descent(
     seed: int = 0,
     build_engine: str = "batched",
     max_candidates: Optional[int] = None,
+    stats: Optional[dict] = None,
 ) -> np.ndarray:
     """Return an ``(n, k)`` approximate kNN table.
 
@@ -86,9 +104,14 @@ def nn_descent(
     max_candidates:
         Batched engine only: cap on the per-vertex new/old join lists.
         Over-long lists keep a uniform random sample, so this only guards
-        against pathological hubs blowing up the pair count; the default
-        (512) is far above typical list lengths and the serial engine is
-        uncapped.
+        against pathological hubs blowing up the pair count.  ``None``
+        (default) adapts the cap per round to the observed list-length
+        tail — ``max(32, 4 * p99)`` — so it stays slack on typical
+        degree distributions and only binds on genuine hubs; pass an int
+        for a fixed cap.  The serial engine is uncapped.
+    stats:
+        Batched engine only: pass a dict to receive per-round
+        diagnostics (``caps``, ``max_list_len``, ``capped_vertices``).
     """
     n = len(data)
     if k >= n:
@@ -100,7 +123,7 @@ def nn_descent(
     if build_engine == "serial":
         return _nn_descent_serial(data, k, metric, max_iters, sample_rate, delta, seed)
     return _nn_descent_batched(
-        data, k, metric, max_iters, sample_rate, delta, seed, max_candidates
+        data, k, metric, max_iters, sample_rate, delta, seed, max_candidates, stats
     )
 
 
@@ -116,6 +139,7 @@ def _nn_descent_batched(
     delta: float,
     seed: int,
     max_candidates: Optional[int],
+    stats: Optional[dict],
 ) -> np.ndarray:
     n = len(data)
     data = np.ascontiguousarray(np.asarray(data), dtype=np.float32)
@@ -126,9 +150,12 @@ def _nn_descent_batched(
         pair_cache: Optional[np.ndarray] = m.point_sq_norms(data)
     else:
         pair_cache = norms  # cosine norms; None for ip
-    cap = max_candidates if max_candidates is not None else _DEFAULT_CAP
-    if cap <= 0:
+    if max_candidates is not None and max_candidates <= 0:
         raise ValueError("max_candidates must be positive")
+    if stats is not None:
+        stats.setdefault("caps", [])
+        stats.setdefault("max_list_len", [])
+        stats.setdefault("capped_vertices", [])
 
     keys, flags = _init_pools(data, k, m, rng, norms)
 
@@ -145,11 +172,22 @@ def _nn_descent_batched(
         u_new = ids[v_new, j_new]
         v_old, j_old = np.nonzero(~sampled)
         u_old = ids[v_old, j_old]
+        new_owners = np.concatenate([v_new, u_new])
+        old_owners = np.concatenate([v_old, u_old])
+        if max_candidates is not None:
+            cap = max_candidates
+        else:
+            cap = _adaptive_cap(np.concatenate([new_owners, old_owners]), n)
+        if stats is not None:
+            lens = np.bincount(np.concatenate([new_owners, old_owners]), minlength=n)
+            stats["caps"].append(cap)
+            stats["max_list_len"].append(int(lens.max()) if len(lens) else 0)
+            stats["capped_vertices"].append(int((lens > cap).sum()))
         new_lists = _pack_lists(
-            np.concatenate([v_new, u_new]), np.concatenate([u_new, v_new]), n, cap, rng
+            new_owners, np.concatenate([u_new, v_new]), n, cap, rng
         )
         old_lists = _pack_lists(
-            np.concatenate([v_old, u_old]), np.concatenate([u_old, v_old]), n, cap, rng
+            old_owners, np.concatenate([u_old, v_old]), n, cap, rng
         )
 
         p1, p2 = _join_pairs(new_lists, old_lists)

@@ -1,0 +1,212 @@
+"""Admission control: bounded queues, load shedding, SLO-aware degradation.
+
+The controller sits between :meth:`SongServer.submit` and the dynamic
+batcher.  Its job is to keep the p99 total latency under the SLO when
+offered load exceeds capacity, using two levers in order of preference:
+
+1. **degrade** — drop the search to a cheaper quality tier (lower
+   ``ef``/queue size), trading recall for throughput so the queue drains
+   faster;
+2. **shed** — once the bounded queue is full (or a request has waited
+   past its shed deadline), reject outright; an unbounded queue under
+   overload only converts every request into an SLO miss.
+
+Tier selection is feedback-driven and deterministic: after every batch
+the controller re-estimates the queue drain latency (queue depth x EWMA
+per-query service time + one batch service time) and steps the tier down
+when the estimate breaches the SLO, back up when it has stayed below
+``recover_fraction * SLO`` for ``cooldown_batches`` consecutive batches
+(hysteresis, so the tier doesn't flap).
+
+Policies:
+
+- ``"reject"`` — fixed tier 0, shed when the queue is full (classic
+  bounded-queue serving);
+- ``"degrade"`` — the adaptive ladder above, shedding only at the hard
+  queue cap;
+- ``"block"`` — backpressure: callers wait for queue space (closed-loop
+  clients), never shed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import SearchConfig
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BatchObservation",
+    "default_tiers",
+]
+
+#: Valid admission policies.
+ADMISSION_POLICIES = ("reject", "degrade", "block")
+
+
+def default_tiers(base: SearchConfig, num_tiers: int = 4) -> List[SearchConfig]:
+    """A degradation ladder derived from ``base`` by halving ``ef``.
+
+    Tier 0 is ``base`` itself; each subsequent tier halves the frontier
+    queue size (the paper's recall/throughput dial) down to ``k``.
+    Consecutive duplicates are dropped, so the ladder may be shorter
+    than ``num_tiers``.
+    """
+    tiers = [base]
+    ef = base.queue_size
+    for _ in range(max(0, num_tiers - 1)):
+        ef = max(base.k, ef // 2)
+        cfg = base.with_options(queue_size=ef)
+        if cfg.queue_size == tiers[-1].queue_size:
+            break
+        tiers.append(cfg)
+    return tiers
+
+
+@dataclass
+class BatchObservation:
+    """What the batcher reports after each completed batch."""
+
+    batch_size: int
+    service_seconds: float
+    queue_depth_after: int
+    tier: int
+
+
+@dataclass
+class AdmissionConfig:
+    """Tunables of the admission controller.
+
+    Attributes
+    ----------
+    max_queue:
+        Hard cap on pending (admitted, undispatched) requests.
+    policy:
+        One of :data:`ADMISSION_POLICIES`.
+    slo_p99_s:
+        Target p99 total latency in (simulated) seconds.
+    shed_deadline_s:
+        Requests that waited longer than this are shed at dispatch time
+        (``None`` disables; defaults to ``2 * slo_p99_s`` when adaptive).
+    cooldown_batches:
+        Consecutive calm batches required before re-upgrading a tier.
+    recover_fraction:
+        Latency estimate must stay below this fraction of the SLO to
+        count as calm.
+    """
+
+    max_queue: int = 256
+    policy: str = "degrade"
+    slo_p99_s: float = 0.005
+    shed_deadline_s: Optional[float] = None
+    cooldown_batches: int = 4
+    recover_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.policy not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {self.policy!r}; "
+                f"expected one of {ADMISSION_POLICIES}"
+            )
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.slo_p99_s <= 0:
+            raise ValueError("slo_p99_s must be positive")
+        if self.cooldown_batches <= 0:
+            raise ValueError("cooldown_batches must be positive")
+        if not 0.0 < self.recover_fraction <= 1.0:
+            raise ValueError("recover_fraction must be in (0, 1]")
+
+
+class AdmissionController:
+    """Bounded-queue admission with a feedback-driven quality ladder."""
+
+    def __init__(
+        self,
+        config: AdmissionConfig,
+        tiers: Sequence[SearchConfig],
+    ) -> None:
+        if not tiers:
+            raise ValueError("need at least one quality tier")
+        self.config = config
+        self.tiers = list(tiers)
+        self.tier = 0
+        self._ewma_per_query: Optional[float] = None
+        self._ewma_batch: Optional[float] = None
+        self._calm_batches = 0
+        self._slots: Optional[asyncio.Semaphore] = None
+
+    # -- submission side -------------------------------------------------
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        # Created lazily so the controller binds to the running loop.
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.config.max_queue)
+        return self._slots
+
+    async def try_admit(self, queue_depth: int) -> Tuple[bool, str]:
+        """Decide one arrival; returns ``(admitted, shed_reason)``.
+
+        With the ``block`` policy this awaits queue space (backpressure)
+        instead of shedding.
+        """
+        if self.config.policy == "block":
+            await self._semaphore().acquire()
+            return True, ""
+        if queue_depth >= self.config.max_queue:
+            return False, "queue_full"
+        return True, ""
+
+    def release_slot(self) -> None:
+        """Return a blocked-policy queue slot after dispatch."""
+        if self.config.policy == "block" and self._slots is not None:
+            self._slots.release()
+
+    def shed_deadline_s(self) -> Optional[float]:
+        """Max queue wait before a request is shed at dispatch."""
+        if self.config.shed_deadline_s is not None:
+            return self.config.shed_deadline_s
+        if self.config.policy == "degrade":
+            return 2.0 * self.config.slo_p99_s
+        return None
+
+    # -- feedback side ---------------------------------------------------
+
+    def current_config(self) -> SearchConfig:
+        """The search config of the active quality tier."""
+        return self.tiers[self.tier]
+
+    def estimated_latency_s(self, queue_depth: int) -> float:
+        """Drain-time estimate for a request arriving at this depth."""
+        if self._ewma_per_query is None or self._ewma_batch is None:
+            return 0.0
+        return queue_depth * self._ewma_per_query + self._ewma_batch
+
+    def observe_batch(self, obs: BatchObservation) -> None:
+        """Feed one completed batch back into the tier controller."""
+        per_query = obs.service_seconds / max(1, obs.batch_size)
+        alpha = 0.3
+        if self._ewma_per_query is None:
+            self._ewma_per_query = per_query
+            self._ewma_batch = obs.service_seconds
+        else:
+            self._ewma_per_query += alpha * (per_query - self._ewma_per_query)
+            self._ewma_batch += alpha * (obs.service_seconds - self._ewma_batch)
+        if self.config.policy != "degrade":
+            return
+        estimate = self.estimated_latency_s(obs.queue_depth_after)
+        slo = self.config.slo_p99_s
+        if estimate > slo and self.tier < len(self.tiers) - 1:
+            self.tier += 1
+            self._calm_batches = 0
+        elif estimate < self.config.recover_fraction * slo:
+            self._calm_batches += 1
+            if self._calm_batches >= self.config.cooldown_batches and self.tier > 0:
+                self.tier -= 1
+                self._calm_batches = 0
+        else:
+            self._calm_batches = 0

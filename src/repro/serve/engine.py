@@ -1,0 +1,265 @@
+"""Serving engines: uniform batch execution + simulated-GPU pricing.
+
+The serving layer needs two things from an index: *results* for a batch
+of queries, and a *service time* to charge against the simulated clock.
+Running the fully metered :class:`~repro.core.gpu_kernel.GpuSongIndex`
+gives exact timing but executes the serial Python searcher per query —
+far too slow for loadtests with thousands of requests.  The engines here
+split the two concerns:
+
+- results come from the vectorized lockstep engine
+  (:class:`~repro.core.batched.BatchedSongSearcher`), bit-identical to
+  the serial searcher and ~10x faster in wall time;
+- service time comes from **counter replay**: the per-lane
+  :class:`~repro.core.song.SearchStats` the lockstep engine fills
+  (iterations, distance computations, structure inserts) are replayed
+  through the same :class:`~repro.core.gpu_kernel.WarpMeter` /
+  :class:`~repro.simt.cost.CostModel` stack the metered index uses, so a
+  batch is priced with the paper's cost model without per-event
+  metering.  The replay aggregates events per lane (one ``pop_frontier``
+  call for all iterations instead of one per iteration), which is exact
+  for every cost primitive because they are all linear in their count
+  argument; the residual drift against full metering comes only from
+  counts not tracked in ``SearchStats`` (frontier pops beyond one per
+  iteration, visited tests on duplicate candidates) and is bounded by a
+  drift test.
+
+Three engines cover the index zoo:
+
+- :class:`SimulatedGpuEngine` — one graph + dataset on one device;
+- :class:`ShardedServeEngine` — fan-out over a
+  :class:`~repro.core.sharding.ShardedSongIndex` (service time = slowest
+  shard, per-shard attribution in ``detail``);
+- :class:`OnlineServeEngine` — a growable
+  :class:`~repro.core.online.OnlineSongIndex` supporting mixed
+  search/insert traffic with snapshot caching.
+"""
+
+from __future__ import annotations
+
+# lint: hot-path
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batched import BatchedSongSearcher
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex, WarpMeter
+from repro.core.online import OnlineSongIndex
+from repro.core.sharding import ShardedSongIndex
+from repro.core.song import SearchStats
+from repro.distances import get_metric
+from repro.graphs.storage import FixedDegreeGraph
+from repro.simt.warp import Warp
+
+__all__ = [
+    "BatchServiceResult",
+    "SimulatedGpuEngine",
+    "ShardedServeEngine",
+    "OnlineServeEngine",
+]
+
+
+@dataclass
+class BatchServiceResult:
+    """Outcome of one engine batch: results plus the modelled timing.
+
+    ``service_seconds`` is what the device is busy for (the replica
+    serializes batches on it); ``detail`` carries engine-specific
+    attribution (kernel/transfer split, per-shard stats).
+    """
+
+    results: List[List[Tuple[float, int]]]
+    service_seconds: float
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class SimulatedGpuEngine:
+    """One replica: a proximity graph + dataset on one simulated device.
+
+    Parameters
+    ----------
+    graph:
+        Fixed-degree proximity graph.
+    data:
+        ``(n, d)`` float32 dataset.
+    device:
+        Simulated device preset name.
+    name:
+        Replica label used in responses and metrics.
+    """
+
+    def __init__(
+        self,
+        graph: FixedDegreeGraph,
+        data: np.ndarray,
+        device: str = "v100",
+        name: str = "gpu0",
+    ) -> None:
+        self.index = GpuSongIndex(graph, data, device=device)
+        self.batched = BatchedSongSearcher(
+            graph, self.index.data, parent=self.index.searcher
+        )
+        self.name = name
+
+    @property
+    def device(self):
+        return self.index.device
+
+    def run_batch(
+        self, queries: np.ndarray, config: SearchConfig
+    ) -> BatchServiceResult:
+        """Search a ``(B, d)`` batch; price it on the simulated device."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        results, stats = self.batched.search_batch_with_stats(queries, config)
+        seconds, detail = self.estimate_batch_seconds(queries, config, stats)
+        return BatchServiceResult(results, seconds, detail)
+
+    # -- pricing ---------------------------------------------------------
+
+    def _replay_lane(
+        self, config: SearchConfig, placement, stats: SearchStats, dim: int
+    ) -> Warp:
+        """Meter one lane's aggregate counters onto a fresh warp."""
+        metric = get_metric(config.metric)
+        warp = Warp(self.index.device)
+        meter = WarpMeter(warp, config, placement, metric.flops_per_distance)
+        degree = self.index.graph.degree
+        # Query staging (mirrors GpuSongIndex.search_batch's kernel).
+        warp.set_stage("locate")
+        warp.global_read_coalesced(dim * 4)
+        warp.shared_access(dim)
+        # Stage 1 aggregate: one pop per iteration plus the adjacency
+        # rows and visited probes those pops trigger.
+        row_slots = stats.iterations * config.probe_steps * degree
+        meter.pop_frontier(stats.iterations)
+        meter.read_graph_row(row_slots)
+        meter.visited_test(row_slots)
+        # Stage 2: every distance this lane computed, plus the seed.
+        meter.stage("distance")
+        meter.bulk_distance(stats.distance_computations + 1, dim)
+        # Stage 3: structure maintenance proportional to accepted work.
+        meter.stage("maintain")
+        meter.topk_update(stats.iterations)
+        meter.push_frontier(stats.visited_inserts + 1)
+        meter.visited_insert(stats.visited_inserts + 1)
+        return warp
+
+    def estimate_batch_seconds(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        stats: Sequence[SearchStats],
+    ) -> Tuple[float, Dict[str, object]]:
+        """Modelled launch seconds for a batch with the given lane stats."""
+        placement = self.index.placement(config)
+        dim = int(queries.shape[1])
+        cycles: List[float] = []
+        total_bytes = 0
+        for lane in stats:
+            warp = self._replay_lane(config, placement, lane, dim)
+            cycles.append(warp.cycles)
+            total_bytes += warp.memory.total_global_bytes
+        cost = self.index.launcher.cost_model
+        kernel = cost.kernel_time(
+            cycles,
+            total_bytes,
+            placement.shared_bytes_per_warp,
+            warps_per_group=max(1, config.block_size // self.device.warp_size),
+        )
+        htod = cost.transfer_time(int(queries.nbytes))
+        dtoh = cost.transfer_time(len(stats) * config.k * 8)
+        detail = {
+            "kernel_seconds": kernel,
+            "htod_seconds": htod,
+            "dtoh_seconds": dtoh,
+            "device": self.device.name,
+        }
+        return kernel + htod + dtoh, detail
+
+
+class ShardedServeEngine:
+    """Scatter-gather over a sharded index; slowest shard sets the time."""
+
+    def __init__(self, index: ShardedSongIndex, name: str = "sharded0") -> None:
+        self.index = index
+        self.name = name
+
+    def run_batch(
+        self, queries: np.ndarray, config: SearchConfig
+    ) -> BatchServiceResult:
+        """Fan a batch across every shard and merge the top-k lists."""
+        results, timing = self.index.search_batch(queries, config)
+        per_shard = timing["per_shard"]
+        detail = {
+            "per_shard": per_shard,
+            "slowest_shard": timing["slowest_shard"],
+            "shard_imbalance": timing["shard_imbalance"],
+        }
+        return BatchServiceResult(results, timing["wall_seconds"], detail)
+
+
+class OnlineServeEngine:
+    """A growable index serving mixed search and insert traffic.
+
+    Searches run against a frozen snapshot of the current graph, priced
+    like :class:`SimulatedGpuEngine`; the snapshot engine is cached and
+    invalidated on insert.  Inserts are priced as one ``ef_construction``
+    greedy search via the same counter replay (the insertion search
+    dominates an insert's cost; the bidirectional connect is a few
+    degree-bounded updates).
+    """
+
+    def __init__(self, index: OnlineSongIndex, name: str = "online0") -> None:
+        self.index = index
+        self.name = name
+        self._snapshot_engine: Optional[SimulatedGpuEngine] = None
+        self._snapshot_size = -1
+
+    def _engine(self) -> SimulatedGpuEngine:
+        if self._snapshot_engine is None or self._snapshot_size != len(self.index):
+            self._snapshot_engine = SimulatedGpuEngine(
+                self.index.snapshot_graph(),
+                self.index.data.copy(),
+                device=self.index.device,
+                name=self.name,
+            )
+            self._snapshot_size = len(self.index)
+        return self._snapshot_engine
+
+    def run_batch(
+        self, queries: np.ndarray, config: SearchConfig
+    ) -> BatchServiceResult:
+        """Search the current snapshot (built lazily, cached until write)."""
+        return self._engine().run_batch(queries, config)
+
+    def run_inserts(self, vectors: np.ndarray) -> BatchServiceResult:
+        """Ingest ``(B, d)`` vectors; returns assigned ids in ``detail``.
+
+        Service time models each insert as an ``ef_construction``-deep
+        greedy search on the pre-insert snapshot.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        size_before = len(self.index)
+        seconds = 0.0
+        if size_before > 0:
+            engine = self._engine()
+            ef = self.index.ef_construction
+            synthetic = SearchStats()
+            synthetic.iterations = ef
+            synthetic.distance_computations = ef * self.index.max_degree
+            synthetic.visited_inserts = ef
+            seconds, _ = engine.estimate_batch_seconds(
+                vectors,
+                SearchConfig(k=min(ef, size_before), queue_size=ef),
+                [synthetic] * len(vectors),
+            )
+        ids = self.index.add(vectors)
+        self._snapshot_engine = None  # snapshot is stale now
+        return BatchServiceResult(
+            results=[],
+            service_seconds=seconds,
+            detail={"inserted_ids": ids, "size": len(self.index)},
+        )

@@ -1,0 +1,94 @@
+"""Request and response records flowing through the serving pipeline.
+
+A :class:`ServeRequest` is one in-flight query (or vector insert): the
+payload plus the timestamps every pipeline stage stamps onto it, and the
+future its caller awaits.  A :class:`ServeResponse` is the terminal
+record handed back — search results (or the assigned id for inserts),
+the effective quality tier, and the per-stage latency breakdown the
+metrics core aggregates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SEARCH",
+    "INSERT",
+    "ServeRequest",
+    "ServeResponse",
+]
+
+#: Request kinds.
+SEARCH = "search"
+INSERT = "insert"
+
+
+@dataclass
+class ServeRequest:
+    """One admitted unit of work travelling through the pipeline.
+
+    Attributes
+    ----------
+    request_id:
+        Monotone id assigned at submission.
+    kind:
+        ``"search"`` or ``"insert"``.
+    payload:
+        The query vector (search) or the vector to ingest (insert).
+    arrival_s:
+        Loop time at submission.
+    ground_truth:
+        Optional exact top-k ids for recall-under-load accounting.
+    future:
+        Resolved with the :class:`ServeResponse` when the request leaves
+        the system (served or shed).
+    dispatch_s:
+        Loop time the batcher handed the request to an engine.
+    """
+
+    request_id: int
+    kind: str
+    payload: np.ndarray
+    arrival_s: float
+    future: asyncio.Future = field(repr=False)
+    ground_truth: Optional[np.ndarray] = None
+    dispatch_s: Optional[float] = None
+
+    def resolve(self, response: "ServeResponse") -> None:
+        """Complete the caller's future exactly once."""
+        if not self.future.done():
+            self.future.set_result(response)
+
+
+@dataclass
+class ServeResponse:
+    """Terminal record of one request.
+
+    ``status`` is ``"ok"`` for served requests and ``"shed"`` for load
+    shedding; shed responses carry a ``shed_reason`` and no results.
+    Latencies are in (simulated or wall) seconds.
+    """
+
+    request_id: int
+    kind: str
+    status: str
+    results: List[Tuple[float, int]] = field(default_factory=list)
+    inserted_id: Optional[int] = None
+    tier: int = 0
+    ef: int = 0
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+    batch_size: int = 0
+    replica: str = ""
+    shed_reason: str = ""
+    recall: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"

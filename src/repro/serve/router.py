@@ -1,0 +1,208 @@
+"""Routing: replicas, least-loaded dispatch, and read/write discipline.
+
+A :class:`Replica` wraps one serving engine with an exclusive device
+lock (one batch occupies a simulated GPU at a time — further batches
+queue on the lock) and in-flight accounting.  The :class:`Router`
+spreads batches across replicas:
+
+- ``"least-loaded"`` (default) — join-the-shortest-queue on the pending
+  batch count, ties broken by replica index (deterministic);
+- ``"round-robin"`` — strict rotation.
+
+Sharded indexes plug in transparently: a replica whose engine is a
+:class:`~repro.serve.engine.ShardedServeEngine` fans each batch over its
+shards internally and reports per-shard attribution, which the router
+folds into its per-replica stats (slowest-shard counts, imbalance).
+
+Mixed read/insert traffic against an
+:class:`~repro.serve.engine.OnlineServeEngine` goes through a fair
+:class:`AsyncRWLock`: searches share the lock (they read a frozen
+snapshot), inserts take it exclusively, and FIFO fairness means a
+waiting insert blocks later searches — so the insertion order equals
+the submission order, which is what makes concurrent histories
+reproducible against a serially built index.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.serve.engine import BatchServiceResult, OnlineServeEngine
+
+__all__ = ["ROUTING_POLICIES", "AsyncRWLock", "Replica", "Router"]
+
+#: Valid routing policies.
+ROUTING_POLICIES = ("least-loaded", "round-robin")
+
+
+class AsyncRWLock:
+    """A fair readers-writer lock for asyncio.
+
+    Readers share; writers are exclusive.  Arrivals are served FIFO: a
+    writer waiting behind active readers blocks readers that arrive
+    after it (no writer starvation), and queued waiters wake in order.
+    """
+
+    def __init__(self) -> None:
+        self._readers = 0
+        self._writer = False
+        self._waiters: Deque[Tuple[str, asyncio.Future]] = deque()
+
+    def _wake(self) -> None:
+        while self._waiters:
+            kind, fut = self._waiters[0]
+            if fut.cancelled():
+                self._waiters.popleft()
+                continue
+            if kind == "r" and not self._writer:
+                self._waiters.popleft()
+                self._readers += 1
+                fut.set_result(None)
+                continue  # adjacent readers enter together
+            if kind == "w" and not self._writer and self._readers == 0:
+                self._waiters.popleft()
+                self._writer = True
+                fut.set_result(None)
+            break
+
+    async def acquire_read(self) -> None:
+        """Take the lock shared; waits behind any queued writer."""
+        if not self._writer and not any(k == "w" for k, _ in self._waiters):
+            self._readers += 1
+            return
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append(("r", fut))
+        await fut
+
+    def release_read(self) -> None:
+        if self._readers <= 0:
+            raise RuntimeError("release_read without acquire_read")
+        self._readers -= 1
+        if self._readers == 0:
+            self._wake()
+
+    async def acquire_write(self) -> None:
+        """Take the lock exclusively; waits for readers to drain."""
+        if not self._writer and self._readers == 0 and not self._waiters:
+            self._writer = True
+            return
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append(("w", fut))
+        await fut
+
+    def release_write(self) -> None:
+        if not self._writer:
+            raise RuntimeError("release_write without acquire_write")
+        self._writer = False
+        self._wake()
+
+
+class Replica:
+    """One engine behind a device lock, with in-flight accounting."""
+
+    def __init__(self, engine, name: Optional[str] = None) -> None:
+        self.engine = engine
+        self.name = name or getattr(engine, "name", "replica")
+        self._device_lock = asyncio.Lock()
+        self._rw = AsyncRWLock()
+        self.pending_batches = 0
+        self.batches_served = 0
+        self.busy_seconds = 0.0
+        self.slowest_shard_counts: Dict[int, int] = {}
+
+    @property
+    def supports_inserts(self) -> bool:
+        return isinstance(self.engine, OnlineServeEngine)
+
+    async def run_batch(
+        self, queries: np.ndarray, config: SearchConfig
+    ) -> BatchServiceResult:
+        """Run one search batch: compute, then occupy the device."""
+        self.pending_batches += 1
+        await self._rw.acquire_read()
+        try:
+            async with self._device_lock:
+                outcome = self.engine.run_batch(queries, config)
+                await asyncio.sleep(outcome.service_seconds)
+        finally:
+            self._rw.release_read()
+            self.pending_batches -= 1
+        self.batches_served += 1
+        self.busy_seconds += outcome.service_seconds
+        shard = outcome.detail.get("slowest_shard")
+        if shard is not None:
+            self.slowest_shard_counts[shard] = (
+                self.slowest_shard_counts.get(shard, 0) + 1
+            )
+        return outcome
+
+    async def run_inserts(self, vectors: np.ndarray) -> BatchServiceResult:
+        """Run one insert batch under the exclusive write lock."""
+        if not self.supports_inserts:
+            raise RuntimeError(f"replica {self.name} does not accept inserts")
+        self.pending_batches += 1
+        await self._rw.acquire_write()
+        try:
+            outcome = self.engine.run_inserts(vectors)
+            await asyncio.sleep(outcome.service_seconds)
+        finally:
+            self._rw.release_write()
+            self.pending_batches -= 1
+        self.batches_served += 1
+        self.busy_seconds += outcome.service_seconds
+        return outcome
+
+    def stats(self) -> Dict[str, object]:
+        """Per-replica serving stats for reports."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "batches": self.batches_served,
+            "busy_seconds": round(self.busy_seconds, 9),
+        }
+        if self.slowest_shard_counts:
+            out["slowest_shard_counts"] = dict(
+                sorted(self.slowest_shard_counts.items())
+            )
+        return out
+
+
+class Router:
+    """Spreads batches over replicas with a deterministic policy."""
+
+    def __init__(self, replicas: Sequence[Replica], policy: str = "least-loaded"):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; "
+                f"expected one of {ROUTING_POLICIES}"
+            )
+        self.replicas = list(replicas)
+        self.policy = policy
+        self._rr = 0
+
+    def pick(self) -> Replica:
+        """Choose the replica for the next batch."""
+        if self.policy == "round-robin":
+            replica = self.replicas[self._rr % len(self.replicas)]
+            self._rr += 1
+            return replica
+        loads = [r.pending_batches for r in self.replicas]
+        return self.replicas[loads.index(min(loads))]
+
+    def pick_writable(self) -> Replica:
+        """Choose a replica that accepts inserts (the online index)."""
+        writable = [r for r in self.replicas if r.supports_inserts]
+        if not writable:
+            raise RuntimeError("no replica accepts inserts")
+        loads = [r.pending_batches for r in writable]
+        return writable[loads.index(min(loads))]
+
+    def stats(self) -> List[Dict[str, object]]:
+        """Per-replica stats, in replica order."""
+        return [r.stats() for r in self.replicas]

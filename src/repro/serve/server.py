@@ -1,0 +1,294 @@
+"""The serving front end: admission → dynamic batcher → router → engine.
+
+:class:`SongServer` is the traffic-facing object.  Callers ``await
+submit(query)`` (or ``submit_insert(vector)``) and get a
+:class:`~repro.serve.request.ServeResponse`; internally the request
+flows through
+
+1. **admission** — bounded queue, shed/degrade/block policy
+   (:mod:`repro.serve.admission`);
+2. **dynamic batching** — size-or-deadline batch formation with
+   SLO-adaptive sizing (:mod:`repro.serve.batcher`);
+3. **routing** — least-loaded replica selection, sharded fan-out,
+   read/write locking for online indexes (:mod:`repro.serve.router`);
+4. **engine execution** — batch results plus simulated-GPU service time
+   (:mod:`repro.serve.engine`), charged against the event-loop clock.
+
+Every stage reports into a :class:`~repro.serve.metrics.ServeMetrics`
+instance exported as JSON via :meth:`SongServer.metrics_dict`.
+
+The server is clock-agnostic: on a normal asyncio loop it serves in
+real time; on a :class:`~repro.serve.clock.VirtualTimeEventLoop` the
+same code yields deterministic simulated-time experiments.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import SearchConfig
+from repro.serve.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    BatchObservation,
+    default_tiers,
+)
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.engine import SimulatedGpuEngine
+from repro.serve.metrics import ServeMetrics
+from repro.serve.request import INSERT, SEARCH, ServeRequest, ServeResponse
+from repro.serve.router import Replica, Router
+
+__all__ = ["ServerConfig", "SongServer", "build_server"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything a :class:`SongServer` needs besides its replicas."""
+
+    base: SearchConfig = field(default_factory=lambda: SearchConfig(k=10, queue_size=64))
+    tiers: Optional[Sequence[SearchConfig]] = None
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    routing: str = "least-loaded"
+
+    def resolved_tiers(self) -> List[SearchConfig]:
+        """The degradation ladder (derived from ``base`` when not given)."""
+        if self.tiers is not None:
+            return list(self.tiers)
+        return default_tiers(self.base)
+
+
+class SongServer:
+    """An in-process ANN serving instance over one or more replicas."""
+
+    def __init__(self, replicas: Sequence[Replica], config: ServerConfig) -> None:
+        self.config = config
+        self.router = Router(replicas, policy=config.routing)
+        self.admission = AdmissionController(
+            config.admission, config.resolved_tiers()
+        )
+        self.metrics = ServeMetrics()
+        self.batcher = DynamicBatcher(
+            config.batch,
+            config.admission.slo_p99_s,
+            self._dispatch,
+            max_inflight=len(replicas),
+        )
+        self._run_task: Optional[asyncio.Task] = None
+        self._next_id = 0
+        self._insert_tasks: set = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the batch-formation loop."""
+        if self._run_task is not None:
+            raise RuntimeError("server already started")
+        self._run_task = asyncio.create_task(self.batcher.run())
+
+    async def stop(self) -> None:
+        """Drain pending and in-flight work, then stop."""
+        if self._run_task is None:
+            return
+        self.batcher.stop()
+        await self._run_task
+        self._run_task = None
+        while self._insert_tasks:
+            await asyncio.gather(*tuple(self._insert_tasks))
+        await self.batcher.drain()
+
+    # -- client API ------------------------------------------------------
+
+    async def submit(
+        self, query: np.ndarray, ground_truth: Optional[np.ndarray] = None
+    ) -> ServeResponse:
+        """Serve one query; resolves when it completes or is shed."""
+        loop = asyncio.get_running_loop()
+        request = ServeRequest(
+            request_id=self._take_id(),
+            kind=SEARCH,
+            payload=np.asarray(query, dtype=np.float32),
+            arrival_s=loop.time(),
+            future=loop.create_future(),
+            ground_truth=ground_truth,
+        )
+        self.metrics.on_arrival(self.batcher.queue_depth)
+        admitted, reason = await self.admission.try_admit(self.batcher.queue_depth)
+        if not admitted:
+            response = ServeResponse(
+                request_id=request.request_id,
+                kind=SEARCH,
+                status="shed",
+                shed_reason=reason,
+            )
+            self.metrics.on_shed(reason)
+            request.resolve(response)
+            return await request.future
+        self.metrics.on_admit()
+        self.batcher.enqueue(request)
+        return await request.future
+
+    async def submit_insert(self, vector: np.ndarray) -> ServeResponse:
+        """Ingest one vector through the write path (online replicas)."""
+        loop = asyncio.get_running_loop()
+        request = ServeRequest(
+            request_id=self._take_id(),
+            kind=INSERT,
+            payload=np.asarray(vector, dtype=np.float32),
+            arrival_s=loop.time(),
+            future=loop.create_future(),
+        )
+        self.metrics.on_arrival(self.batcher.queue_depth)
+        self.metrics.on_admit()
+        task = asyncio.create_task(self._run_insert(request))
+        self._insert_tasks.add(task)
+        task.add_done_callback(self._insert_tasks.discard)
+        return await request.future
+
+    # -- pipeline internals ----------------------------------------------
+
+    def _take_id(self) -> int:
+        rid = self._next_id
+        self._next_id += 1
+        return rid
+
+    def _shed(self, request: ServeRequest, reason: str) -> None:
+        self.metrics.on_shed(reason)
+        request.resolve(
+            ServeResponse(
+                request_id=request.request_id,
+                kind=request.kind,
+                status="shed",
+                shed_reason=reason,
+            )
+        )
+
+    async def _dispatch(self, batch: List[ServeRequest]) -> None:
+        """Run one formed batch on a routed replica and resolve futures."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        for _ in batch:
+            self.admission.release_slot()
+        deadline = self.admission.shed_deadline_s()
+        if deadline is not None:
+            keep = []
+            for request in batch:
+                if now - request.arrival_s > deadline:
+                    self._shed(request, "expired")
+                else:
+                    keep.append(request)
+            batch = keep
+        if not batch:
+            return
+        tier = self.admission.tier
+        cfg = self.admission.current_config()
+        self.metrics.on_batch(len(batch), self.batcher.queue_depth)
+        queries = np.stack([r.payload for r in batch])
+        replica = self.router.pick()
+        for request in batch:
+            request.dispatch_s = now
+        outcome = await replica.run_batch(queries, cfg)
+        done = loop.time()
+        service = outcome.service_seconds
+        for i, request in enumerate(batch):
+            total = done - request.arrival_s
+            wait = max(0.0, total - service)
+            recall = _recall_of(
+                outcome.results[i], request.ground_truth, self.config.base.k
+            )
+            self.metrics.on_complete(SEARCH, tier, wait, service, recall)
+            request.resolve(
+                ServeResponse(
+                    request_id=request.request_id,
+                    kind=SEARCH,
+                    status="ok",
+                    results=outcome.results[i],
+                    tier=tier,
+                    ef=cfg.queue_size,
+                    queue_wait_s=wait,
+                    service_s=service,
+                    latency_s=total,
+                    batch_size=len(batch),
+                    replica=replica.name,
+                    recall=recall,
+                )
+            )
+        observation = BatchObservation(
+            batch_size=len(batch),
+            service_seconds=service,
+            queue_depth_after=self.batcher.queue_depth,
+            tier=tier,
+        )
+        self.admission.observe_batch(observation)
+        self.batcher.controller.observe(
+            len(batch), service, self.batcher.queue_depth
+        )
+
+    async def _run_insert(self, request: ServeRequest) -> None:
+        loop = asyncio.get_running_loop()
+        replica = self.router.pick_writable()
+        outcome = await replica.run_inserts(request.payload[None, :])
+        done = loop.time()
+        total = done - request.arrival_s
+        service = outcome.service_seconds
+        self.metrics.on_complete(INSERT, 0, max(0.0, total - service), service)
+        request.resolve(
+            ServeResponse(
+                request_id=request.request_id,
+                kind=INSERT,
+                status="ok",
+                inserted_id=outcome.detail["inserted_ids"][0],
+                queue_wait_s=max(0.0, total - service),
+                service_s=service,
+                latency_s=total,
+                batch_size=1,
+                replica=replica.name,
+            )
+        )
+
+    # -- observability ---------------------------------------------------
+
+    def metrics_dict(self) -> Dict[str, object]:
+        """JSON-able metrics snapshot including per-replica stats."""
+        out = self.metrics.to_dict()
+        out["replicas"] = self.router.stats()
+        out["tier_ladder"] = [cfg.queue_size for cfg in self.admission.tiers]
+        out["final_tier"] = self.admission.tier
+        out["final_batch_target"] = self.batcher.controller.target
+        return out
+
+
+def _recall_of(results, ground_truth, k: int) -> Optional[float]:
+    """Recall@k of one result list against optional exact ids."""
+    if ground_truth is None:
+        return None
+    truth = set(np.asarray(ground_truth)[:k].tolist())
+    found = {v for _, v in results}
+    return len(truth & found) / max(1, len(truth))
+
+
+def build_server(
+    graph,
+    data: np.ndarray,
+    config: Optional[ServerConfig] = None,
+    num_replicas: int = 1,
+    device: str = "v100",
+) -> SongServer:
+    """Convenience: a server over ``num_replicas`` copies of one index.
+
+    Each replica models an independent device serving the same graph and
+    dataset — the simplest production topology (full replication).
+    """
+    if num_replicas <= 0:
+        raise ValueError("num_replicas must be positive")
+    config = config or ServerConfig()
+    replicas = [
+        Replica(SimulatedGpuEngine(graph, data, device=device, name=f"gpu{i}"))
+        for i in range(num_replicas)
+    ]
+    return SongServer(replicas, config)

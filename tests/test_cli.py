@@ -22,6 +22,21 @@ class TestParser:
         assert args.k == 10
         assert args.build_engine == "serial"
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--dataset", "sift"])
+        assert args.policy == "adaptive"
+        assert args.slo_ms == 2.0
+        assert args.replicas == 1
+
+    def test_loadtest_defaults(self):
+        args = build_parser().parse_args(["loadtest", "--dataset", "sift"])
+        assert args.policy == "both"
+        assert args.rates == [20_000.0, 60_000.0, 150_000.0]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadtest", "--dataset", "sift", "--policy", "bogus"]
+            )
+
     def test_build_engine_flag(self):
         args = build_parser().parse_args(
             ["build", "--dataset", "sift", "--out", "x.npz",
@@ -87,6 +102,33 @@ class TestCommands:
         )
         assert rc == 2
         assert "error" in capsys.readouterr().err
+
+    def test_serve_single_point(self, capsys):
+        rc = main(
+            ["serve", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--rate", "2000", "--requests", "40"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert '"counters"' in out  # metrics JSON is printed
+
+    def test_loadtest_table_and_artifact(self, tmp_path, capsys):
+        out_path = str(tmp_path / "sweep.json")
+        rc = main(
+            ["loadtest", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--rates", "5000", "--requests", "60", "--policy", "both",
+             "--out", out_path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fixed" in out and "adaptive" in out
+        import json
+
+        with open(out_path) as f:
+            payload = json.load(f)
+        assert set(payload) == {"fixed", "adaptive"}
+        assert payload["fixed"][0]["offered_qps"] == 5000
 
     def test_sweep_song_with_plot(self, capsys):
         rc = main(

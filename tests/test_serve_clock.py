@@ -1,0 +1,90 @@
+"""Virtual-time event loop tests."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.clock import VirtualTimeEventLoop, run_virtual
+
+
+class TestVirtualClock:
+    def test_sleep_advances_virtual_not_wall_time(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await asyncio.sleep(3600.0)
+            return loop.time() - start
+
+        wall = time.monotonic()
+        elapsed = run_virtual(main())
+        assert elapsed == pytest.approx(3600.0, rel=1e-9)
+        assert time.monotonic() - wall < 5.0
+
+    def test_timer_ordering(self):
+        """Callbacks fire in deadline order regardless of creation order."""
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            order = []
+            for delay in (0.5, 0.1, 0.3):
+                loop.call_later(delay, order.append, delay)
+            await asyncio.sleep(1.0)
+            return order
+
+        assert run_virtual(main()) == [0.1, 0.3, 0.5]
+
+    def test_concurrent_sleepers_interleave(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            log = []
+
+            async def sleeper(name, gap, n):
+                for _ in range(n):
+                    await asyncio.sleep(gap)
+                    log.append((round(loop.time(), 6), name))
+
+            await asyncio.gather(sleeper("a", 0.2, 3), sleeper("b", 0.3, 2))
+            return log
+
+        log = run_virtual(main())
+        times = [t for t, _ in log]
+        assert times == sorted(times)
+        assert times == [0.2, 0.3, 0.4, 0.6, 0.6]
+
+    def test_wait_for_timeout_uses_virtual_time(self):
+        async def main():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.Event().wait(), timeout=100.0)
+            return asyncio.get_running_loop().time()
+
+        assert run_virtual(main()) >= 100.0
+
+    def test_deterministic_across_runs(self):
+        async def main():
+            loop = asyncio.get_running_loop()
+            stamps = []
+            for _ in range(5):
+                await asyncio.sleep(0.125)
+                stamps.append(loop.time())
+            return stamps
+
+        assert run_virtual(main()) == run_virtual(main())
+
+    def test_loop_is_selector_subclass(self):
+        loop = VirtualTimeEventLoop()
+        try:
+            assert isinstance(loop, asyncio.SelectorEventLoop)
+            assert loop.time() == 0.0
+        finally:
+            loop.close()
+
+    def test_run_virtual_cancels_leftover_tasks(self):
+        async def main():
+            asyncio.create_task(asyncio.sleep(10_000))
+            return "done"
+
+        # Must return promptly despite the orphan timer.
+        wall = time.monotonic()
+        assert run_virtual(main()) == "done"
+        assert time.monotonic() - wall < 5.0

@@ -1,0 +1,168 @@
+"""Concurrent insert+search through the serving layer (satellite c).
+
+The write path must serialize inserts in submission order (fair RW
+lock), so an interleaved read/write history leaves the online index in
+exactly the state a serial build of the same insertion order produces.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.online import OnlineSongIndex
+from repro.serve import (
+    AdmissionConfig,
+    BatchPolicy,
+    OnlineServeEngine,
+    Replica,
+    ServerConfig,
+    SongServer,
+    run_loadtest,
+)
+from repro.serve.clock import run_virtual
+
+
+@pytest.fixture()
+def stream():
+    rng = np.random.default_rng(77)
+    return rng.normal(size=(160, 16)).astype(np.float32)
+
+
+def make_online_index(seed_vectors):
+    idx = OnlineSongIndex(16, m=4, ef_construction=24)
+    idx.add(seed_vectors)
+    return idx
+
+
+def make_server(index, slo_ms=50.0):
+    cfg = ServerConfig(
+        base=SearchConfig(k=5, queue_size=24),
+        admission=AdmissionConfig(policy="reject", slo_p99_s=slo_ms / 1e3),
+        batch=BatchPolicy(mode="fixed", batch_size=4, max_wait_s=0.0005),
+    )
+    return SongServer([Replica(OnlineServeEngine(index))], cfg)
+
+
+class TestSnapshotCaching:
+    def test_snapshot_cached_until_insert(self, stream):
+        idx = make_online_index(stream[:40])
+        g1 = idx.snapshot_graph()
+        assert idx.snapshot_graph() is g1  # cache hit, no rebuild
+        idx.add(stream[40])
+        g2 = idx.snapshot_graph()
+        assert g2 is not g1
+        assert g2.num_vertices == 41
+
+    def test_engine_snapshot_invalidated_on_insert(self, stream):
+        idx = make_online_index(stream[:40])
+        engine = OnlineServeEngine(idx)
+        e1 = engine._engine()
+        assert engine._engine() is e1
+        engine.run_inserts(stream[40:42])
+        e2 = engine._engine()
+        assert e2 is not e1
+        assert len(e2.index.data) == 42
+
+
+class TestConcurrentInsertSearch:
+    def test_interleaved_history_equals_serial_build(self, stream):
+        """Drive interleaved writes/reads; adjacency must equal a serial
+        build over the same insertion order."""
+        seed_vectors = stream[:50]
+        inserts = stream[50:80]
+
+        async def main():
+            index = make_online_index(seed_vectors)
+            server = make_server(index)
+            await server.start()
+            tasks = []
+            # interleave: search, insert, search, insert, ...
+            for i in range(len(inserts)):
+                tasks.append(
+                    asyncio.create_task(server.submit(stream[i % 50]))
+                )
+                tasks.append(
+                    asyncio.create_task(server.submit_insert(inserts[i]))
+                )
+                await asyncio.sleep(0.0003)
+            responses = await asyncio.gather(*tasks)
+            await server.stop()
+            return index, responses
+
+        index, responses = run_virtual(main())
+        assert all(r.ok for r in responses)
+        inserted = [r for r in responses if r.kind == "insert"]
+        # ids assigned in submission order
+        assert [r.inserted_id for r in inserted] == list(range(50, 80))
+
+        serial = make_online_index(seed_vectors)
+        serial.add(inserts)
+        assert len(index) == len(serial)
+        np.testing.assert_array_equal(index.data, serial.data)
+        for v in range(len(serial)):
+            assert index._adjacency[v] == serial._adjacency[v], f"vertex {v}"
+
+    def test_search_results_valid_during_ingest(self, stream):
+        """Reads during writes return ids only from already-inserted points."""
+
+        async def main():
+            index = make_online_index(stream[:50])
+            server = make_server(index)
+            await server.start()
+            sizes_at_submit = []
+            tasks = []
+            for i in range(20):
+                sizes_at_submit.append(len(index))
+                tasks.append(asyncio.create_task(server.submit(stream[i])))
+                tasks.append(
+                    asyncio.create_task(server.submit_insert(stream[50 + i]))
+                )
+                await asyncio.sleep(0.0004)
+            responses = await asyncio.gather(*tasks)
+            await server.stop()
+            return responses
+
+        responses = run_virtual(main())
+        final_size = 70
+        for resp in responses:
+            if resp.kind == "search":
+                assert resp.ok
+                assert all(0 <= v < final_size for _, v in resp.results)
+
+    def test_mixed_loadtest_through_poisson_driver(self, stream):
+        """The loadgen insert_every path exercises the same machinery."""
+        seed_vectors = stream[:60]
+
+        def factory():
+            return make_server(make_online_index(seed_vectors))
+
+        report = run_loadtest(
+            factory,
+            stream[:20],
+            rate_qps=5_000,
+            num_requests=120,
+            seed=9,
+            insert_every=4,
+            insert_vectors=stream[60:90],
+        )
+        assert report.shed == 0
+        assert report.completed == 120
+        assert report.metrics["counters"]["inserted"] == 30
+
+    def test_mixed_loadtest_deterministic(self, stream):
+        seed_vectors = stream[:60]
+
+        def run_once():
+            return run_loadtest(
+                lambda: make_server(make_online_index(seed_vectors)),
+                stream[:20],
+                rate_qps=5_000,
+                num_requests=80,
+                seed=9,
+                insert_every=5,
+                insert_vectors=stream[60:76],
+            ).to_dict()
+
+        assert run_once() == run_once()

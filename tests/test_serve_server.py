@@ -1,0 +1,262 @@
+"""End-to-end serving tests: determinism, SLO adaptation, shedding, pricing."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.core.sharding import ShardedSongIndex
+from repro.serve import (
+    AdmissionConfig,
+    BatchPolicy,
+    Replica,
+    ServerConfig,
+    ShardedServeEngine,
+    SimulatedGpuEngine,
+    SongServer,
+    build_server,
+    run_loadtest,
+)
+
+
+@pytest.fixture(scope="module")
+def served(small_dataset, small_graph):
+    return small_dataset, small_graph
+
+
+def make_config(policy="degrade", mode="adaptive", slo_ms=2.0, **kw):
+    return ServerConfig(
+        base=SearchConfig(k=10, queue_size=64),
+        admission=AdmissionConfig(
+            policy=policy, slo_p99_s=slo_ms / 1e3, max_queue=kw.pop("max_queue", 256)
+        ),
+        batch=BatchPolicy(mode=mode, batch_size=8, max_batch=kw.pop("max_batch", 16)),
+    )
+
+
+def loadtest(ds, graph, cfg, rate, n=300, seed=3, replicas=1, gt=True):
+    return run_loadtest(
+        lambda: build_server(graph, ds.data, cfg, num_replicas=replicas),
+        ds.queries,
+        rate_qps=rate,
+        num_requests=n,
+        seed=seed,
+        ground_truth=ds.ground_truth(10) if gt else None,
+    )
+
+
+class TestDeterminism:
+    def test_identical_reports_for_identical_seeds(self, served):
+        ds, graph = served
+        cfg = make_config()
+        a = loadtest(ds, graph, cfg, 50_000)
+        b = loadtest(ds, graph, cfg, 50_000)
+        assert a.to_dict() == b.to_dict()
+        assert a.metrics == b.metrics
+
+    def test_different_seed_changes_trace(self, served):
+        ds, graph = served
+        cfg = make_config()
+        a = loadtest(ds, graph, cfg, 50_000, seed=3)
+        b = loadtest(ds, graph, cfg, 50_000, seed=4)
+        assert a.duration_s != b.duration_s
+
+
+class TestResultsCorrectness:
+    def test_served_results_match_direct_search(self, served):
+        """Tier-0 serving returns exactly what the batch engine returns."""
+        ds, graph = served
+        cfg = make_config(policy="reject", mode="fixed", slo_ms=50.0)
+        report_holder = {}
+
+        import asyncio
+
+        from repro.serve.clock import run_virtual
+
+        async def main():
+            server = build_server(graph, ds.data, cfg)
+            await server.start()
+            responses = await asyncio.gather(
+                *(server.submit(q) for q in ds.queries[:8])
+            )
+            await server.stop()
+            return responses
+
+        responses = run_virtual(main())
+        engine = SimulatedGpuEngine(graph, ds.data)
+        expected = engine.run_batch(ds.queries[:8], cfg.base).results
+        for resp, exp in zip(responses, expected):
+            assert resp.ok
+            assert resp.results == exp
+
+    def test_recall_under_light_load_matches_offline(self, served):
+        ds, graph = served
+        cfg = make_config(policy="reject", mode="fixed", slo_ms=50.0)
+        report = loadtest(ds, graph, cfg, 1000, n=100)
+        assert report.shed == 0
+        assert report.recall is not None and report.recall > 0.85
+
+
+class TestSloAdaptation:
+    """The tentpole acceptance demo: fixed violates, adaptive holds."""
+
+    OVERLOAD_QPS = 150_000
+
+    def test_fixed_policy_violates_slo_at_overload(self, served):
+        ds, graph = served
+        report = loadtest(
+            ds, graph, make_config(policy="reject", mode="fixed"), self.OVERLOAD_QPS
+        )
+        assert not report.slo_met
+        assert report.p99_latency_s > report.slo_p99_s
+
+    def test_adaptive_policy_holds_slo_at_overload(self, served):
+        ds, graph = served
+        report = loadtest(ds, graph, make_config(), self.OVERLOAD_QPS)
+        assert report.slo_met
+        # it held the SLO by degrading, not by luck
+        assert report.degraded_fraction > 0.1
+        assert report.shed_rate < 0.5
+
+    def test_adaptive_does_not_degrade_at_light_load(self, served):
+        ds, graph = served
+        report = loadtest(ds, graph, make_config(), 2_000, n=150)
+        assert report.slo_met
+        assert report.degraded_fraction == 0.0
+        assert report.final_tier == 0
+
+    def test_degraded_recall_is_lower_but_nonzero(self, served):
+        ds, graph = served
+        light = loadtest(ds, graph, make_config(), 2_000, n=150)
+        heavy = loadtest(ds, graph, make_config(), self.OVERLOAD_QPS)
+        assert heavy.recall is not None and light.recall is not None
+        assert 0.3 < heavy.recall <= light.recall
+
+
+class TestShedding:
+    def test_queue_cap_sheds_under_extreme_load(self, served):
+        ds, graph = served
+        cfg = make_config(policy="reject", mode="fixed", max_queue=16)
+        report = loadtest(ds, graph, cfg, 500_000)
+        assert report.shed > 0
+        assert report.metrics["shed_reasons"].get("queue_full", 0) > 0
+        # shed requests still resolve, with no results
+        assert report.completed + report.shed == report.num_requests
+
+    def test_block_policy_never_sheds(self, served):
+        ds, graph = served
+        cfg = ServerConfig(
+            base=SearchConfig(k=10, queue_size=64),
+            admission=AdmissionConfig(
+                policy="block", slo_p99_s=0.002, max_queue=16
+            ),
+            batch=BatchPolicy(mode="fixed", batch_size=8, max_batch=32),
+        )
+        report = loadtest(ds, graph, cfg, 100_000, n=150)
+        assert report.shed == 0
+        assert report.completed == report.num_requests
+
+
+class TestReplication:
+    def test_two_replicas_raise_throughput(self, served):
+        ds, graph = served
+        cfg = make_config(policy="reject", mode="fixed")
+        one = loadtest(ds, graph, cfg, 100_000, replicas=1)
+        two = loadtest(ds, graph, cfg, 100_000, replicas=2)
+        assert two.achieved_qps > 1.3 * one.achieved_qps
+        assert len(two.metrics["replicas"]) == 2
+        # both devices actually served batches
+        assert all(r["batches"] > 0 for r in two.metrics["replicas"])
+
+
+class TestEnginePricing:
+    def test_replay_matches_metered_kernel_within_band(self, served):
+        """Counter replay must track the fully metered cost model."""
+        ds, graph = served
+        engine = SimulatedGpuEngine(graph, ds.data)
+        gpu = GpuSongIndex(graph, ds.data)
+        for qs in (20, 80):
+            cfg = SearchConfig(k=10, queue_size=qs)
+            _, timing = gpu.search_batch(ds.queries, cfg)
+            outcome = engine.run_batch(ds.queries, cfg)
+            ratio = outcome.service_seconds / timing.total_seconds
+            assert 0.8 < ratio < 1.3
+            # results identical to the metered kernel (same lockstep engine)
+            results, _ = gpu.search_batch(ds.queries, cfg)
+            assert outcome.results == results
+
+    def test_batching_amortizes_modelled_cost(self, served):
+        ds, graph = served
+        engine = SimulatedGpuEngine(graph, ds.data)
+        cfg = SearchConfig(k=10, queue_size=40)
+        single = engine.run_batch(ds.queries[:1], cfg).service_seconds
+        batch = engine.run_batch(ds.queries[:16], cfg).service_seconds
+        assert batch < 16 * single  # batching must amortize
+
+    def test_degraded_tier_is_cheaper(self, served):
+        ds, graph = served
+        engine = SimulatedGpuEngine(graph, ds.data)
+        full = engine.run_batch(
+            ds.queries[:8], SearchConfig(k=10, queue_size=80)
+        ).service_seconds
+        degraded = engine.run_batch(
+            ds.queries[:8], SearchConfig(k=10, queue_size=20)
+        ).service_seconds
+        assert degraded < full
+
+
+class TestShardedServing:
+    def test_sharded_engine_attributes_slowest_shard(self, served):
+        ds, _ = served
+        index = ShardedSongIndex(ds.data, num_shards=2)
+        engine = ShardedServeEngine(index)
+        cfg = SearchConfig(k=10, queue_size=40)
+        outcome = engine.run_batch(ds.queries[:4], cfg)
+        assert len(outcome.detail["per_shard"]) == 2
+        assert outcome.detail["slowest_shard"] in (0, 1)
+        assert outcome.detail["shard_imbalance"] >= 1.0
+        slowest = outcome.detail["per_shard"][outcome.detail["slowest_shard"]]
+        assert outcome.service_seconds == pytest.approx(slowest["total_seconds"])
+
+    def test_sharded_replica_in_server(self, served):
+        import asyncio
+
+        from repro.serve.clock import run_virtual
+
+        ds, _ = served
+        index = ShardedSongIndex(ds.data, num_shards=2)
+        cfg = make_config(policy="reject", mode="fixed", slo_ms=50.0)
+
+        async def main():
+            server = SongServer([Replica(ShardedServeEngine(index))], cfg)
+            await server.start()
+            responses = await asyncio.gather(
+                *(server.submit(q) for q in ds.queries[:6])
+            )
+            await server.stop()
+            return responses, server.metrics_dict()
+
+        responses, metrics = run_virtual(main())
+        assert all(r.ok for r in responses)
+        assert "slowest_shard_counts" in metrics["replicas"][0]
+
+
+class TestMetricsExport:
+    def test_metrics_dict_is_json_serializable(self, served):
+        import json
+
+        ds, graph = served
+        cfg = make_config()
+        report = loadtest(ds, graph, cfg, 30_000, n=120)
+        payload = json.dumps(report.metrics, sort_keys=True)
+        assert "latency" in report.metrics
+        assert json.loads(payload)["counters"]["arrived"] == 120
+
+    def test_stage_histograms_are_consistent(self, served):
+        ds, graph = served
+        cfg = make_config(policy="reject", mode="fixed", slo_ms=50.0)
+        report = loadtest(ds, graph, cfg, 10_000, n=100)
+        lat = report.metrics["latency"]
+        assert lat["total"]["count"] == report.completed
+        assert lat["total"]["p99_s"] >= lat["service"]["p99_s"] * 0.5
+        assert report.metrics["counters"]["completed"] == report.completed

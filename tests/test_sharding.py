@@ -64,6 +64,37 @@ class TestSearch:
         per_shard = [t.total_seconds for t in timing["shard_timings"]]
         assert timing["wall_seconds"] == pytest.approx(max(per_shard))
 
+    def test_per_shard_attribution(self, sharded, small_dataset):
+        """Timing must attribute latency per shard for serving/benchmarks."""
+        cfg = SearchConfig(k=10, queue_size=40)
+        _, timing = sharded.search_batch(small_dataset.queries[:10], cfg)
+        per_shard = timing["per_shard"]
+        assert len(per_shard) == 3
+        for s, row in enumerate(per_shard):
+            assert row["shard"] == s
+            assert row["size"] == sharded.shard_sizes()[s]
+            assert row["total_seconds"] == pytest.approx(
+                timing["shard_timings"][s].total_seconds
+            )
+            assert 0 < row["kernel_seconds"] <= row["total_seconds"]
+            assert row["transfer_seconds"] > 0
+            assert row["qps"] > 0
+            assert row["occupancy_warps_per_sm"] > 0
+            assert isinstance(row["device"], str)
+
+    def test_slowest_shard_and_imbalance(self, sharded, small_dataset):
+        cfg = SearchConfig(k=10, queue_size=40)
+        _, timing = sharded.search_batch(small_dataset.queries[:10], cfg)
+        seconds = [t.total_seconds for t in timing["shard_timings"]]
+        assert timing["slowest_shard"] == int(np.argmax(seconds))
+        assert timing["shard_imbalance"] == pytest.approx(
+            max(seconds) / (sum(seconds) / len(seconds))
+        )
+        assert timing["shard_imbalance"] >= 1.0
+        assert timing["wall_seconds"] == pytest.approx(
+            seconds[timing["slowest_shard"]]
+        )
+
     def test_memory_split_across_devices(self, sharded, small_dataset):
         per_dev = sharded.per_device_memory_bytes()
         assert len(per_dev) == 3
