@@ -14,6 +14,12 @@ policy holds it by degrading (nonzero degraded fraction).  Everything
 runs on the virtual clock, so the artifact
 (``benchmarks/results/BENCH_serve.json``) is bit-deterministic.
 
+A second sweep gates the multi-stream device model: the fixed policy at
+the overload point with 1, 2 and 4 streams per replica must scale
+throughput by at least 1.3x (4 vs 1, inside a pinned tolerance band),
+meet the SLO at 4 streams where 1 stream misses it, and leave recall
+bit-identical — recorded in ``benchmarks/results/BENCH_streams.json``.
+
 Run directly::
 
     PYTHONPATH=src python -m benchmarks.bench_serving --smoke  # CI gate
@@ -62,6 +68,10 @@ SLO_P99_S = 0.002
 BASE = dict(k=10, queue_size=64)
 BATCH = dict(batch_size=8, max_batch=16)
 ARRIVAL_SEED = 3
+
+#: Multi-stream sweep: stream counts and the QPS-ratio tolerance band.
+STREAMS_SWEEP = (1, 2, 4)
+STREAMS_RATIO_BAND = (1.3, 8.0)
 
 
 def run_serving_bench(
@@ -126,6 +136,128 @@ def run_serving_bench(
     }
 
 
+def run_streams_bench(
+    n: int,
+    num_queries: int,
+    light_qps: float,
+    overload_qps: float,
+    num_requests: int,
+) -> dict:
+    """Sweep device streams at overload under the fixed policy and gate.
+
+    Same workload, same SLO config, same quality tier — the only knob is
+    the number of CUDA-style streams per replica, so any throughput
+    difference is the overlapped transfer/compute model.  Gates: QPS
+    scales by at least the lower band edge from 1 to 4 streams (and the
+    ratio stays inside the band — a runaway ratio would mean the serial
+    pin regressed), streams=4 meets the p99 SLO the serial model misses,
+    throughput is monotone in streams, and recall per tier is identical
+    (streams change scheduling, never results).
+    """
+    dataset = make_dataset("sift", n=n, num_queries=num_queries)
+    graph = cached_graph(
+        "nsw-serving",
+        dataset.data,
+        lambda: build_nsw(dataset.data, m=8, ef_construction=48, seed=7),
+        m=8,
+        ef_construction=48,
+        seed=7,
+    )
+    points = {}
+    for streams in STREAMS_SWEEP:
+        series = sweep_serving(
+            graph,
+            dataset.data,
+            dataset.queries,
+            rates=[overload_qps],
+            base=SearchConfig(**BASE),
+            slo_p99_s=SLO_P99_S,
+            num_requests=num_requests,
+            seed=ARRIVAL_SEED,
+            ground_truth=dataset.ground_truth(BASE["k"]),
+            policies=("fixed",),
+            batch_size=BATCH["batch_size"],
+            max_batch=BATCH["max_batch"],
+            streams=streams,
+        )
+        points[streams] = series["fixed"][0]
+
+    lo, hi = STREAMS_RATIO_BAND
+    ratio = points[4].achieved_qps / points[1].achieved_qps
+    qps = [points[s].achieved_qps for s in STREAMS_SWEEP]
+    gates = {
+        "qps_ratio_within_band": lo <= ratio <= hi,
+        "streams4_meets_slo": points[4].slo_met,
+        "streams1_misses_slo": not points[1].slo_met,
+        "qps_monotone_in_streams": all(
+            b >= a * (1 - 1e-9) for a, b in zip(qps, qps[1:])
+        ),
+        "recall_identical_across_streams": all(
+            points[s].metrics["recall_by_tier"]
+            == points[1].metrics["recall_by_tier"]
+            for s in STREAMS_SWEEP
+        ),
+        "streams4_overlaps_engines": (
+            points[4].metrics["streams"]["overlap_efficiency"] > 1.0
+        ),
+    }
+    return {
+        "config": {
+            "n": n,
+            "num_queries": num_queries,
+            "num_requests": num_requests,
+            "overload_qps": overload_qps,
+            "slo_p99_ms": 1e3 * SLO_P99_S,
+            "arrival_seed": ARRIVAL_SEED,
+            "policy": "fixed",
+            "streams_sweep": list(STREAMS_SWEEP),
+            "ratio_band": list(STREAMS_RATIO_BAND),
+            **BASE,
+            **BATCH,
+        },
+        "points": {str(s): points[s].to_dict() for s in STREAMS_SWEEP},
+        "overlap": {
+            str(s): points[s].metrics["streams"] for s in STREAMS_SWEEP
+        },
+        "qps_ratio_4v1": round(ratio, 6),
+        "gates": gates,
+        "passed": all(gates.values()),
+    }
+
+
+def format_streams_result(result: dict, mode: str) -> str:
+    cfg = result["config"]
+    lines = [
+        f"Multi-stream serving scaling, fixed policy at overload ({mode})",
+        f"  dataset    : synthetic sift n={cfg['n']} "
+        f"(k={cfg['k']}, ef={cfg['queue_size']}, "
+        f"SLO p99 <= {cfg['slo_p99_ms']:.1f} ms, "
+        f"offered {cfg['overload_qps']:,.0f} QPS)",
+        f"  {'streams':>7} {'achieved':>10} {'p99 ms':>8} {'SLO':>5} "
+        f"{'overlap':>8} {'xfer hidden':>11} {'recall':>7}",
+    ]
+    for s in cfg["streams_sweep"]:
+        p = result["points"][str(s)]
+        ov = result["overlap"][str(s)]
+        lines.append(
+            f"  {s:>7} {p['achieved_qps']:>10,.0f} "
+            f"{p['p99_latency_ms']:>8.3f} "
+            f"{'ok' if p['slo_met'] else 'MISS':>5} "
+            f"{ov['overlap_efficiency']:>8.3f} "
+            f"{ov['transfer_hidden_fraction']:>11.3f} "
+            f"{p['recall']:>7.4f}"
+        )
+    lines.append(
+        f"  4v1 ratio  : {result['qps_ratio_4v1']:.3f}x "
+        f"(band {cfg['ratio_band'][0]:.1f}-{cfg['ratio_band'][1]:.1f})"
+    )
+    failed = [g for g, ok in result["gates"].items() if not ok]
+    lines.append(
+        f"  verdict    : {'PASS' if result['passed'] else 'FAIL ' + str(failed)}"
+    )
+    return "\n".join(lines)
+
+
 def format_result(result: dict, mode: str) -> str:
     cfg = result["config"]
     lines = [
@@ -152,9 +284,9 @@ def format_result(result: dict, mode: str) -> str:
     return "\n".join(lines)
 
 
-def write_artifact(result: dict, mode: str) -> str:
+def write_artifact(result: dict, mode: str, filename: str = "BENCH_serve.json") -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_serve.json")
+    path = os.path.join(RESULTS_DIR, filename)
     payload = dict(result)
     payload["mode"] = mode
     with open(path, "w") as f:
@@ -174,6 +306,14 @@ def test_serving_slo_gate():
         assert ok, f"serving gate failed: {gate}"
 
 
+def test_streams_scaling_gate():
+    result = run_streams_bench(**SMOKE)
+    emit_report("bench_serving_streams", format_streams_result(result, "smoke"))
+    write_artifact(result, "smoke", filename="BENCH_streams.json")
+    for gate, ok in result["gates"].items():
+        assert ok, f"streams gate failed: {gate}"
+
+
 # -- CLI entry point ----------------------------------------------------------
 
 
@@ -191,7 +331,15 @@ def main(argv=None) -> int:
     emit_report("bench_serving", format_result(result, mode))
     path = write_artifact(result, mode)
     print(f"[artifact written to {path}]")
-    return 0 if result["passed"] else 1
+    streams_result = run_streams_bench(**params)
+    emit_report(
+        "bench_serving_streams", format_streams_result(streams_result, mode)
+    )
+    streams_path = write_artifact(
+        streams_result, mode, filename="BENCH_streams.json"
+    )
+    print(f"[artifact written to {streams_path}]")
+    return 0 if (result["passed"] and streams_result["passed"]) else 1
 
 
 if __name__ == "__main__":

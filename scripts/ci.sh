@@ -3,7 +3,9 @@
 # benchmarks — batched search engine (parity + speedup >= 1x at B=64),
 # batched graph construction (speedup + graph-recall gap gates), and the
 # serving layer (fixed batching misses the p99 SLO at overload while the
-# SLO-aware policy holds it).  Each smoke runs in well under 60 s.
+# SLO-aware policy holds it; the multi-stream sweep must scale QPS
+# within its pinned band and keep recall bit-identical).  Each smoke
+# runs in well under 60 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -16,7 +18,8 @@ python -m repro.analysis --strict
 python -m repro.analysis --verify --strict
 
 # Negative control: the verify gate must FAIL on the known-bad fixture
-# kernels, or the proof obligations are not actually being checked.
+# kernels and the known-bad stream program (missing event deps), or the
+# proof obligations are not actually being checked.
 if python -m repro.analysis --verify-only --strict --include-known-bad \
         >/dev/null 2>&1; then
     echo "ci: verifier accepted the known-bad kernels — gate is broken" >&2
@@ -35,3 +38,11 @@ python -m pytest -x -q
 python -m benchmarks.bench_batched_engine --smoke
 python -m benchmarks.bench_build_speed --smoke
 python -m benchmarks.bench_serving --smoke
+
+# The serving smoke must have produced both gated artifacts.
+for artifact in BENCH_serve.json BENCH_streams.json; do
+    if [ ! -f "benchmarks/results/$artifact" ]; then
+        echo "ci: missing benchmark artifact $artifact" >&2
+        exit 1
+    fi
+done

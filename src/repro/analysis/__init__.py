@@ -46,6 +46,12 @@ from repro.analysis.sanitizer import (
     sanitize_program,
     sanitize_trace,
 )
+from repro.analysis.streams import (
+    STREAM_RULES,
+    check_stream_ops,
+    check_stream_programs,
+    iter_stream_programs,
+)
 from repro.analysis.trace import TraceRecorder
 
 __all__ = [
@@ -71,6 +77,10 @@ __all__ = [
     "check_bounded_queue",
     "check_search_invariants",
     "iter_known_bad_specs",
+    "STREAM_RULES",
+    "check_stream_ops",
+    "check_stream_programs",
+    "iter_stream_programs",
     "HOT_MARKER",
     "LINT_RULES",
     "lint_source",

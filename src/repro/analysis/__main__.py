@@ -56,6 +56,7 @@ def run_analysis(
     if lint:
         findings.extend(lint_tree(lint_root or _default_lint_root()))
     if verify:
+        from repro.analysis.streams import check_stream_programs
         from repro.analysis.verifier.fixtures import iter_known_bad_specs
         from repro.analysis.verifier.invariants import check_all_invariants
 
@@ -65,6 +66,9 @@ def run_analysis(
             for spec in iter_known_bad_specs():
                 findings.extend(verify_kernel(spec).findings)
         findings.extend(check_all_invariants())
+        findings.extend(
+            check_stream_programs(include_known_bad=include_known_bad)
+        )
     findings.sort(key=_finding_sort_key)
     errors, warnings = split_by_severity(findings)
     failed = bool(errors) or (strict and bool(warnings))

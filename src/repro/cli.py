@@ -239,6 +239,7 @@ def cmd_serve(args) -> int:
         config,
         num_replicas=args.replicas,
         device=args.device,
+        streams=args.streams,
     )
     gt = dataset.ground_truth(args.k)
 
@@ -297,6 +298,7 @@ def cmd_loadtest(args) -> int:
         max_queue=args.max_queue,
         batch_size=args.batch_size,
         max_batch=args.max_batch,
+        streams=args.streams,
     )
     print(format_serving_table(series))
     if args.out:
@@ -315,6 +317,12 @@ def _add_serving_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--queue", type=int, default=64, help="tier-0 ef")
     parser.add_argument("--slo-ms", type=float, default=2.0, help="p99 SLO")
     parser.add_argument("--replicas", type=int, default=1)
+    parser.add_argument(
+        "--streams",
+        type=int,
+        default=1,
+        help="device streams per replica (1 = serial device model)",
+    )
     parser.add_argument("--device", default="v100")
     parser.add_argument("--requests", type=int, default=400)
     parser.add_argument("--batch-size", type=int, default=8)

@@ -242,6 +242,21 @@ class GpuSongIndex:
             shared_bytes_per_warp=plan.total,
         )
 
+    def warp_demand(self, config: SearchConfig, num_queries: int) -> int:
+        """Resident warps a batch of ``num_queries`` asks of the device.
+
+        One warp group serves ``config.multi_query`` queries and spans
+        ``block_size / warp_size`` warps.  The stream model uses this as
+        the kernel's SM-capacity demand: small batches occupy a sliver
+        of the machine (the paper's Fig. 11), so concurrent launches can
+        share SMs almost freely.
+        """
+        if num_queries <= 0:
+            return 0
+        groups = -(-num_queries // max(1, config.multi_query))
+        warps_per_group = max(1, config.block_size // self.device.warp_size)
+        return groups * warps_per_group
+
     # -- search --------------------------------------------------------------
 
     def search_batch(

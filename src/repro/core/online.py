@@ -65,11 +65,22 @@ class OnlineSongIndex:
         self._data = np.zeros((max(capacity, 8), dim), dtype=np.float32)
         self._adjacency: List[List[int]] = []
         self._size = 0
+        self._generation = 0
         self._snapshot: Optional[FixedDegreeGraph] = None
-        self._snapshot_size = -1
+        self._snapshot_generation = -1
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def generation(self) -> int:
+        """Monotone write counter: bumps on every structural mutation.
+
+        Snapshot caches key on this rather than on ``len`` or object
+        identity — any insert (which may also rewire *existing* vertices
+        through pruning) advances it.
+        """
+        return self._generation
 
     @property
     def data(self) -> np.ndarray:
@@ -96,6 +107,7 @@ class OnlineSongIndex:
         self._data[v] = vec
         self._adjacency.append([])
         self._size += 1
+        self._generation += 1
         if v == 0:
             return v
         found = greedy_search(
@@ -132,13 +144,13 @@ class OnlineSongIndex:
         """
         if self._size == 0:
             raise RuntimeError("index is empty")
-        if self._snapshot is not None and self._snapshot_size == self._size:
+        if self._snapshot is not None and self._snapshot_generation == self._generation:
             return self._snapshot
         graph = FixedDegreeGraph(self._size, self.max_degree, entry_point=0)
         for v in range(self._size):
             graph.set_neighbors(v, self._adjacency[v])
         self._snapshot = graph
-        self._snapshot_size = self._size
+        self._snapshot_generation = self._generation
         return graph
 
     def search_batch(

@@ -83,6 +83,7 @@ def sweep_serving(
     max_queue: int = 256,
     batch_size: int = 8,
     max_batch: int = 64,
+    streams: int = 1,
 ) -> Dict[str, List[LoadtestReport]]:
     """Loadtest every ``(policy, offered rate)`` pair; return report curves.
 
@@ -105,7 +106,12 @@ def sweep_serving(
         for rate in rates:
             report = run_loadtest(
                 lambda: build_server(
-                    graph, data, cfg, num_replicas=num_replicas, device=device
+                    graph,
+                    data,
+                    cfg,
+                    num_replicas=num_replicas,
+                    device=device,
+                    streams=streams,
                 ),
                 queries,
                 rate_qps=float(rate),

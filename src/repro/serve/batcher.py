@@ -120,10 +120,13 @@ class DynamicBatcher:
     batches and hands them to ``dispatch`` (a coroutine the server wires
     to the router).  Dispatch runs as its own task so several replicas
     can execute batches concurrently, but in-flight batches are capped
-    at ``max_inflight`` (one per replica): without the cap the pending
-    queue drains instantly into tasks blocked on busy devices, hiding
-    the backlog from the batch-size controller, the degradation ladder
-    and the bounded-queue shed — all of which key off ``queue_depth``.
+    at ``max_inflight`` — one per device *stream* (streams × replicas),
+    so with multi-stream replicas the next batch is admitted and starts
+    its HtoD while earlier batches still compute (pipelined dispatch).
+    Without the cap the pending queue drains instantly into tasks
+    blocked on busy devices, hiding the backlog from the batch-size
+    controller, the degradation ladder and the bounded-queue shed — all
+    of which key off ``queue_depth``.
     """
 
     def __init__(
@@ -155,6 +158,11 @@ class DynamicBatcher:
     @property
     def queue_depth(self) -> int:
         return len(self.pending)
+
+    @property
+    def inflight(self) -> int:
+        """Batches currently dispatched and not yet completed."""
+        return len(self._inflight)
 
     def stop(self) -> None:
         """Ask the run loop to drain the queue and exit."""

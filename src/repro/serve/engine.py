@@ -52,6 +52,8 @@ from repro.core.sharding import ShardedSongIndex
 from repro.core.song import SearchStats
 from repro.distances import get_metric
 from repro.graphs.storage import FixedDegreeGraph
+from repro.simt.pipeline import split_counts
+from repro.simt.streams import ChunkWork
 from repro.simt.warp import Warp
 
 __all__ = [
@@ -147,6 +149,116 @@ class SimulatedGpuEngine:
         meter.visited_insert(stats.visited_inserts + 1)
         return warp
 
+    def chunk_work(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        stats: Sequence[SearchStats],
+        num_chunks: int = 1,
+    ) -> Tuple[List[ChunkWork], Dict[str, object]]:
+        """Price a batch as ``num_chunks`` double-buffer chunks.
+
+        Each chunk's kernel is metered over its own lanes through the
+        same counter replay as the whole-batch path, its transfers priced
+        from its own byte counts, and its SM demand reported as resident
+        warps — the inputs :class:`~repro.simt.streams.DeviceTimeline`
+        schedules.  With ``num_chunks=1`` the single chunk carries
+        exactly the legacy serial accounting (same lane order, same cost
+        calls), which is what keeps the streams=1 serving path
+        bit-identical to the pre-stream model.
+        """
+        placement = self.index.placement(config)
+        dim = int(queries.shape[1])
+        cost = self.index.launcher.cost_model
+        warps_per_group = max(1, config.block_size // self.device.warp_size)
+        counts = split_counts(len(stats), num_chunks) if len(stats) else [0]
+        chunks: List[ChunkWork] = []
+        kernel_total = htod_total = dtoh_total = 0.0
+        start = 0
+        for i, count in enumerate(counts):  # lint: allow(hot-loop) — O(chunks), not O(lanes)
+            lanes = stats[start : start + count]
+            chunk_queries = queries[start : start + count]
+            start += count
+            cycles: List[float] = []
+            total_bytes = 0
+            for lane in lanes:
+                warp = self._replay_lane(config, placement, lane, dim)
+                cycles.append(warp.cycles)
+                total_bytes += warp.memory.total_global_bytes
+            kernel = cost.kernel_time(
+                cycles,
+                total_bytes,
+                placement.shared_bytes_per_warp,
+                warps_per_group=warps_per_group,
+            )
+            htod = cost.transfer_time(int(chunk_queries.nbytes))
+            dtoh = cost.transfer_time(len(lanes) * config.k * 8)
+            chunks.append(
+                ChunkWork(
+                    htod=htod,
+                    kernel=kernel,
+                    dtoh=dtoh,
+                    warps=max(1, self.index.warp_demand(config, len(lanes))),
+                    label=f"chunk{i}",
+                )
+            )
+            kernel_total += kernel
+            htod_total += htod
+            dtoh_total += dtoh
+        detail = {
+            "kernel_seconds": kernel_total,
+            "htod_seconds": htod_total,
+            "dtoh_seconds": dtoh_total,
+            "device": self.device.name,
+            "num_chunks": len(chunks),
+        }
+        return chunks, detail
+
+    def auto_num_chunks(self, htod_bytes: int, max_chunks: int) -> int:
+        """Cost-model-optimal double-buffer split for one batch.
+
+        Splitting a batch into ``n`` chunks lets later chunks' HtoD hide
+        under earlier chunks' kernels, shrinking the exposed first-chunk
+        copy to ``latency + bytes/(n·bw)`` — but every extra chunk adds
+        one PCIe latency on each in-order copy engine.  Balancing the
+        two gives ``n* ≈ sqrt(bytes / (bw · latency))``: small batches
+        (latency-dominated transfers, the paper's Fig. 10 regime) stay
+        whole, multi-megabyte batches split toward ``max_chunks``.
+        """
+        if max_chunks <= 1 or htod_bytes <= 0:
+            return 1
+        device = self.device
+        lat = device.pcie_latency_us * 1e-6
+        if lat <= 0.0:
+            return max_chunks
+        bw = device.pcie_bandwidth_gbs * 1e9
+        n = int(round((htod_bytes / (bw * lat)) ** 0.5))
+        return max(1, min(max_chunks, n))
+
+    def chunked_batch(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        num_chunks: Optional[int] = None,
+        max_chunks: int = 1,
+    ) -> Tuple[List[List[Tuple[float, int]]], List[ChunkWork], Dict[str, object]]:
+        """Search a batch and return per-chunk priced work for streaming.
+
+        The multi-stream replica path: results come from the lockstep
+        engine exactly as :meth:`run_batch`, but the pricing is split
+        into chunks the caller schedules on a
+        :class:`~repro.simt.streams.DeviceTimeline` instead of a single
+        serial charge.  ``num_chunks=None`` picks the split with
+        :meth:`auto_num_chunks` (bounded by ``max_chunks``, typically
+        the replica's stream count).
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        results, stats = self.batched.search_batch_with_stats(queries, config)
+        if num_chunks is None:
+            num_chunks = self.auto_num_chunks(int(queries.nbytes), max_chunks)
+        chunks, detail = self.chunk_work(queries, config, stats, num_chunks)
+        return results, chunks, detail
+
     def estimate_batch_seconds(
         self,
         queries: np.ndarray,
@@ -154,30 +266,9 @@ class SimulatedGpuEngine:
         stats: Sequence[SearchStats],
     ) -> Tuple[float, Dict[str, object]]:
         """Modelled launch seconds for a batch with the given lane stats."""
-        placement = self.index.placement(config)
-        dim = int(queries.shape[1])
-        cycles: List[float] = []
-        total_bytes = 0
-        for lane in stats:
-            warp = self._replay_lane(config, placement, lane, dim)
-            cycles.append(warp.cycles)
-            total_bytes += warp.memory.total_global_bytes
-        cost = self.index.launcher.cost_model
-        kernel = cost.kernel_time(
-            cycles,
-            total_bytes,
-            placement.shared_bytes_per_warp,
-            warps_per_group=max(1, config.block_size // self.device.warp_size),
-        )
-        htod = cost.transfer_time(int(queries.nbytes))
-        dtoh = cost.transfer_time(len(stats) * config.k * 8)
-        detail = {
-            "kernel_seconds": kernel,
-            "htod_seconds": htod,
-            "dtoh_seconds": dtoh,
-            "device": self.device.name,
-        }
-        return kernel + htod + dtoh, detail
+        chunks, detail = self.chunk_work(queries, config, stats, num_chunks=1)
+        c = chunks[0]
+        return c.kernel + c.htod + c.dtoh, detail
 
 
 class ShardedServeEngine:
@@ -205,35 +296,77 @@ class OnlineServeEngine:
     """A growable index serving mixed search and insert traffic.
 
     Searches run against a frozen snapshot of the current graph, priced
-    like :class:`SimulatedGpuEngine`; the snapshot engine is cached and
-    invalidated on insert.  Inserts are priced as one ``ef_construction``
-    greedy search via the same counter replay (the insertion search
-    dominates an insert's cost; the bidirectional connect is a few
-    degree-bounded updates).
+    like :class:`SimulatedGpuEngine`; the snapshot engine is cached keyed
+    on the index's write ``generation`` (not size or object identity —
+    pruning rewires existing vertices without changing ``len``).
+    Refreshing a snapshot is not free: the new graph + data must reach
+    the search device, and the stream model charges that once per
+    refresh as a transfer contending with search traffic
+    (:meth:`consume_snapshot_dtoh_seconds`).  Inserts are priced as one
+    ``ef_construction`` greedy search via the same counter replay (the
+    insertion search dominates an insert's cost; the bidirectional
+    connect is a few degree-bounded updates).
     """
 
     def __init__(self, index: OnlineSongIndex, name: str = "online0") -> None:
         self.index = index
         self.name = name
         self._snapshot_engine: Optional[SimulatedGpuEngine] = None
-        self._snapshot_size = -1
+        self._snapshot_generation = -1
+        self._snapshot_dtoh_owed = 0.0
+
+    @property
+    def device(self):
+        """Device preset the snapshots are priced on."""
+        return self.index.device
 
     def _engine(self) -> SimulatedGpuEngine:
-        if self._snapshot_engine is None or self._snapshot_size != len(self.index):
+        if (
+            self._snapshot_engine is None
+            or self._snapshot_generation != self.index.generation
+        ):
             self._snapshot_engine = SimulatedGpuEngine(
                 self.index.snapshot_graph(),
                 self.index.data.copy(),
                 device=self.index.device,
                 name=self.name,
             )
-            self._snapshot_size = len(self.index)
+            self._snapshot_generation = self.index.generation
+            gpu = self._snapshot_engine.index
+            self._snapshot_dtoh_owed = gpu.launcher.cost_model.transfer_time(
+                gpu.index_memory_bytes() + gpu.dataset_memory_bytes()
+            )
         return self._snapshot_engine
+
+    def consume_snapshot_dtoh_seconds(self) -> float:
+        """Transfer seconds owed for a snapshot refreshed since last call.
+
+        Non-zero exactly once per rebuilt snapshot; the multi-stream
+        replica charges it on the DtoH copy engine ahead of the batch's
+        own transfers, so snapshot shipping contends with search streams
+        instead of being free.
+        """
+        owed = self._snapshot_dtoh_owed
+        self._snapshot_dtoh_owed = 0.0
+        return owed
 
     def run_batch(
         self, queries: np.ndarray, config: SearchConfig
     ) -> BatchServiceResult:
         """Search the current snapshot (built lazily, cached until write)."""
         return self._engine().run_batch(queries, config)
+
+    def chunked_batch(
+        self,
+        queries: np.ndarray,
+        config: SearchConfig,
+        num_chunks: Optional[int] = None,
+        max_chunks: int = 1,
+    ):
+        """Chunked pricing against the current snapshot (streams path)."""
+        return self._engine().chunked_batch(
+            queries, config, num_chunks, max_chunks
+        )
 
     def run_inserts(self, vectors: np.ndarray) -> BatchServiceResult:
         """Ingest ``(B, d)`` vectors; returns assigned ids in ``detail``.
@@ -257,7 +390,8 @@ class OnlineServeEngine:
                 [synthetic] * len(vectors),
             )
         ids = self.index.add(vectors)
-        self._snapshot_engine = None  # snapshot is stale now
+        # No manual invalidation: the next _engine() call sees a newer
+        # index generation and rebuilds (and re-prices) the snapshot.
         return BatchServiceResult(
             results=[],
             service_seconds=seconds,

@@ -135,6 +135,12 @@ class ServeMetrics:
         self.tier_counts: Dict[int, int] = {}
         self._recall_sum: Dict[int, float] = {}
         self._recall_n: Dict[int, int] = {}
+        # Device-side stream accounting (engine-busy vs makespan sums).
+        self._device_batches = 0
+        self._device_htod_s = 0.0
+        self._device_kernel_s = 0.0
+        self._device_dtoh_s = 0.0
+        self._device_makespan_s = 0.0
 
     # -- event sinks -----------------------------------------------------
 
@@ -180,7 +186,42 @@ class ServeMetrics:
             self._recall_sum[tier] = self._recall_sum.get(tier, 0.0) + recall
             self._recall_n[tier] = self._recall_n.get(tier, 0) + 1
 
+    def on_device_batch(
+        self, htod_s: float, kernel_s: float, dtoh_s: float, makespan_s: float
+    ) -> None:
+        """One batch's device schedule: per-engine busy time vs makespan.
+
+        Summing per-batch makespans (rather than wall-clock windows)
+        keeps the derived overlap views load-independent: idle gaps
+        between batches don't dilute them.
+        """
+        self._device_batches += 1
+        self._device_htod_s += htod_s
+        self._device_kernel_s += kernel_s
+        self._device_dtoh_s += dtoh_s
+        self._device_makespan_s += makespan_s
+
     # -- derived views ---------------------------------------------------
+
+    def overlap_efficiency(self) -> float:
+        """Engine-busy seconds per makespan second across device batches.
+
+        1.0 means fully serial (the streams=1 model); up to 3.0 when
+        both copy engines and the SMs are all hidden behind each other.
+        """
+        if self._device_makespan_s <= 0.0:
+            return 0.0
+        busy = self._device_htod_s + self._device_kernel_s + self._device_dtoh_s
+        return busy / self._device_makespan_s
+
+    def transfer_hidden_fraction(self) -> float:
+        """Fraction of PCIe transfer time hidden behind other engines."""
+        transfers = self._device_htod_s + self._device_dtoh_s
+        if transfers <= 0.0 or self._device_makespan_s <= 0.0:
+            return 0.0
+        busy = self._device_htod_s + self._device_kernel_s + self._device_dtoh_s
+        hidden = busy - self._device_makespan_s
+        return min(1.0, max(0.0, hidden / transfers))
 
     def shed_rate(self) -> float:
         """Fraction of arrivals that were shed."""
@@ -228,6 +269,17 @@ class ServeMetrics:
                 },
             },
             "tiers": {str(t): c for t, c in sorted(self.tier_counts.items())},
+            "streams": {
+                "device_batches": self._device_batches,
+                "htod_s": round(self._device_htod_s, 9),
+                "kernel_s": round(self._device_kernel_s, 9),
+                "dtoh_s": round(self._device_dtoh_s, 9),
+                "makespan_s": round(self._device_makespan_s, 9),
+                "overlap_efficiency": round(self.overlap_efficiency(), 6),
+                "transfer_hidden_fraction": round(
+                    self.transfer_hidden_fraction(), 6
+                ),
+            },
             "recall": None if recall is None else round(recall, 6),
             "recall_by_tier": {
                 str(t): round(r, 6) for t, r in self.recall_by_tier().items()

@@ -1,9 +1,16 @@
-"""Routing: replicas, least-loaded dispatch, and read/write discipline.
+"""Routing: replicas, stream-pool dispatch, and read/write discipline.
 
-A :class:`Replica` wraps one serving engine with an exclusive device
-lock (one batch occupies a simulated GPU at a time — further batches
-queue on the lock) and in-flight accounting.  The :class:`Router`
-spreads batches across replicas:
+A :class:`Replica` wraps one serving engine with a device occupancy
+model and in-flight accounting.  With ``streams=1`` (the default) the
+device is an exclusive lock — one batch occupies the simulated GPU at a
+time and is charged the serial HtoD + kernel + DtoH cost, bit-identical
+to the pre-stream serving model.  With ``streams=N`` the replica holds a
+pool of N CUDA-style streams backed by a
+:class:`~repro.simt.streams.DeviceTimeline`: up to N batches are in
+flight at once, each split into double-buffered chunks whose HtoD
+overlaps the previous chunk's kernel, with concurrent kernels sharing SM
+capacity and both PCIe directions modelled as single in-order copy
+engines.  The :class:`Router` spreads batches across replicas:
 
 - ``"least-loaded"`` (default) — join-the-shortest-queue on the pending
   batch count, ties broken by replica index (deterministic);
@@ -33,6 +40,7 @@ import numpy as np
 
 from repro.core.config import SearchConfig
 from repro.serve.engine import BatchServiceResult, OnlineServeEngine
+from repro.simt.streams import DeviceTimeline
 
 __all__ = ["ROUTING_POLICIES", "AsyncRWLock", "Replica", "Router"]
 
@@ -103,13 +111,42 @@ class AsyncRWLock:
 
 
 class Replica:
-    """One engine behind a device lock, with in-flight accounting."""
+    """One engine behind a stream pool, with in-flight accounting.
 
-    def __init__(self, engine, name: Optional[str] = None) -> None:
+    Parameters
+    ----------
+    engine:
+        The serving engine.
+    name:
+        Replica label (defaults to the engine's).
+    streams:
+        Device streams.  ``1`` keeps the legacy exclusive-lock serial
+        path; ``N > 1`` admits up to N concurrent batches, scheduled on
+        a :class:`~repro.simt.streams.DeviceTimeline` (requires an
+        engine with ``chunked_batch`` — the sharded engine models its
+        own fan-out and stays at one stream).
+    """
+
+    def __init__(
+        self, engine, name: Optional[str] = None, streams: int = 1
+    ) -> None:
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
         self.engine = engine
         self.name = name or getattr(engine, "name", "replica")
+        self.streams = int(streams)
         self._device_lock = asyncio.Lock()
+        self._stream_slots: Optional[asyncio.Semaphore] = None
+        self.timeline: Optional[DeviceTimeline] = None
+        if self.streams > 1:
+            if not hasattr(engine, "chunked_batch"):
+                raise ValueError(
+                    f"engine {self.name!r} does not support multi-stream "
+                    "dispatch (needs chunked_batch)"
+                )
+            self.timeline = DeviceTimeline(engine.device, self.streams)
         self._rw = AsyncRWLock()
+        self._submitted = 0
         self.pending_batches = 0
         self.batches_served = 0
         self.busy_seconds = 0.0
@@ -119,6 +156,33 @@ class Replica:
     def supports_inserts(self) -> bool:
         return isinstance(self.engine, OnlineServeEngine)
 
+    def _slots(self) -> asyncio.Semaphore:
+        # Created lazily so the semaphore binds the loop it is used on.
+        if self._stream_slots is None:
+            self._stream_slots = asyncio.Semaphore(self.streams)
+        return self._stream_slots
+
+    def _run_streamed(self, queries: np.ndarray, config: SearchConfig):
+        """Price one batch on the stream timeline (no awaits: the
+        schedule commits atomically at submission)."""
+        results, chunks, detail = self.engine.chunked_batch(
+            queries, config, num_chunks=None, max_chunks=self.streams
+        )
+        extra_dtoh = 0.0
+        consume = getattr(self.engine, "consume_snapshot_dtoh_seconds", None)
+        if consume is not None:
+            extra_dtoh = consume()
+        now = asyncio.get_running_loop().time()
+        sched = self.timeline.submit_batch(
+            chunks, now, extra_dtoh_s=extra_dtoh, label=f"b{self._submitted}"
+        )
+        self._submitted += 1
+        detail = dict(detail)
+        detail["schedule"] = sched.to_dict()
+        if extra_dtoh > 0.0:
+            detail["snapshot_dtoh_seconds"] = extra_dtoh
+        return BatchServiceResult(results, sched.finish_s - now, detail)
+
     async def run_batch(
         self, queries: np.ndarray, config: SearchConfig
     ) -> BatchServiceResult:
@@ -126,9 +190,14 @@ class Replica:
         self.pending_batches += 1
         await self._rw.acquire_read()
         try:
-            async with self._device_lock:
-                outcome = self.engine.run_batch(queries, config)
-                await asyncio.sleep(outcome.service_seconds)
+            if self.streams <= 1:
+                async with self._device_lock:
+                    outcome = self.engine.run_batch(queries, config)
+                    await asyncio.sleep(outcome.service_seconds)
+            else:
+                async with self._slots():
+                    outcome = self._run_streamed(queries, config)
+                    await asyncio.sleep(outcome.service_seconds)
         finally:
             self._rw.release_read()
             self.pending_batches -= 1
@@ -163,7 +232,10 @@ class Replica:
             "name": self.name,
             "batches": self.batches_served,
             "busy_seconds": round(self.busy_seconds, 9),
+            "streams": self.streams,
         }
+        if self.timeline is not None:
+            out["device_timeline"] = self.timeline.stats()
         if self.slowest_shard_counts:
             out["slowest_shard_counts"] = dict(
                 sorted(self.slowest_shard_counts.items())

@@ -23,8 +23,22 @@ from repro.simt.kernel import KernelLauncher, KernelResult
 from repro.simt.cost import CostModel
 from repro.simt.profiler import StageProfiler
 from repro.simt.simulator import SMSimulator, WarpSimulator
+from repro.simt.streams import (
+    BatchSchedule,
+    ChunkWork,
+    DeviceTimeline,
+    StreamOp,
+    StreamScheduler,
+    StreamTimeline,
+)
 
 __all__ = [
+    "BatchSchedule",
+    "ChunkWork",
+    "DeviceTimeline",
+    "StreamOp",
+    "StreamScheduler",
+    "StreamTimeline",
     "WarpSimulator",
     "SMSimulator",
     "DeviceSpec",

@@ -72,8 +72,15 @@ def pipeline_batch(
     queries,
     config,
     num_chunks: int = 4,
+    num_streams: int = 0,
 ) -> Tuple[list, dict]:
     """Run ``index.search_batch`` chunk-wise and schedule the overlap.
+
+    The schedule is produced by
+    :class:`repro.simt.streams.StreamScheduler` — the general stream
+    model — with one stream per chunk by default, which reproduces the
+    classic :func:`pipelined_time` recurrence bit-for-bit (pinned in the
+    ablation benchmark's regression test).
 
     Parameters
     ----------
@@ -84,14 +91,19 @@ def pipeline_batch(
     config:
         :class:`~repro.core.config.SearchConfig`.
     num_chunks:
-        Streams / chunks to split the batch into.
+        Chunks to split the batch into.
+    num_streams:
+        Streams to spread the chunks over; ``0`` (default) means one
+        stream per chunk, the full double-buffer schedule.
 
     Returns
     -------
     ``(results, timing)`` where timing holds pipelined and synchronous
-    makespans and the implied QPS.
+    makespans, the implied QPS, and the scheduled stream timeline.
     """
     import numpy as np
+
+    from repro.simt.streams import StreamScheduler
 
     queries = np.atleast_2d(np.asarray(queries))
     counts = split_counts(len(queries), num_chunks)
@@ -106,7 +118,9 @@ def pipeline_batch(
         chunk_timings.append(
             ChunkTiming(htod=kr.htod_seconds, kernel=kr.kernel_seconds, dtoh=kr.dtoh_seconds)
         )
-    piped = pipelined_time(chunk_timings)
+    streams = num_streams if num_streams > 0 else max(1, len(chunk_timings))
+    timeline = StreamScheduler(num_streams=streams).schedule_chunks(chunk_timings)
+    piped = timeline.makespan
     sync = synchronous_time(chunk_timings)
     timing = {
         "pipelined_seconds": piped,
@@ -114,5 +128,7 @@ def pipeline_batch(
         "overlap_gain": sync / piped if piped > 0 else float("inf"),
         "qps": len(queries) / piped if piped > 0 else float("inf"),
         "chunks": chunk_timings,
+        "num_streams": streams,
+        "timeline": timeline,
     }
     return results, timing
