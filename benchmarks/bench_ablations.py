@@ -90,6 +90,7 @@ def test_ablation_graph_degree(benchmark, assets):
                     ds.data, m=m, ef_construction=48,
                     max_degree=degree, seed=7,
                 ),
+                graph_type="nsw", build_engine="serial",
                 m=m, ef_construction=48, max_degree=degree, seed=7,
             )
             gpu = GpuSongIndex(graph, ds.data)

@@ -1,12 +1,18 @@
-"""Vectorized NN-descent construction vs the serial reference builder.
+"""Batched graph construction vs the serial reference builders.
 
-The construction tentpole: rewriting NN-descent's local join as blocked
-fused distance calls over candidate-pair tiles should cut build time by
-an integer factor while keeping graph recall (fraction of true kNN edges
-recovered) within a small tolerance of the serial builder.  This
-benchmark races ``build_engine="serial"`` against ``"batched"`` on the
-same synthetic dataset, gates on both speedup and recall gap, and
-records the outcome in ``benchmarks/results/BENCH_build.json``.
+Two races live here:
+
+1. **NN-descent engines** — ``build_engine="serial"`` vs ``"batched"``
+   on the same synthetic dataset, gated on speedup and graph-recall gap;
+   outcome recorded in ``benchmarks/results/BENCH_build.json``.
+2. **Three-way graph race** — serial NSG vs batched NSG vs CAGRA at
+   equal max degree.  Each arm reports wall clock; the batched arms also
+   report SIMT-modeled device cycles from an attached
+   :class:`~repro.simt.build_cost.BuildCostRecorder`.  Search recall
+   (lockstep engine, same queue size) closes the quality loop: CAGRA
+   must land within ``max_recall_gap`` of serial NSG while building
+   ``min_speedup`` times faster.  Outcome recorded in
+   ``benchmarks/results/BENCH_cagra.json``.
 
 Run directly::
 
@@ -17,8 +23,8 @@ or via pytest (smoke-sized)::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_build_speed.py -x -q
 
-The full run takes a few minutes: the serial builder alone needs ~90 s
-at n=20k on a laptop core.
+The full run takes several minutes: the serial NSG arm alone is ~100x
+the CAGRA arm at n=20k.
 """
 
 from __future__ import annotations
@@ -42,6 +48,13 @@ from repro.graphs.bruteforce_knn import knn_neighbors
 SMOKE = dict(n=2000, dim=32, k=10, min_speedup=1.5, max_recall_gap=0.05)
 #: Full acceptance run: >= 5x at n=20k, d=64, k=10, recall within 0.02.
 FULL = dict(n=20_000, dim=64, k=10, min_speedup=5.0, max_recall_gap=0.02)
+
+#: Three-way race smoke gate: CAGRA clearly beats serial NSG, recall close.
+CAGRA_SMOKE = dict(n=2000, dim=32, k=10, min_speedup=2.0, max_recall_gap=0.05)
+#: Three-way race acceptance: CAGRA >= 5x serial NSG, recall within 0.02.
+CAGRA_FULL = dict(n=20_000, dim=64, k=10, min_speedup=5.0, max_recall_gap=0.02)
+#: Sanity band for the SIMT-modeled build cycles of the batched arms.
+CYCLES_BAND = (1e3, 1e14)
 
 
 def run_build_race(
@@ -91,6 +104,132 @@ def run_build_race(
     }
 
 
+def run_cagra_race(
+    n: int,
+    dim: int,
+    k: int,
+    min_speedup: float,
+    max_recall_gap: float,
+    data_seed: int = 42,
+    build_seed: int = 3,
+    degree: int = 16,
+    num_queries: int = 200,
+    queue: int = 80,
+) -> dict:
+    """Serial NSG vs batched NSG vs CAGRA at equal max degree."""
+    from repro import SearchConfig, SongSearcher
+    from repro.data.ground_truth import ground_truth
+    from repro.eval import batch_recall
+    from repro.graphs import build_cagra, build_nsg
+    from repro.simt.build_cost import BuildCostRecorder
+
+    rng = np.random.default_rng(data_seed)
+    data = rng.standard_normal((n, dim)).astype(np.float32)
+    queries = rng.standard_normal((num_queries, dim)).astype(np.float32)
+    gt = ground_truth(data, queries, k)
+    config = SearchConfig(k=k, queue_size=queue)
+
+    def arm(build_fn, recorder):
+        start = time.perf_counter()
+        graph = build_fn()
+        seconds = time.perf_counter() - start
+        results = SongSearcher(graph, data).search_batch(
+            queries, config, engine="batched"
+        )
+        out = {
+            "seconds": round(seconds, 4),
+            "recall": round(batch_recall(results, gt), 6),
+        }
+        if recorder is not None:
+            out["modeled_device_cycles"] = float(recorder.device_cycles())
+            out["modeled_device_seconds"] = recorder.device_seconds()
+            out["modeled_cpu_seconds"] = recorder.cpu_seconds()
+        return out
+
+    arms = {}
+    arms["serial-nsg"] = arm(
+        lambda: build_nsg(
+            data, degree=degree, knn=degree, search_len=40,
+            build_engine="serial",
+        ),
+        None,
+    )
+    rec_nsg = BuildCostRecorder()
+    arms["batched-nsg"] = arm(
+        lambda: build_nsg(
+            data, degree=degree, knn=degree, search_len=40,
+            build_engine="batched", cost=rec_nsg,
+        ),
+        rec_nsg,
+    )
+    rec_cagra = BuildCostRecorder()
+    arms["cagra"] = arm(
+        lambda: build_cagra(
+            data, degree=degree, seed=build_seed, cost=rec_cagra
+        ),
+        rec_cagra,
+    )
+
+    serial_s = arms["serial-nsg"]["seconds"]
+    cagra_s = arms["cagra"]["seconds"]
+    speedup = serial_s / cagra_s if cagra_s > 0 else float("inf")
+    recall_gap = arms["serial-nsg"]["recall"] - arms["cagra"]["recall"]
+    lo, hi = CYCLES_BAND
+    cycles_ok = all(
+        lo <= arms[a]["modeled_device_cycles"] <= hi
+        for a in ("batched-nsg", "cagra")
+    )
+    return {
+        "config": {
+            "n": n,
+            "dim": dim,
+            "k": k,
+            "degree": degree,
+            "num_queries": num_queries,
+            "queue": queue,
+            "data_seed": data_seed,
+            "build_seed": build_seed,
+        },
+        "arms": arms,
+        "speedup": round(speedup, 2),
+        "recall_gap": round(recall_gap, 6),
+        "min_speedup": min_speedup,
+        "max_recall_gap": max_recall_gap,
+        "cycles_band": list(CYCLES_BAND),
+        "cycles_band_ok": cycles_ok,
+        "passed": (
+            speedup >= min_speedup
+            and recall_gap <= max_recall_gap
+            and cycles_ok
+        ),
+    }
+
+
+def format_cagra_result(result: dict, mode: str) -> str:
+    cfg = result["config"]
+    lines = [
+        f"Three-way build race: serial NSG vs batched NSG vs CAGRA ({mode})",
+        f"  dataset       : synthetic n={cfg['n']} d={cfg['dim']} "
+        f"degree={cfg['degree']}",
+    ]
+    for name, a in result["arms"].items():
+        cyc = a.get("modeled_device_cycles")
+        cyc_txt = f", {cyc:.3g} modeled cycles" if cyc is not None else ""
+        lines.append(
+            f"  {name:<13} : {a['seconds']:.2f}s "
+            f"(search recall {a['recall']:.4f}{cyc_txt})"
+        )
+    lines += [
+        f"  cagra speedup : {result['speedup']:.2f}x over serial NSG "
+        f"(required >= {result['min_speedup']:.1f}x)",
+        f"  recall gap    : {result['recall_gap']:+.4f} "
+        f"(allowed <= {result['max_recall_gap']:.2f})",
+        f"  cycles band   : {'ok' if result['cycles_band_ok'] else 'VIOLATED'}",
+        f"  verdict       : {'PASS' if result['passed'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)
+
+
 def format_result(result: dict, mode: str) -> str:
     cfg = result["config"]
     lines = [
@@ -110,9 +249,9 @@ def format_result(result: dict, mode: str) -> str:
     return "\n".join(lines)
 
 
-def write_artifact(result: dict, mode: str) -> str:
+def write_artifact(result: dict, mode: str, name: str = "BENCH_build.json") -> str:
     os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, "BENCH_build.json")
+    path = os.path.join(RESULTS_DIR, name)
     payload = dict(result)
     payload["mode"] = mode
     with open(path, "w") as f:
@@ -135,6 +274,24 @@ def test_build_speed():
     assert result["recall_gap"] <= result["max_recall_gap"], (
         f"batched graph recall trails serial by {result['recall_gap']:.4f} "
         f"(allowed {result['max_recall_gap']:.2f})"
+    )
+
+
+def test_cagra_build_race():
+    result = run_cagra_race(**CAGRA_SMOKE)
+    emit_report("bench_cagra_race", format_cagra_result(result, "smoke"))
+    write_artifact(result, "smoke", name="BENCH_cagra.json")
+    assert result["speedup"] >= result["min_speedup"], (
+        f"CAGRA speedup {result['speedup']:.2f}x over serial NSG below "
+        f"the {result['min_speedup']:.1f}x gate"
+    )
+    assert result["recall_gap"] <= result["max_recall_gap"], (
+        f"CAGRA search recall trails serial NSG by "
+        f"{result['recall_gap']:.4f} (allowed {result['max_recall_gap']:.2f})"
+    )
+    assert result["cycles_band_ok"], (
+        "modeled build cycles outside the sanity band "
+        f"{result['cycles_band']}"
     )
 
 
@@ -161,7 +318,15 @@ def main(argv=None) -> int:
     emit_report("bench_build_speed", format_result(result, mode))
     path = write_artifact(result, mode)
     print(f"[artifact written to {path}]")
-    return 0 if result["passed"] else 1
+
+    cagra_params = dict(CAGRA_SMOKE if args.smoke else CAGRA_FULL)
+    cagra = run_cagra_race(
+        data_seed=args.data_seed, build_seed=args.build_seed, **cagra_params
+    )
+    emit_report("bench_cagra_race", format_cagra_result(cagra, mode))
+    cagra_path = write_artifact(cagra, mode, name="BENCH_cagra.json")
+    print(f"[artifact written to {cagra_path}]")
+    return 0 if (result["passed"] and cagra["passed"]) else 1
 
 
 if __name__ == "__main__":

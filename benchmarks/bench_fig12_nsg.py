@@ -19,6 +19,7 @@ def _run(assets):
     nsg = cached_graph(
         "nsg", ds.data,
         lambda: build_nsg(ds.data, degree=16, knn=16, search_len=40),
+        graph_type="nsg", build_engine="serial",
         degree=16, knn=16, search_len=40,
     )
     sat = with_saturated_queries(ds)

@@ -51,7 +51,8 @@ def _run(assets):
     rows, curves = [], {}
     # Full-precision arm.
     graph = cached_graph(
-        "knn", ds.data, lambda: build_knn_graph(ds.data, DEGREE), degree=DEGREE
+        "knn", ds.data, lambda: build_knn_graph(ds.data, DEGREE),
+        graph_type="knn", build_engine="serial", degree=DEGREE,
     )
     gpu = GpuSongIndex(graph, ds.data, device="titanx")
     results, timing = gpu.search_batch(sat_queries, cfg)

@@ -87,6 +87,8 @@ def run_serving_bench(
         "nsw-serving",
         dataset.data,
         lambda: build_nsw(dataset.data, m=8, ef_construction=48, seed=7),
+        graph_type="nsw",
+        build_engine="serial",
         m=8,
         ef_construction=48,
         seed=7,
@@ -159,6 +161,8 @@ def run_streams_bench(
         "nsw-serving",
         dataset.data,
         lambda: build_nsw(dataset.data, m=8, ef_construction=48, seed=7),
+        graph_type="nsw",
+        build_engine="serial",
         m=8,
         ef_construction=48,
         seed=7,

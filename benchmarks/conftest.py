@@ -55,6 +55,8 @@ class BenchAssets:
                 "nsw",
                 ds.data,
                 lambda: build_nsw(ds.data, m=8, ef_construction=48, seed=7),
+                graph_type="nsw",
+                build_engine="serial",
                 m=8,
                 ef_construction=48,
                 seed=7,

@@ -39,8 +39,11 @@ python -m benchmarks.bench_batched_engine --smoke
 python -m benchmarks.bench_build_speed --smoke
 python -m benchmarks.bench_serving --smoke
 
-# The serving smoke must have produced both gated artifacts.
-for artifact in BENCH_serve.json BENCH_streams.json; do
+# The build and serving smokes must have produced every gated artifact
+# (bench_build_speed writes BENCH_build.json and the three-way
+# serial-NSG / batched-NSG / CAGRA race in BENCH_cagra.json).
+for artifact in BENCH_build.json BENCH_cagra.json \
+        BENCH_serve.json BENCH_streams.json; do
     if [ ! -f "benchmarks/results/$artifact" ]; then
         echo "ci: missing benchmark artifact $artifact" >&2
         exit 1

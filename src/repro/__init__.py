@@ -19,6 +19,7 @@ Quickstart::
 """
 
 from repro.core import (
+    GRAPH_TYPES,
     BatchedSongSearcher,
     BuildConfig,
     CpuSongIndex,
@@ -34,6 +35,9 @@ from repro.core import (
 from repro.graphs import (
     FixedDegreeGraph,
     HNSWIndex,
+    build_cagra,
+    build_dpg,
+    build_graph,
     build_knn_graph,
     build_nsg,
     build_nsw,
@@ -56,6 +60,10 @@ __all__ = [
     "algorithm1_search",
     "FixedDegreeGraph",
     "HNSWIndex",
+    "GRAPH_TYPES",
+    "build_cagra",
+    "build_dpg",
+    "build_graph",
     "build_knn_graph",
     "build_nsg",
     "build_nsw",

@@ -66,29 +66,22 @@ def cmd_devices(_args) -> int:
 
 
 def cmd_build(args) -> int:
-    from repro.graphs import build_nsg, build_nsw, save_graph
+    from repro.graphs import build_graph, save_graph
 
     dataset = _load_dataset(args)
+    degree = args.degree or 2 * args.m
+    kwargs = {}
+    if args.graph in ("nsw", "hnsw"):
+        kwargs["ef_construction"] = args.ef_construction
     start = time.time()
-    if args.graph == "nsw":
-        graph = build_nsw(
-            dataset.data,
-            m=args.m,
-            ef_construction=args.ef_construction,
-            seed=7,
-            build_engine=args.build_engine,
-        )
-    elif args.graph == "nsg":
-        graph = build_nsg(
-            dataset.data,
-            degree=2 * args.m,
-            knn=2 * args.m,
-            build_engine=args.build_engine,
-        )
-    else:
-        from repro.graphs import build_knn_graph
-
-        graph = build_knn_graph(dataset.data, 2 * args.m)
+    graph = build_graph(
+        dataset.data,
+        args.graph,
+        degree=degree,
+        build_engine=args.build_engine,
+        seed=7,
+        **kwargs,
+    )
     elapsed = time.time() - start
     save_graph(graph, args.out)
     print(
@@ -159,19 +152,21 @@ def cmd_sweep(args) -> int:
         sweep_hnsw,
         sweep_ivfpq,
     )
-    from repro.graphs import build_nsw
+    from repro.graphs import build_graph
 
     dataset = _load_dataset(args)
     queues = [int(q) for q in args.grid]
     series = {}
     graph = None
     if "song" in args.methods or "batched" in args.methods:
-        graph = build_nsw(
+        kwargs = {"ef_construction": 48} if args.graph in ("nsw", "hnsw") else {}
+        graph = build_graph(
             dataset.data,
-            m=8,
-            ef_construction=48,
-            seed=7,
+            args.graph,
+            degree=16,
             build_engine=args.build_engine,
+            seed=7,
+            **kwargs,
         )
     if "song" in args.methods:
         gpu = GpuSongIndex(graph, dataset.data, device=args.device)
@@ -207,6 +202,21 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _build_serving_graph(args, data):
+    """The graph a serving command searches, honoring ``--graph``."""
+    from repro.graphs import build_graph
+
+    kwargs = {"ef_construction": 48} if args.graph in ("nsw", "hnsw") else {}
+    return build_graph(
+        data,
+        args.graph,
+        degree=16,
+        build_engine=args.build_engine,
+        seed=7,
+        **kwargs,
+    )
+
+
 def _serving_config(args):
     from repro import SearchConfig
     from repro.eval import serving_policy_config
@@ -227,11 +237,10 @@ def cmd_serve(args) -> int:
     import asyncio
     import json
 
-    from repro.graphs import build_nsw
     from repro.serve import build_server, drive_poisson, summarize
 
     dataset = _load_dataset(args)
-    graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+    graph = _build_serving_graph(args, dataset.data)
     config = _serving_config(args)
     server = build_server(
         graph,
@@ -275,10 +284,9 @@ def cmd_loadtest(args) -> int:
     import json
 
     from repro.eval import SERVING_POLICIES, format_serving_table, sweep_serving
-    from repro.graphs import build_nsw
 
     dataset = _load_dataset(args)
-    graph = build_nsw(dataset.data, m=8, ef_construction=48, seed=7)
+    graph = _build_serving_graph(args, dataset.data)
     policies = SERVING_POLICIES if args.policy == "both" else (args.policy,)
     from repro import SearchConfig
 
@@ -313,6 +321,16 @@ def cmd_loadtest(args) -> int:
 
 
 def _add_serving_args(parser: argparse.ArgumentParser) -> None:
+    from repro.core.config import GRAPH_TYPES
+
+    parser.add_argument(
+        "--graph", choices=list(GRAPH_TYPES), default="nsw",
+        help="graph family the replicas search",
+    )
+    parser.add_argument(
+        "--build-engine", choices=["serial", "batched"], default="serial",
+        help="construction engine for the served graph",
+    )
     parser.add_argument("--k", type=int, default=10)
     parser.add_argument("--queue", type=int, default=64, help="tier-0 ef")
     parser.add_argument("--slo-ms", type=float, default=2.0, help="p99 SLO")
@@ -345,10 +363,16 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_devices
     )
 
+    from repro.core.config import GRAPH_TYPES
+
     p_build = sub.add_parser("build", help="build and save a proximity graph")
     _add_dataset_args(p_build)
-    p_build.add_argument("--graph", choices=["nsw", "nsg", "knn"], default="nsw")
+    p_build.add_argument("--graph", choices=list(GRAPH_TYPES), default="nsw")
     p_build.add_argument("--m", type=int, default=8, help="NSW connections per point")
+    p_build.add_argument(
+        "--degree", type=int, default=None,
+        help="out-degree bound of the built graph (default 2*m)",
+    )
     p_build.add_argument("--ef-construction", type=int, default=48)
     p_build.add_argument(
         "--build-engine", choices=["serial", "batched"], default="serial",
@@ -383,6 +407,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="queue sizes to sweep",
     )
     p_sweep.add_argument("--device", default="v100")
+    p_sweep.add_argument(
+        "--graph", choices=list(GRAPH_TYPES), default="nsw",
+        help="graph family searched by the song/batched methods",
+    )
     p_sweep.add_argument(
         "--build-engine", choices=["serial", "batched"], default="serial",
         help="construction engine for the swept indexes",

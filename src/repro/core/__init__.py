@@ -20,6 +20,7 @@ Public entry points:
 
 from repro.core.config import (
     BUILD_ENGINES,
+    GRAPH_TYPES,
     BuildConfig,
     OptimizationLevel,
     SearchConfig,
@@ -38,6 +39,7 @@ __all__ = [
     "SearchConfig",
     "BuildConfig",
     "BUILD_ENGINES",
+    "GRAPH_TYPES",
     "SearchStats",
     "OptimizationLevel",
     "algorithm1_search",

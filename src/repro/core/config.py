@@ -10,6 +10,9 @@ from repro.structures.visited import VisitedBackend
 #: Valid graph-construction engines (mirrored by every graph builder).
 BUILD_ENGINES = ("serial", "batched")
 
+#: Graph families the repo can build and serve (see ``repro.graphs``).
+GRAPH_TYPES = ("nsw", "hnsw", "nsg", "dpg", "cagra", "knn")
+
 
 class OptimizationLevel(str, enum.Enum):
     """Named bundles matching the series of the paper's Fig. 7."""
@@ -144,11 +147,14 @@ class BuildConfig:
 
     Attributes
     ----------
+    graph_type:
+        Graph family to build — one of :data:`GRAPH_TYPES`
+        (``nsw`` / ``hnsw`` / ``nsg`` / ``dpg`` / ``cagra`` / ``knn``).
     engine:
         ``"serial"`` runs the reference per-point/per-pair build loops;
         ``"batched"`` runs the vectorized construction layer (NN-descent
         local joins as fused pair tiles, NSW/HNSW insertion in lockstep
-        generation batches).
+        generation batches, CAGRA/NSG/DPG pruning as flat array kernels).
     insert_batch:
         Cap on one insertion generation's size for the batched NSW/HNSW
         engines.
@@ -161,12 +167,18 @@ class BuildConfig:
         Construction seed forwarded to the builders.
     """
 
+    graph_type: str = "nsw"
     engine: str = "batched"
     insert_batch: int = 512
     max_candidates: int = None
     seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.graph_type not in GRAPH_TYPES:
+            raise ValueError(
+                f"unknown graph type {self.graph_type!r}; "
+                f"expected one of {GRAPH_TYPES}"
+            )
         if self.engine not in BUILD_ENGINES:
             raise ValueError(
                 f"unknown build engine {self.engine!r}; "

@@ -5,17 +5,44 @@ candidates it keeps the subset that maximizes pairwise angles (greedy
 max-min-angle selection) — then makes the graph undirected.  The paper
 lists DPG among the graph family SONG accelerates; building it here lets
 the generality experiment (Fig. 12) extend beyond NSG.
+
+Two engines produce the same graph shape:
+
+``serial``
+    The readable reference: a per-vertex greedy angular selection
+    followed by per-edge reverse insertion and kNN backfill.
+``batched``
+    The vectorized path.  Angular diversification runs the same greedy
+    rounds across a whole block of vertices at once — one
+    ``einsum('bkd,bd->bk')`` per round updates every row's running
+    max-cosine against its newest pick — and undirection/backfill is a
+    flat priority-stream merge (forward band, reverse band in arrival
+    order, kNN backfill band) resolved by two lexsorts, the same pattern
+    as the CAGRA reverse merge.  No per-vertex Python loop anywhere.
+
+The engines agree up to floating-point reduction order in the cosine
+updates (``matmul`` vs incremental ``einsum`` maxima) and up to the
+serial path's order-dependent reverse-edge cascade (a reverse edge
+appended early can itself spawn reverse edges later); equivalence is
+validated at recall level, not bit level.
 """
 
 from __future__ import annotations
 
-from typing import List
+# lint: hot-path
+
+from typing import List, Optional
 
 import numpy as np
 
-from repro.distances import get_metric
 from repro.graphs.bruteforce_knn import knn_neighbors, medoid
-from repro.graphs.storage import FixedDegreeGraph
+from repro.graphs.storage import PAD, FixedDegreeGraph
+
+__all__ = ["build_dpg"]
+
+#: Vertices per angular-diversification block (bounds the ``(B, K, d)``
+#: direction panel: 1024 rows of 32 candidates at d=128 is ~16 MB).
+_DIVERSIFY_BLOCK = 1024
 
 
 def _angular_diversify(
@@ -40,12 +67,121 @@ def _angular_diversify(
     return [int(candidates[i]) for i in chosen]
 
 
+def _diversify_batched(
+    data: np.ndarray, table: np.ndarray, keep: int, rec
+) -> np.ndarray:
+    """Greedy max-min-angle selection for every vertex at once.
+
+    Runs the serial greedy's rounds in lockstep over vertex blocks: the
+    running "worst" (max cosine against any chosen direction) updates
+    incrementally with one fused ``einsum`` per round instead of
+    rebuilding the chosen-matrix product.  Returns ``(n, keep)`` selected
+    ids in pick order (slot 0 is always the nearest neighbor).
+    """
+    n, cap = table.shape
+    dim = data.shape[1]
+    keep = min(keep, cap)
+    out = np.empty((n, keep), dtype=np.int64)
+    a = 0
+    while a < n:
+        b = min(n, a + _DIVERSIFY_BLOCK)
+        block = b - a
+        tbl = table[a:b]
+        dirs = data[tbl] - data[a:b, None, :]
+        norms = np.linalg.norm(dirs, axis=2, keepdims=True)
+        norms[norms == 0] = 1.0
+        dirs = dirs / norms
+        rows = np.arange(block)
+        sel = np.zeros((block, keep), dtype=np.int64)  # col 0: nearest kept
+        chosen = np.zeros((block, cap), dtype=bool)
+        chosen[:, 0] = True
+        worst = np.einsum("bkd,bd->bk", dirs, dirs[:, 0, :])
+        r = 1
+        while r < keep:
+            pick = np.argmin(np.where(chosen, np.inf, worst), axis=1)
+            sel[:, r] = pick
+            chosen[rows, pick] = True
+            np.maximum(
+                worst, np.einsum("bkd,bd->bk", dirs, dirs[rows, pick]), out=worst
+            )
+            r += 1
+        out[a:b] = np.take_along_axis(tbl, sel, axis=1)
+        a = b
+    # one normalized direction (≈3·dim flops) + keep cosine rounds
+    # (2·dim flops each) per candidate
+    rec.record_distances(n * cap * max(1, keep), 2 * dim, dim, "diversify")
+    return out
+
+
+def _undirect_batched(
+    fwd: np.ndarray, table: np.ndarray, degree: int, rec
+) -> np.ndarray:
+    """Forward + reverse + backfill bands merged into ``(n, degree)`` rows.
+
+    Every stream entry carries a priority: diversified forward edges
+    first (their pick order), then reverse edges in the serial path's
+    arrival order (source vertex, then source slot), then each vertex's
+    remaining kNN candidates in rank order.  One lexsort dedups each
+    ``(vertex, candidate)`` to its strongest band, a second ranks each
+    vertex's survivors, and a scatter writes the rows.
+    """
+    from repro.graphs.nn_descent import _rank_within_groups
+
+    n, keep = fwd.shape
+    cap = table.shape[1]
+
+    # forward band: priority = pick order
+    w_f = np.repeat(np.arange(n, dtype=np.int64), keep)
+    c_f = fwd.ravel()
+    p_f = np.tile(np.arange(keep, dtype=np.int64), n)
+
+    # reverse band: forward edges enumerated row-major *are* the serial
+    # arrival order, so ranking each target's in-edges by that flat index
+    # reproduces it
+    comp = c_f * np.int64(n * keep) + np.arange(n * keep, dtype=np.int64)
+    order = np.argsort(comp)
+    w_r = c_f[order]
+    c_r = w_f[order]
+    p_r = keep + _rank_within_groups(w_r)
+
+    # backfill band: kNN candidates in rank order, after every reverse edge
+    w_b = np.repeat(np.arange(n, dtype=np.int64), cap)
+    c_b = table.ravel().astype(np.int64)
+    p_b = keep + np.int64(n * keep) + np.tile(np.arange(cap, dtype=np.int64), n)
+    no_self = c_b != w_b
+    w_b, c_b, p_b = w_b[no_self], c_b[no_self], p_b[no_self]
+
+    w_all = np.concatenate([w_f, w_r, w_b])
+    c_all = np.concatenate([c_f, c_r, c_b])
+    p_all = np.concatenate([p_f, p_r, p_b])
+    rec.record_flat_sort(len(w_all), "undirect")
+
+    # dedup each (vertex, candidate) to its strongest band
+    vc = w_all * np.int64(n) + c_all
+    order = np.lexsort((p_all, vc))
+    vc_s, p_s = vc[order], p_all[order]
+    first = np.ones(len(vc_s), dtype=bool)
+    first[1:] = vc_s[1:] != vc_s[:-1]
+    vc_s, p_s = vc_s[first], p_s[first]
+    w_k = vc_s // n
+    c_k = vc_s - w_k * n
+    order = np.lexsort((p_s, w_k))
+    w_k, c_k = w_k[order], c_k[order]
+    rank = _rank_within_groups(w_k)
+    sel = rank < degree
+    out = np.full((n, degree), PAD, dtype=np.int64)
+    out[w_k[sel], rank[sel]] = c_k[sel]
+    return out
+
+
 def build_dpg(
     data: np.ndarray,
     degree: int = 16,
     knn: int = None,
     metric: str = "l2",
     knn_table: np.ndarray = None,
+    build_engine: str = "serial",
+    cost: Optional[object] = None,
 ) -> FixedDegreeGraph:
     """Build a DPG: angular diversification of a kNN graph + undirection.
 
@@ -60,30 +196,75 @@ def build_dpg(
         Candidate-pool size (default ``2 * degree``).
     knn_table:
         Optional precomputed neighbor table.
+    build_engine:
+        ``"serial"`` (default) runs the reference per-vertex loops over
+        an exact brute-force table; ``"batched"`` bootstraps with
+        vectorized NN-descent and runs diversification and undirection
+        as batch kernels.
+    cost:
+        Optional :class:`~repro.simt.build_cost.BuildCostRecorder`; the
+        batched engine records every bulk kernel on it.
     """
+    from repro.graphs.nn_descent import BUILD_ENGINES
+
     data = np.asarray(data)
     if degree < 2:
         raise ValueError("degree must be at least 2")
+    if build_engine not in BUILD_ENGINES:
+        raise ValueError(
+            f"unknown build_engine {build_engine!r}; "
+            f"expected one of {BUILD_ENGINES}"
+        )
     knn = knn or 2 * degree
-    table = (
-        knn_table if knn_table is not None else knn_neighbors(data, knn, metric)
-    )
+    if knn_table is not None:
+        table = np.asarray(knn_table)
+    elif build_engine == "batched":
+        from repro.graphs.nn_descent import nn_descent
+
+        table = nn_descent(data, knn, metric=metric, seed=0, cost=cost)
+    else:
+        table = knn_neighbors(data, knn, metric)
     n = len(data)
     half = max(1, degree // 2)
+
+    if build_engine == "batched":
+        from repro.simt.build_cost import maybe_recorder
+
+        rec = maybe_recorder(cost)
+        fwd = _diversify_batched(
+            np.ascontiguousarray(data, dtype=np.float32), table, half, rec
+        )
+        adjacency = _undirect_batched(fwd, table, degree, rec)
+        rec.record_graph_write(adjacency.size)
+        return FixedDegreeGraph.from_neighbor_array(
+            adjacency, entry_point=medoid(data, metric), validate=False
+        )
+
+    return _build_serial(data, table, degree, half, metric)
+
+
+def _build_serial(
+    data: np.ndarray,
+    table: np.ndarray,
+    degree: int,
+    half: int,
+    metric: str,
+) -> FixedDegreeGraph:
+    """The reference per-vertex DPG pipeline."""
+    n = len(data)
     adjacency: List[List[int]] = []
-    for v in range(n):
+    for v in range(n):  # lint: allow(hot-loop) — serial reference engine
         adjacency.append(_angular_diversify(data, v, table[v], half))
 
     # Undirect: add reverse edges while slots remain.
-    m = get_metric(metric)
-    for v in range(n):
+    for v in range(n):  # lint: allow(hot-loop) — serial reference engine
         for u in adjacency[v]:
             row = adjacency[u]
             if v in row or len(row) >= degree:
                 continue
             row.append(v)
     # Fill any remaining slack with the next-nearest unused kNN candidates.
-    for v in range(n):
+    for v in range(n):  # lint: allow(hot-loop) — serial reference engine
         row = adjacency[v]
         if len(row) >= degree:
             continue
@@ -95,6 +276,6 @@ def build_dpg(
                     break
 
     graph = FixedDegreeGraph(n, degree, entry_point=medoid(data, metric))
-    for v in range(n):
+    for v in range(n):  # lint: allow(hot-loop) — serial reference engine
         graph.set_neighbors(v, adjacency[v][:degree])
     return graph

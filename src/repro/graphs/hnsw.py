@@ -6,16 +6,18 @@ search at layer 0, and the heuristic neighbor-selection rule (keep a
 candidate only if it is closer to the inserted point than to every
 already-kept neighbor) that gives HNSW its pruned, diverse edges.
 
-``build_engine="batched"`` inserts layer-0 points in generation batches:
-levels are pre-drawn (same RNG draw order as the serial build), points
-that land on upper layers go through the serial insert (they mutate the
-small hierarchy), and each generation's layer-0 searches run as one
-lockstep :class:`~repro.core.batched.BatchedSongSearcher` batch seeded
-per-lane from the serial greedy descents.  Neighbor selection and
-back-link pruning use a precomputed pairwise-distance matrix instead of
-per-pair ``metric.single`` calls.  Points within a generation do not see
-each other, so the batched graph is recall-equivalent, not identical, to
-the serial one (tested in ``tests/test_graph_quality.py``).
+``build_engine="batched"`` inserts points in generation batches, batched
+per (layer, generation): levels are pre-drawn (same RNG draw order as
+the serial build), every lane descends the upper hierarchy in a
+vectorized lockstep hill-climb, and each layer's insertions — upper
+layers now included, not just layer 0 — run as one lockstep
+:class:`~repro.core.batched.BatchedSongSearcher` sweep seeded per-lane
+from the descent.  Neighbor selection and back-link pruning use a
+precomputed pairwise-distance matrix instead of per-pair
+``metric.single`` calls.  Points within a generation search
+pre-generation snapshots and do not see each other, so the batched graph
+is recall-equivalent, not identical, to the serial one (tested in
+``tests/test_graph_quality.py``); level assignment is bit-identical.
 """
 
 from __future__ import annotations
@@ -159,66 +161,139 @@ class HNSWIndex:
 
     def _build_batched(self, levels: List[int]) -> None:
         """Generation-batch insertion (see module docstring)."""
-        from repro.core.batched import BatchedSongSearcher
-        from repro.core.config import SearchConfig
-
         n = len(self.data)
         if n == 0:
             return
         data32 = np.ascontiguousarray(self.data, dtype=np.float32)
-        ef = self.ef_construction
+        lvl_arr = np.asarray(levels, dtype=np.int64)
         self._insert(0, levels[0])
         pos = 1
         while pos < n:
             size = min(n - pos, max(_MIN_GENERATION, pos), self.insert_batch)
-            batch = range(pos, pos + size)
-            base = [v for v in batch if levels[v] == 0]
-            # upper-layer points (~1/m of inserts) mutate the small
-            # hierarchy — run them through the serial path first
-            for v in batch:
-                if levels[v] > 0:
-                    self._insert(v, levels[v])
-            if base:
-                entries = np.empty(len(base), dtype=np.int64)
-                top = self._levels[self.entry_point]
-                # per-point greedy descent through the tiny upper
-                # hierarchy (~n/m points) is inherently sequential
-                for i, v in enumerate(base):  # lint: allow(hot-loop)
-                    ep = self.entry_point
-                    for l in range(top, 0, -1):  # lint: allow(hot-loop)
-                        ep = self._greedy_closest(self.data[v], ep, l)
-                    entries[i] = ep
-                layer0 = self._layers[0]
-                snapshot = FixedDegreeGraph.from_adjacency(
-                    [layer0.get(v, ()) for v in range(n)],
-                    entry_point=self.entry_point,
-                    validate=False,
-                )
-                searcher = BatchedSongSearcher(snapshot, data32)
-                config = SearchConfig(
-                    k=ef, queue_size=ef, metric=self.metric.name
-                )
-                results = searcher.search_batch(
-                    data32[base], config, entry_points=entries
-                )
-                for v, cands in zip(base, results):
-                    self._link_base(v, cands)
+            batch = np.arange(pos, pos + size, dtype=np.int64)
+            self._insert_generation(batch, lvl_arr[batch], data32)
             pos += size
 
-    def _link_base(self, v: int, cands: List[Tuple[float, int]]) -> None:
-        """Connect a layer-0 point from its batch search results."""
+    def _insert_generation(
+        self, batch: np.ndarray, lvls: np.ndarray, data32: np.ndarray
+    ) -> None:
+        """Insert one generation, batched per layer.
+
+        Every lane descends the upper hierarchy in a lockstep vectorized
+        hill-climb (:meth:`_greedy_batch`), then — per layer, from its
+        insertion level down — joins that layer's lockstep
+        :class:`~repro.core.batched.BatchedSongSearcher` sweep and links
+        from its results.  Lanes within a generation search pre-generation
+        snapshots, so they do not see each other; the entry point updates
+        after the generation with the serial running-max rule.
+        """
+        from repro.core.batched import BatchedSongSearcher
+        from repro.core.config import SearchConfig
+
+        n = len(data32)
+        old_top = self._levels[self.entry_point]
+        top_new = int(max(lvls.max(), old_top))
+        while len(self._layers) <= top_new:
+            self._layers.append({})
+        # register membership for every (vertex, layer) pair up front;
+        # layers above the current top stay empty rows, like the serial
+        # path, because no search runs there yet
+        l = top_new
+        while l >= 0:
+            self._layers[l].update({int(v): [] for v in batch[lvls >= l]})
+            l -= 1
+
+        eps = np.full(len(batch), self.entry_point, dtype=np.int64)
+        queries = data32[batch]
+        config = SearchConfig(
+            k=self.ef_construction,
+            queue_size=self.ef_construction,
+            metric=self.metric.name,
+        )
+        l = old_top
+        while l >= 0:
+            inserting = lvls >= l
+            snapshot = FixedDegreeGraph.from_adjacency(
+                [self._layers[l].get(v, ()) for v in range(n)],
+                entry_point=self.entry_point,
+                validate=False,
+            )
+            if l > 0 and not inserting.all():
+                idx = np.nonzero(~inserting)[0]
+                eps[idx] = self._greedy_batch(
+                    snapshot.adjacency_array, queries[idx], eps[idx], data32
+                )
+            if inserting.any():
+                idx = np.nonzero(inserting)[0]
+                searcher = BatchedSongSearcher(snapshot, data32)
+                results = searcher.search_batch(
+                    queries[idx], config, entry_points=eps[idx]
+                )
+                max_deg = self.m0 if l == 0 else self.m
+                for lane, v, cands in zip(idx, batch[inserting], results):
+                    self._link(int(v), cands, l, max_deg)
+                    if cands:
+                        eps[lane] = cands[0][1]
+            l -= 1
+        # serial running-max entry update: the last point whose level
+        # strictly beats every earlier level (and the old top) wins
+        prefix = np.maximum.accumulate(np.concatenate(([old_top], lvls)))[:-1]
+        winners = np.nonzero(lvls > prefix)[0]
+        if len(winners):
+            self.entry_point = int(batch[winners[-1]])
+
+    def _greedy_batch(
+        self,
+        adj: np.ndarray,
+        queries: np.ndarray,
+        eps: np.ndarray,
+        data32: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized greedy hill-climb for many lanes on one layer.
+
+        Each round gathers every active lane's current adjacency row,
+        evaluates the whole panel with one fused
+        :meth:`~repro.distances.metrics.Metric.batch_many`, and moves
+        lanes to their best neighbor while it improves — the lockstep
+        twin of :meth:`_greedy_closest` (same local-minimum guarantee,
+        possibly a different climb path).
+        """
+        cur = eps.astype(np.int64, copy=True)
+        if not len(cur):
+            return cur
+        cur_d = self.metric.batch_many(queries, data32[cur][:, None, :])[:, 0]
+        active = np.ones(len(cur), dtype=bool)
+        while active.any():
+            act_idx = np.nonzero(active)[0]
+            rows = adj[cur[act_idx]]
+            panel = data32[np.maximum(rows, 0)]
+            d = self.metric.batch_many(queries[act_idx], panel)
+            d = np.where(rows < 0, np.inf, d)
+            j = np.argmin(d, axis=1)
+            best = d[np.arange(len(j)), j]
+            improved = best < cur_d[act_idx]
+            upd = act_idx[improved]
+            cur[upd] = rows[np.arange(len(j)), j][improved]
+            cur_d[upd] = best[improved]
+            active[act_idx[~improved]] = False
+        return cur
+
+    def _link(
+        self, v: int, cands: List[Tuple[float, int]], layer: int, max_deg: int
+    ) -> None:
+        """Connect an inserted point on one layer from its batch results."""
         if not cands:
-            self._layers[0][v] = []
+            self._layers[layer][v] = []
             return
         ids = [u for _, u in cands]
         dists = np.array([d for d, _ in cands])
         keep = self._select_indices(dists, self._pairwise(ids), self.m)
-        self._layers[0][v] = [ids[i] for i in keep]
+        self._layers[layer][v] = [ids[i] for i in keep]
         for i in keep:
-            row = self._layers[0][ids[i]]
+            row = self._layers[layer][ids[i]]
             row.append(v)
-            if len(row) > self.m0:
-                self._reselect_row(ids[i], 0, self.m0)
+            if len(row) > max_deg:
+                self._reselect_row(ids[i], layer, max_deg)
 
     def _reselect_row(self, u: int, layer: int, max_deg: int) -> None:
         """Trim an overfull row with the heuristic, vectorized."""

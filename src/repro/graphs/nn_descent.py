@@ -82,6 +82,7 @@ def nn_descent(
     build_engine: str = "batched",
     max_candidates: Optional[int] = None,
     stats: Optional[dict] = None,
+    cost=None,
 ) -> np.ndarray:
     """Return an ``(n, k)`` approximate kNN table.
 
@@ -112,6 +113,10 @@ def nn_descent(
     stats:
         Batched engine only: pass a dict to receive per-round
         diagnostics (``caps``, ``max_list_len``, ``capped_vertices``).
+    cost:
+        Batched engine only: optional
+        :class:`~repro.simt.build_cost.BuildCostRecorder` capturing the
+        construction kernels for the SIMT cost model.
     """
     n = len(data)
     if k >= n:
@@ -123,7 +128,16 @@ def nn_descent(
     if build_engine == "serial":
         return _nn_descent_serial(data, k, metric, max_iters, sample_rate, delta, seed)
     return _nn_descent_batched(
-        data, k, metric, max_iters, sample_rate, delta, seed, max_candidates, stats
+        data,
+        k,
+        metric,
+        max_iters,
+        sample_rate,
+        delta,
+        seed,
+        max_candidates,
+        stats,
+        cost,
     )
 
 
@@ -140,7 +154,11 @@ def _nn_descent_batched(
     seed: int,
     max_candidates: Optional[int],
     stats: Optional[dict],
+    cost=None,
 ) -> np.ndarray:
+    from repro.simt.build_cost import maybe_recorder
+
+    rec = maybe_recorder(cost)
     n = len(data)
     data = np.ascontiguousarray(np.asarray(data), dtype=np.float32)
     rng = np.random.default_rng(seed)
@@ -158,6 +176,8 @@ def _nn_descent_batched(
         stats.setdefault("capped_vertices", [])
 
     keys, flags = _init_pools(data, k, m, rng, norms)
+    dim = data.shape[1]
+    rec.record_distances(n * k, m.flops_per_distance(dim), dim, "init-pools")
 
     for _ in range(max_iters):  # lint: allow(hot-loop) — bounded round loop
         ids = unpack_ids(keys)
@@ -199,6 +219,7 @@ def _nn_descent_batched(
         # the stream and carry identical keys, so `_best_candidates`'
         # dedup absorbs them — cheaper than a global sort-unique here.
         dists = _pair_distances(data, p1, p2, m, pair_cache)
+        rec.record_distances(len(p1), m.flops_per_distance(dim), dim, "join-dist")
 
         # Every pair tries to enter both endpoints' pools.  Apply the
         # serial reject rule (``dist >= heap[-1][0]``) against the
@@ -213,7 +234,9 @@ def _nn_descent_batched(
         if not len(tgt):
             break
         cand_mat = _best_candidates(tgt, pack_keys(both, cand), n, k)
+        rec.record_flat_sort(len(tgt), "join-rank")
         keys, flags, inserted = _merge_rows(keys, flags, cand_mat)
+        rec.record_sort(n, 2 * k, "pool-merge")
         if int(inserted.sum()) <= delta * n * k:
             break
 

@@ -67,6 +67,53 @@ def compute_stats(graph: FixedDegreeGraph) -> GraphStats:
     )
 
 
+def degree_distribution(
+    graph: FixedDegreeGraph, percentiles=(10, 50, 90, 100)
+) -> Dict[str, float]:
+    """Out-degree distribution summary of the adjacency rows.
+
+    Returns the mean out-degree, the requested percentiles (``p10`` /
+    ``p50`` / ... keys), and ``saturated`` — the fraction of rows filled
+    to the degree limit.  A pruning builder that saturates every row
+    wastes no slots; a bootstrap-only graph shows a narrow spike.
+    """
+    from repro.graphs.storage import PAD
+
+    adjacency = graph.adjacency_array
+    degrees = (adjacency != PAD).sum(axis=1)
+    out: Dict[str, float] = {"mean": float(degrees.mean())}
+    for p in percentiles:
+        out[f"p{p}"] = float(np.percentile(degrees, p))
+    out["saturated"] = float((degrees == graph.degree).mean())
+    return out
+
+
+def reverse_edge_coverage(graph: FixedDegreeGraph) -> float:
+    """Fraction of directed edges whose reverse edge is also present.
+
+    Computed over the flat edge list with one sorted membership test:
+    edge ``(v, u)`` is covered when ``(u, v)`` exists.  Symmetric graphs
+    (DPG after undirection, CAGRA after the reverse merge) score near
+    1.0; a raw kNN table typically sits far below — the asymmetry those
+    builders' reverse passes exist to fix.
+    """
+    from repro.graphs.storage import PAD
+
+    adjacency = graph.adjacency_array
+    n = graph.num_vertices
+    src = np.repeat(np.arange(n, dtype=np.int64), adjacency.shape[1])
+    dst = adjacency.ravel().astype(np.int64)
+    valid = dst != PAD
+    src, dst = src[valid], dst[valid]
+    if not len(src):
+        return 0.0
+    fwd = np.sort(src * n + dst)
+    rev = dst * n + src
+    pos = np.searchsorted(fwd, rev)
+    np.minimum(pos, len(fwd) - 1, out=pos)
+    return float((fwd[pos] == rev).mean())
+
+
 def edge_length_percentiles(
     graph: FixedDegreeGraph,
     data: np.ndarray,

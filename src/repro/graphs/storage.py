@@ -78,6 +78,48 @@ class FixedDegreeGraph:
             graph.set_neighbors(v, list(neighbors)[:degree])
         return graph
 
+    @classmethod
+    def from_neighbor_array(
+        cls,
+        neighbors: np.ndarray,
+        entry_point: int = 0,
+        validate: bool = True,
+    ) -> "FixedDegreeGraph":
+        """Build from a padded ``(n, degree)`` neighbor-id array.
+
+        The fully vectorized constructor used by the batched builders:
+        ``neighbors`` holds ids with ``PAD`` (-1) in the unused tail of
+        each row (real entries must precede the padding).  ``validate``
+        runs the same range/self-loop/duplicate checks as
+        :meth:`set_neighbors`, in one vectorized pass.
+        """
+        neighbors = np.asarray(neighbors)
+        if neighbors.ndim != 2:
+            raise ValueError("neighbors must be a 2-d (n, degree) array")
+        n, degree = neighbors.shape
+        graph = cls(n, max(1, degree), entry_point)
+        adj = neighbors.astype(np.int32, copy=True)
+        valid = adj != PAD
+        counts = valid.sum(axis=1).astype(np.int32)
+        if validate:
+            cols = np.arange(degree, dtype=np.int32)[None, :]
+            if not np.array_equal(valid, cols < counts[:, None]):
+                raise ValueError("real entries must precede the PAD tail")
+            ids = adj[valid]
+            if len(ids) and (ids.min() < 0 or ids.max() >= n):
+                raise ValueError("neighbor id out of range")
+            owners = np.repeat(np.arange(n, dtype=np.int32), counts)
+            if np.any(ids == owners):
+                raise ValueError("self-loops are not allowed")
+            comp = owners.astype(np.int64) * n + ids
+            comp.sort()
+            if len(comp) > 1 and np.any(comp[1:] == comp[:-1]):
+                raise ValueError("duplicate neighbors within a row")
+        adj[~valid] = PAD
+        graph._adj = np.ascontiguousarray(adj)
+        graph._counts = counts
+        return graph
+
     def set_neighbors(self, vertex: int, neighbors: Iterable[int]) -> None:
         """Replace the adjacency row of ``vertex``."""
         row = list(neighbors)

@@ -21,6 +21,7 @@ from repro.simt.memory import MemorySpace, SharedMemoryBudget
 from repro.simt.warp import Warp
 from repro.simt.kernel import KernelLauncher, KernelResult
 from repro.simt.cost import CostModel
+from repro.simt.build_cost import BuildCostRecorder, BuildPhaseCost
 from repro.simt.profiler import StageProfiler
 from repro.simt.simulator import SMSimulator, WarpSimulator
 from repro.simt.streams import (
@@ -50,5 +51,7 @@ __all__ = [
     "KernelLauncher",
     "KernelResult",
     "CostModel",
+    "BuildCostRecorder",
+    "BuildPhaseCost",
     "StageProfiler",
 ]

@@ -60,13 +60,52 @@ class CostModel:
         """
         if not len(warp_cycles):
             return 0.0
+        return self._kernel_time(
+            num_groups=len(warp_cycles),
+            total_cycles=float(sum(warp_cycles)),
+            longest=float(max(warp_cycles)),
+            total_global_bytes=total_global_bytes,
+            shared_bytes_per_warp=shared_bytes_per_warp,
+            warps_per_group=warps_per_group,
+        )
+
+    def kernel_time_uniform(
+        self,
+        per_warp_cycles: float,
+        num_warps: int,
+        total_global_bytes: int,
+        shared_bytes_per_warp: int = 0,
+        warps_per_group: int = 1,
+    ) -> float:
+        """:meth:`kernel_time` for ``num_warps`` identical warp groups.
+
+        Construction kernels launch one warp per row/pair tile, so the
+        per-group cycle counts are uniform by design; this avoids
+        materializing a million-entry cycle list just to sum it.
+        """
+        if num_warps <= 0 or per_warp_cycles <= 0:
+            return 0.0
+        return self._kernel_time(
+            num_groups=num_warps,
+            total_cycles=per_warp_cycles * num_warps,
+            longest=per_warp_cycles,
+            total_global_bytes=total_global_bytes,
+            shared_bytes_per_warp=shared_bytes_per_warp,
+            warps_per_group=warps_per_group,
+        )
+
+    def _kernel_time(
+        self,
+        num_groups: int,
+        total_cycles: float,
+        longest: float,
+        total_global_bytes: int,
+        shared_bytes_per_warp: int,
+        warps_per_group: int,
+    ) -> float:
         if warps_per_group <= 0:
             raise ValueError("warps_per_group must be positive")
         device = self.device
-        num_groups = len(warp_cycles)
-        total_cycles = float(sum(warp_cycles))
-        longest = float(max(warp_cycles))
-
         by_shared = self.occupancy_warps_per_sm(shared_bytes_per_warp)
         groups_per_sm = max(
             1, min(device.max_warps_per_sm // warps_per_group, by_shared)

@@ -49,6 +49,31 @@ class TestParser:
                  "--build-engine", "gpu"]
             )
 
+    def test_graph_flag_accepts_every_family(self):
+        from repro.core.config import GRAPH_TYPES
+
+        for graph in GRAPH_TYPES:
+            args = build_parser().parse_args(
+                ["build", "--dataset", "sift", "--out", "x.npz",
+                 "--graph", graph]
+            )
+            assert args.graph == graph
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["build", "--dataset", "sift", "--out", "x.npz",
+                 "--graph", "bogus"]
+            )
+
+    def test_serving_graph_flag(self):
+        args = build_parser().parse_args(
+            ["serve", "--dataset", "sift", "--graph", "cagra",
+             "--build-engine", "batched"]
+        )
+        assert args.graph == "cagra"
+        assert args.build_engine == "batched"
+        args = build_parser().parse_args(["loadtest", "--dataset", "sift"])
+        assert args.graph == "nsw"
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -91,6 +116,31 @@ class TestCommands:
              "--index", index_path, "--k", "5", "--queue", "30"]
         )
         assert rc == 0
+
+    def test_build_cagra_roundtrip(self, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        rc = main(
+            ["build", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--out", index_path, "--graph", "cagra",
+             "--build-engine", "batched", "--degree", "8"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cagra" in out
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--index", index_path, "--k", "5", "--queue", "30"]
+        )
+        assert rc == 0
+
+    def test_build_dpg(self, tmp_path, capsys):
+        index_path = str(tmp_path / "idx.npz")
+        rc = main(
+            ["build", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--out", index_path, "--graph", "dpg", "--degree", "8"]
+        )
+        assert rc == 0
+        assert "dpg" in capsys.readouterr().out
 
     def test_search_index_mismatch_errors(self, tmp_path, capsys):
         index_path = str(tmp_path / "idx.npz")

@@ -101,6 +101,15 @@ class TestBuildConfig:
         with pytest.raises(ValueError):
             BuildConfig(engine="gpu")
 
+    def test_graph_type_whitelist(self):
+        from repro.core.config import GRAPH_TYPES, BuildConfig
+
+        assert "cagra" in GRAPH_TYPES
+        for graph_type in GRAPH_TYPES:
+            BuildConfig(graph_type=graph_type)  # ok
+        with pytest.raises(ValueError):
+            BuildConfig(graph_type="voronoi")
+
     def test_insert_batch_positive(self):
         from repro.core.config import BuildConfig
 

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.graphs.stats import bfs_hops, compute_stats, edge_length_percentiles
+from repro.graphs.stats import (
+    bfs_hops,
+    compute_stats,
+    degree_distribution,
+    edge_length_percentiles,
+    reverse_edge_coverage,
+)
 from repro.graphs.storage import FixedDegreeGraph
 
 
@@ -59,3 +65,37 @@ class TestEdgeLengths:
         a = edge_length_percentiles(small_graph, small_dataset.data, sample=100, seed=1)
         b = edge_length_percentiles(small_graph, small_dataset.data, sample=100, seed=1)
         assert a == b
+
+
+class TestDegreeDistribution:
+    def test_chain_degrees(self, chain_graph):
+        d = degree_distribution(chain_graph)
+        assert d["mean"] == pytest.approx(0.75)
+        assert d["p100"] == 1.0
+        # three of four rows are filled to the degree-1 limit
+        assert d["saturated"] == pytest.approx(0.75)
+
+    def test_saturated_graph(self, small_graph):
+        d = degree_distribution(small_graph)
+        assert 0.0 < d["mean"] <= small_graph.degree
+        assert d["p10"] <= d["p50"] <= d["p90"] <= d["p100"]
+
+
+class TestReverseEdgeCoverage:
+    def test_directed_chain_uncovered(self, chain_graph):
+        assert reverse_edge_coverage(chain_graph) == 0.0
+
+    def test_symmetric_cycle_covered(self):
+        g = FixedDegreeGraph.from_adjacency(
+            [[1, 2], [0, 2], [0, 1]], degree=2
+        )
+        assert reverse_edge_coverage(g) == 1.0
+
+    def test_mixed(self):
+        # 0<->1 covered both ways; 2->0 one way only
+        g = FixedDegreeGraph.from_adjacency([[1], [0], [0]], degree=1)
+        assert reverse_edge_coverage(g) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        g = FixedDegreeGraph.from_adjacency([[], []], degree=1)
+        assert reverse_edge_coverage(g) == 0.0

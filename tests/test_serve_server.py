@@ -241,6 +241,26 @@ class TestShardedServing:
         assert "slowest_shard_counts" in metrics["replicas"][0]
 
 
+class TestBuildFromData:
+    def test_serves_any_graph_family(self, served):
+        from repro.core.config import BuildConfig
+        from repro.serve import build_server_from_data
+
+        ds, _ = served
+        cfg = make_config()
+        build = BuildConfig(graph_type="cagra", engine="batched")
+        report = run_loadtest(
+            lambda: build_server_from_data(ds.data, cfg, build=build, degree=8),
+            ds.queries,
+            rate_qps=50_000,
+            num_requests=60,
+            seed=3,
+            ground_truth=ds.ground_truth(10),
+        )
+        assert report.completed == 60
+        assert report.recall is not None and report.recall > 0.8
+
+
 class TestMetricsExport:
     def test_metrics_dict_is_json_serializable(self, served):
         import json
