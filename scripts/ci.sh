@@ -17,12 +17,27 @@ python -m repro.analysis --strict
 # plus the Theorem 1-3 search-invariant proofs.
 python -m repro.analysis --verify --strict
 
+# Array-program verifier: shape/dtype/overflow abstract interpretation
+# of every @array_kernel host kernel + the nondeterminism sweep, against
+# the committed findings baseline (currently empty).
+python -m repro.analysis --arrays-only --strict \
+    --baseline scripts/analysis_baseline.json
+
 # Negative control: the verify gate must FAIL on the known-bad fixture
 # kernels and the known-bad stream program (missing event deps), or the
 # proof obligations are not actually being checked.
 if python -m repro.analysis --verify-only --strict --include-known-bad \
         >/dev/null 2>&1; then
     echo "ci: verifier accepted the known-bad kernels — gate is broken" >&2
+    exit 1
+fi
+
+# Same negative control for the array verifier: the known-bad array
+# fixtures (packed-key overflow, aliased scatter, unstable tie-break,
+# broadcast mismatch, OOB gather) must each fail the strict gate.
+if python -m repro.analysis --arrays-only --strict --include-known-bad \
+        >/dev/null 2>&1; then
+    echo "ci: array verifier accepted the known-bad kernels — gate is broken" >&2
     exit 1
 fi
 

@@ -15,12 +15,29 @@ Two engines, both runnable as ``python -m repro.analysis`` and gated in
   ``--verify``) abstractly interprets every registered kernel — proving
   memory bounds, termination, divergence safety and static cost bounds
   for *all* inputs — and checks SONG's Theorem 1–3 data-structure
-  invariants against the real search loop.
+  invariants against the real search loop;
+* the **array-program verifier** (:mod:`repro.analysis.arrays`, opt-in
+  via ``--arrays``) abstractly interprets the vectorized *host* kernels
+  decorated ``@array_kernel`` over a symbolic-shape / dtype / interval
+  domain — proving packed-key dtype bounds (with smallest concrete
+  counterexamples when they fail), broadcast compatibility, fancy-index
+  bounds, scatter aliasing safety, and determinism of tie-breaking —
+  plus a syntactic nondeterminism sweep over hot modules and ``serve/``.
 
-See DESIGN.md Section 9 for the hazard taxonomy and rule catalogue, and
-Section 10 for the abstract domains and invariant encodings.
+See DESIGN.md Section 9 for the hazard taxonomy and rule catalogue,
+Section 10 for the SIMT abstract domains and invariant encodings, and
+Section 14 for the array verifier's domains and soundness caveats.
 """
 
+from repro.analysis.arrays import (
+    ANNOTATED_MODULES,
+    ARRAY_RULES,
+    NONDET_RULES,
+    analyze_kernel,
+    check_arrays,
+    find_counterexample,
+    verify_array_kernels,
+)
 from repro.analysis.findings import Finding, Severity, split_by_severity, worst_severity
 from repro.analysis.lint import HOT_MARKER, LINT_RULES, lint_paths, lint_source, lint_tree
 from repro.analysis.registry import (
@@ -86,4 +103,11 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "lint_tree",
+    "ANNOTATED_MODULES",
+    "ARRAY_RULES",
+    "NONDET_RULES",
+    "analyze_kernel",
+    "check_arrays",
+    "find_counterexample",
+    "verify_array_kernels",
 ]

@@ -9,12 +9,20 @@ exits non-zero when findings gate the build:
 * exit 1 if any ``error``-severity finding is present;
 * with ``--strict``, ``warning`` findings also fail (the CI setting).
 
-``--sanitize-only`` / ``--lint-only`` / ``--verify-only`` restrict to
-one engine; ``--json`` emits machine-readable findings instead of text,
-sorted by (severity, location, rule, message) so reports are
-deterministic across runs.  ``--include-known-bad`` adds the
-deliberately broken fixture kernels to the verify set — the negative
-control ci.sh uses to prove the gate actually fails.
+``--arrays`` adds the array-program verifier — abstract interpretation
+of every ``@array_kernel``-annotated host kernel (symbolic shapes,
+dtype lattice, value intervals; packed-key overflow proofs with
+concrete counterexamples) plus the syntactic nondeterminism sweep over
+hot-marked modules and ``serve/``.  ``--baseline FILE`` suppresses
+accepted array findings and flags stale suppressions.
+
+``--sanitize-only`` / ``--lint-only`` / ``--verify-only`` /
+``--arrays-only`` restrict to one engine; ``--json`` emits
+machine-readable findings instead of text, sorted by (severity,
+location, rule, message) so reports are deterministic across runs.
+``--include-known-bad`` adds the deliberately broken fixture kernels to
+the verify and arrays sets — the negative control ci.sh uses to prove
+the gates actually fail.
 """
 
 from __future__ import annotations
@@ -45,8 +53,10 @@ def run_analysis(
     sanitize: bool = True,
     lint: bool = True,
     verify: bool = False,
+    arrays: bool = False,
     include_known_bad: bool = False,
     lint_root: Optional[Path] = None,
+    baseline: Optional[Path] = None,
 ) -> "tuple[List[Finding], int]":
     """Run the selected engines; returns ``(findings, exit_code)``."""
     findings: List[Finding] = []
@@ -68,6 +78,14 @@ def run_analysis(
         findings.extend(check_all_invariants())
         findings.extend(
             check_stream_programs(include_known_bad=include_known_bad)
+        )
+    if arrays:
+        from repro.analysis.arrays import check_arrays
+
+        findings.extend(
+            check_arrays(
+                include_known_bad=include_known_bad, baseline=baseline
+            )
         )
     findings.sort(key=_finding_sort_key)
     errors, warnings = split_by_severity(findings)
@@ -95,6 +113,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         "registered kernel + Theorem 1-3 invariant checks)",
     )
     parser.add_argument(
+        "--arrays",
+        action="store_true",
+        help="also run the array-program verifier (shape/dtype/overflow "
+        "abstract interpretation of @array_kernel hosts + nondet sweep)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="findings-baseline JSON for the array verifier "
+        '({"suppress": [{"rule", "location"}]}); stale entries warn',
+    )
+    parser.add_argument(
         "--include-known-bad",
         action="store_true",
         help="verify the known-bad fixture kernels too (negative CI control; "
@@ -114,6 +145,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run only the static verifier",
     )
+    engine.add_argument(
+        "--arrays-only",
+        action="store_true",
+        help="run only the array-program verifier",
+    )
     parser.add_argument(
         "--lint-root",
         type=Path,
@@ -122,14 +158,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    only = args.sanitize_only or args.lint_only or args.verify_only
+    only = (
+        args.sanitize_only
+        or args.lint_only
+        or args.verify_only
+        or args.arrays_only
+    )
     findings, code = run_analysis(
         strict=args.strict,
         sanitize=args.sanitize_only or not only,
         lint=args.lint_only or not only,
         verify=args.verify_only or ((not only) and args.verify),
+        arrays=args.arrays_only or ((not only) and args.arrays),
         include_known_bad=args.include_known_bad,
         lint_root=args.lint_root,
+        baseline=args.baseline,
     )
     errors, warnings = split_by_severity(findings)
     if args.json:

@@ -1,0 +1,61 @@
+"""Dtype lattice for the array verifier.
+
+Thin wrapper over numpy's own promotion rules (``np.result_type`` under
+NEP 50 value-independent promotion, which is what the analyzed kernels
+run under): a dtype is a numpy dtype name or ``None`` for a *weak*
+python scalar (adopts the other operand's dtype, exactly as NEP 50
+does).  Integer dtypes expose their representable range so the overflow
+checker can compare symbolic value bounds against ``iinfo`` limits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "promote",
+    "int_range",
+    "is_integer",
+    "is_float",
+    "is_bool",
+    "normalize",
+]
+
+
+def normalize(name: str) -> str:
+    """Canonical dtype name (``"int"`` -> ``"int64"`` etc.)."""
+    return np.dtype(name).name
+
+
+def promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """NEP 50 result dtype of a binary op; ``None`` = weak python scalar."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return np.result_type(np.dtype(a), np.dtype(b)).name
+
+
+def is_integer(name: Optional[str]) -> bool:
+    return name is not None and np.issubdtype(np.dtype(name), np.integer)
+
+
+def is_float(name: Optional[str]) -> bool:
+    return name is not None and np.issubdtype(np.dtype(name), np.floating)
+
+
+def is_bool(name: Optional[str]) -> bool:
+    return name is not None and np.dtype(name) == np.dtype(bool)
+
+
+def int_range(name: str) -> Optional[Tuple[int, int]]:
+    """``(min, max)`` representable for an integer dtype, else ``None``."""
+    dtype = np.dtype(name)
+    if np.issubdtype(dtype, np.integer):
+        info = np.iinfo(dtype)
+        return int(info.min), int(info.max)
+    if dtype == np.dtype(bool):
+        return 0, 1
+    return None

@@ -1,0 +1,100 @@
+"""Known-bad kernels exercising each array-verifier rule.
+
+These register under the ``known-bad`` annotation registry, so they are
+invisible to the default analysis run; ``--include-known-bad`` (and the
+negative-control step in ``scripts/ci.sh``) pulls them in and asserts
+the verifier still catches every seeded defect.  Each fixture is a
+minimal, *runnable* kernel whose bug class appears in real array code:
+
+``bad_pack_overflow``
+    ``row * n + id`` packing with ``n`` admitted up to ``2**32`` —
+    overflows int64 from ``n = 3037000500`` (≈ ``2**31.5``) upward.
+``bad_aliased_scatter``
+    ``out[idx] += val`` with a duplicate-bearing index: numpy's
+    unbuffered read-modify-write drops all but one contribution.
+``bad_unstable_tiebreak``
+    bare ``np.argsort`` over non-distinct keys: tie order (and any
+    downstream selection) is backend-dependent.
+``bad_broadcast``
+    elementwise op over provably incompatible dims (``n`` vs ``k``).
+``bad_oob_gather``
+    gather whose declared index bound reaches one past the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.annotations import arr, array_kernel, scalar
+
+_REGISTRY = "known-bad"
+
+
+@array_kernel(
+    params={"n": (1, 2**32)},
+    args={
+        "rows": arr("E", lo=0, hi="n-1"),
+        "ids": arr("E", lo=0, hi="n-1"),
+        "n": scalar("n"),
+    },
+    returns=[arr("E", dtype="int64")],
+    registry=_REGISTRY,
+)
+def bad_pack_overflow(rows: np.ndarray, ids: np.ndarray, n: int) -> np.ndarray:
+    """Packed key whose admitted ``n`` range overflows int64."""
+    return rows * np.int64(n) + ids
+
+
+@array_kernel(
+    params={"n": (2, 2**20), "E": (2, 2**20)},
+    args={
+        "idx": arr("E", lo=0, hi="n-1"),
+        "val": arr("E", dtype="float64"),
+        "out": arr("n", dtype="float64"),
+    },
+    returns=[arr("n", dtype="float64")],
+    registry=_REGISTRY,
+)
+def bad_aliased_scatter(idx: np.ndarray, val: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """In-place scatter-add through a possibly-duplicated index."""
+    out[idx] += val
+    return out
+
+
+@array_kernel(
+    params={"E": (2, 2**20)},
+    args={"keys": arr("E", lo=0, hi="E-1")},
+    returns=[arr("E", dtype="int64")],
+    registry=_REGISTRY,
+)
+def bad_unstable_tiebreak(keys: np.ndarray) -> np.ndarray:
+    """Bare argsort on keys that may contain duplicates."""
+    return np.argsort(keys)
+
+
+@array_kernel(
+    params={"n": (1, 2**20), "k": (1, 2**20)},
+    args={
+        "a": arr("n", dtype="float64"),
+        "b": arr("k", dtype="float64"),
+    },
+    returns=[arr("n", dtype="float64")],
+    registry=_REGISTRY,
+)
+def bad_broadcast(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise sum of provably incompatible extents."""
+    return a + b
+
+
+@array_kernel(
+    params={"n": (1, 2**20), "E": (1, 2**20)},
+    args={
+        "data": arr("n", dtype="float64"),
+        "idx": arr("E", lo=0, hi="n"),
+    },
+    returns=[arr("E", dtype="float64")],
+    registry=_REGISTRY,
+)
+def bad_oob_gather(data: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Gather whose declared index bound reaches one past the end."""
+    return data[idx]

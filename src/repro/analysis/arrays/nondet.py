@@ -1,0 +1,210 @@
+"""Syntactic nondeterminism pass (the verifier's fifth checker).
+
+Value-aware tie analysis lives in the abstract interpreter (a bare
+``argsort`` inside a decorated kernel is *proved* safe or flagged based
+on the keys' uniqueness).  Everything outside the decorated kernels gets
+this cheaper syntactic sweep over the hot-marked modules and the serving
+layer, where run-to-run divergence either corrupts reproducibility
+experiments or breaks the replay harness:
+
+``nondet-sort``
+    ``argsort`` (function or method) without ``kind="stable"`` /
+    ``"mergesort"``.  Tie order under the default introsort depends on
+    the partition schedule, so equal keys permute between runs and
+    platforms.  ``lexsort`` is stable by contract and exempt; plain
+    value sorts are deterministic regardless of stability (ties are
+    equal values) and not flagged.
+``nondet-rng``
+    The legacy global-state ``np.random.*`` API (seeded or not, it is
+    shared mutable state across the process) and ``default_rng()``
+    called without a seed.
+``nondet-clock``
+    Wall-clock reads (``time.time`` / ``perf_counter`` / ``monotonic``,
+    ``datetime.now`` / ``utcnow``) — the serving layer must route time
+    through its injectable ``Clock`` so replay tests stay exact.
+
+Lines inside ``@array_kernel``-decorated functions are excluded when
+the caller supplies their spans (see :func:`kernel_spans`); the
+``# lint: allow(nondet-*)`` escape hatch works like the hot-path lint's.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.lint import HOT_MARKER, _allow_map, _FunctionLines
+from repro.annotations import iter_array_annotations
+
+__all__ = ["NONDET_RULES", "kernel_spans", "scan_source", "scan_paths"]
+
+NONDET_RULES = ("nondet-sort", "nondet-rng", "nondet-clock")
+
+#: Sort kinds with a stability guarantee (ties keep input order).
+_STABLE_KINDS = {"stable", "mergesort"}
+
+#: Legacy np.random attributes backed by the shared global BitGenerator.
+_LEGACY_RNG = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "seed", "uniform", "normal", "standard_normal",
+}
+
+#: (module-ish name, attribute) pairs that read the wall clock.
+_CLOCK_READS = {
+    ("time", "time"), ("time", "perf_counter"), ("time", "monotonic"),
+    ("time", "process_time"), ("time", "clock_gettime"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("date", "today"),
+}
+
+
+def kernel_spans(registries: Sequence[str] = ("default", "known-bad")) -> Dict[str, List[Tuple[int, int]]]:
+    """File → decorated-kernel line spans, from the annotation registry.
+
+    The value-aware interpreter owns those lines; excluding them here
+    keeps e.g. a proven-safe bare ``argsort`` on a unique composite key
+    from being double-reported by the syntactic sweep.
+    """
+    spans: Dict[str, List[Tuple[int, int]]] = {}
+    for registry in registries:
+        for ann in iter_array_annotations(registry=registry):
+            try:
+                lines, start = inspect.getsourcelines(ann.func)
+                path = inspect.getsourcefile(ann.func)
+            except (OSError, TypeError):
+                continue
+            if path is None:
+                continue
+            spans.setdefault(str(Path(path).resolve()), []).append(
+                (start, start + len(lines) - 1)
+            )
+    return spans
+
+
+def _attr_chain(node: ast.AST) -> List[str]:
+    """``np.random.seed`` -> ["np", "random", "seed"]."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return list(reversed(parts))
+
+
+def _kind_is_stable(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "kind":
+            return (
+                isinstance(kw.value, ast.Constant)
+                and kw.value.value in _STABLE_KINDS
+            )
+    return False
+
+
+def _check_call(call: ast.Call, path: str) -> Optional[Finding]:
+    chain = _attr_chain(call.func)
+    if not chain:
+        return None
+    leaf = chain[-1]
+    loc = f"{path}:{call.lineno}"
+    if leaf == "argsort" and not _kind_is_stable(call):
+        return Finding(
+            rule="nondet-sort",
+            severity=Severity.WARNING,
+            location=loc,
+            message=(
+                "argsort without kind='stable': tie order under the default "
+                "sort is backend-dependent; pass kind='stable' or prove the "
+                "keys unique inside an @array_kernel"
+            ),
+        )
+    if leaf == "default_rng" and not call.args and not call.keywords:
+        return Finding(
+            rule="nondet-rng",
+            severity=Severity.WARNING,
+            location=loc,
+            message=(
+                "default_rng() without a seed draws OS entropy; thread an "
+                "explicit seed through for reproducible builds"
+            ),
+        )
+    if len(chain) >= 2 and chain[-2] == "random" and leaf in _LEGACY_RNG:
+        return Finding(
+            rule="nondet-rng",
+            severity=Severity.WARNING,
+            location=loc,
+            message=(
+                f"legacy np.random.{leaf} uses shared global RNG state; "
+                "use a seeded np.random.default_rng(...) Generator"
+            ),
+        )
+    if len(chain) >= 2 and (chain[-2], leaf) in _CLOCK_READS:
+        return Finding(
+            rule="nondet-clock",
+            severity=Severity.WARNING,
+            location=loc,
+            message=(
+                f"wall-clock read {chain[-2]}.{leaf}(): route time through "
+                "the injectable Clock so serving runs replay exactly"
+            ),
+        )
+    return None
+
+
+def scan_source(
+    source: str,
+    path: str = "<string>",
+    exclude_spans: Sequence[Tuple[int, int]] = (),
+) -> List[Finding]:
+    """Scan one file's text; ``exclude_spans`` are 1-based inclusive."""
+    lines = source.splitlines()
+    allows = _allow_map(lines)
+    tree = ast.parse(source, filename=path)
+    functions = _FunctionLines()
+    functions.visit(tree)
+
+    def allowed(rule: str, lineno: int) -> bool:
+        for candidate in (lineno, lineno - 1, functions.enclosing.get(lineno)):
+            if candidate is not None and rule in allows.get(candidate, ()):
+                return True
+        return False
+
+    def excluded(lineno: int) -> bool:
+        return any(start <= lineno <= end for start, end in exclude_spans)
+
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if excluded(node.lineno):
+            continue
+        finding = _check_call(node, path)
+        if finding is not None and not allowed(finding.rule, node.lineno):
+            findings.append(finding)
+    return findings
+
+
+def scan_paths(
+    paths: Iterable[Path],
+    spans: Optional[Dict[str, List[Tuple[int, int]]]] = None,
+) -> List[Finding]:
+    """Scan files that opted in (hot-marked) or live under ``serve/``."""
+    if spans is None:
+        spans = kernel_spans()
+    findings: List[Finding] = []
+    for path in paths:
+        p = Path(path)
+        if p.suffix != ".py":
+            continue
+        source = p.read_text()
+        in_serve = p.parent.name == "serve"
+        hot = any(line.strip() == HOT_MARKER for line in source.splitlines())
+        if not (in_serve or hot):
+            continue
+        findings.extend(
+            scan_source(source, str(p), spans.get(str(p.resolve()), ()))
+        )
+    return findings

@@ -1,0 +1,584 @@
+"""Symbolic polynomial expressions and intervals over kernel parameters.
+
+The array verifier's dims and value bounds are polynomials over the
+declared parameters (``n - 1``, ``n*degree - 1``, ``32*w``), represented
+as sparse monomial sums.  :class:`SymExpr` supports the ring operations
+plus the one division pattern packed-key arithmetic needs —
+``(n*n - 1) // n == n - 1`` — via exact monomial division with a bounded
+remainder.  :class:`SInterval` is a closed interval whose endpoints are
+symbolic, so ``row ∈ [0, n-1]`` times ``n`` plus ``id ∈ [0, n-1]`` stays
+*exactly* ``[0, n*n - 1]`` instead of widening to a numeric box; numeric
+questions ("does this exceed 2**63-1 for any admitted ``n``?") evaluate
+the endpoints over the declared parameter box, summing per-monomial
+ranges (sound: correlation between monomials is dropped, never added).
+
+Parameter environments (:class:`ParamEnv`) carry the declared ranges and
+mint fresh symbols for data-dependent lengths (boolean-mask selections,
+``np.unique`` results) bounded by their source extent.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+__all__ = ["SymExpr", "SInterval", "ParamEnv", "parse_expr"]
+
+_INF = float("inf")
+
+#: A monomial: sorted ``((param, power), ...)``; ``()`` is the constant.
+Monomial = Tuple[Tuple[str, int], ...]
+
+
+def _exactify(value: float) -> float:
+    """Ints stay ints (exact); only non-finite values stay floats."""
+    if isinstance(value, float) and math.isfinite(value):
+        return int(value) if value.is_integer() else value
+    return value
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: Dict[str, int] = {}
+    for name, exp in itertools.chain(a, b):
+        powers[name] = powers.get(name, 0) + exp
+    return tuple(sorted(powers.items()))
+
+
+class SymExpr:
+    """A polynomial ``sum(coeff * prod(param**power))`` with int coeffs."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Optional[Mapping[Monomial, int]] = None) -> None:
+        self.terms: Dict[Monomial, int] = {
+            m: c for m, c in (terms or {}).items() if c != 0
+        }
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> "SymExpr":
+        return SymExpr({(): int(value)} if value else {})
+
+    @staticmethod
+    def var(name: str) -> "SymExpr":
+        return SymExpr({((name, 1),): 1})
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_const(self) -> bool:
+        return all(m == () for m in self.terms)
+
+    @property
+    def const_value(self) -> Optional[int]:
+        if self.is_const:
+            return self.terms.get((), 0)
+        return None
+
+    def params(self) -> Tuple[str, ...]:
+        names = {name for mono in self.terms for name, _ in mono}
+        return tuple(sorted(names))
+
+    # -- ring ops ----------------------------------------------------------
+
+    def __add__(self, other: "SymExpr") -> "SymExpr":
+        terms = dict(self.terms)
+        for mono, coeff in other.terms.items():
+            terms[mono] = terms.get(mono, 0) + coeff
+        return SymExpr(terms)
+
+    def __neg__(self) -> "SymExpr":
+        return SymExpr({m: -c for m, c in self.terms.items()})
+
+    def __sub__(self, other: "SymExpr") -> "SymExpr":
+        return self + (-other)
+
+    def __mul__(self, other: "SymExpr") -> "SymExpr":
+        terms: Dict[Monomial, int] = {}
+        for (ma, ca), (mb, cb) in itertools.product(
+            self.terms.items(), other.terms.items()
+        ):
+            mono = _mono_mul(ma, mb)
+            terms[mono] = terms.get(mono, 0) + ca * cb
+        return SymExpr(terms)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SymExpr) and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.terms.items()))
+
+    # -- evaluation --------------------------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Concrete value under a full parameter assignment (exact int)."""
+        total = 0
+        for mono, coeff in self.terms.items():
+            value = coeff
+            for name, exp in mono:
+                value *= int(assignment[name]) ** exp
+            total += value
+        return total
+
+    def subst(self, bindings: Mapping[str, "SymExpr"]) -> "SymExpr":
+        """Substitute parameters with expressions (contract instantiation).
+
+        Unbound parameters stay as-is — callers pre-bind them to fresh
+        symbols carrying the callee's declared range.
+        """
+        out = SymExpr()
+        for mono, coeff in self.terms.items():
+            term = SymExpr.const(coeff)
+            for name, exp in mono:
+                base = bindings.get(name, SymExpr.var(name))
+                for _ in range(exp):
+                    term = term * base
+            out = out + term
+        return out
+
+    def bounds(self, env: "ParamEnv") -> Tuple[float, float]:
+        """Sound numeric range over the parameter box (per-monomial).
+
+        Arithmetic stays in exact python ints for finite ranges — float
+        rounding near ``2**63`` would otherwise let an off-by-one
+        overflow slip past the dtype check — and only degrades to
+        ``±inf`` floats for undeclared parameters.
+        """
+        lo: float = 0
+        hi: float = 0
+        for mono, coeff in self.terms.items():
+            mlo: float = coeff
+            mhi: float = coeff
+            for name, exp in mono:
+                plo, phi = env.range_of(name)
+                # power of an interval (integer exponent >= 1)
+                cands = [plo**exp, phi**exp]
+                if plo < 0 < phi and exp % 2 == 0:
+                    cands.append(0)
+                plo, phi = min(cands), max(cands)
+                cands = [
+                    _mul_num(mlo, plo), _mul_num(mlo, phi),
+                    _mul_num(mhi, plo), _mul_num(mhi, phi),
+                ]
+                mlo, mhi = min(cands), max(cands)
+            lo += mlo
+            hi += mhi
+        return lo, hi
+
+    def floordiv(
+        self, divisor: "SymExpr", env: "ParamEnv"
+    ) -> Optional[Tuple["SymExpr", "SymExpr"]]:
+        """Symbolic ``(lo, hi)`` bounds of ``self // divisor``.
+
+        Requires a single-monomial divisor that is provably positive.
+        Splits the dividend into exactly-divisible terms (quotient ``q``)
+        plus a remainder ``r``.  Python/numpy floor division satisfies
+        ``(q*d + r) // d == q + (r // d)``, so when ``r`` provably lies
+        in ``[-min(d), min(d))`` the result is within ``[q - 1, q]`` —
+        exactly ``q`` for ``r in [0, d)`` and exactly ``q - 1`` for
+        ``r in [-d, 0)``.  Returns ``None`` when the pattern is out of
+        reach — callers fall back to numeric interval division.
+        """
+        if self.is_const and divisor.const_value is not None:
+            if divisor.const_value == 0:
+                return None
+            q = SymExpr.const(self.const_value // divisor.const_value)
+            return q, q
+        if len(divisor.terms) != 1:
+            return None
+        (dmono, dcoeff), = divisor.terms.items()
+        d_lo, _ = divisor.bounds(env)
+        if dcoeff <= 0 or d_lo <= 0.0:
+            return None
+        quotient: Dict[Monomial, int] = {}
+        remainder: Dict[Monomial, int] = {}
+        for mono, coeff in self.terms.items():
+            powers = dict(mono)
+            divisible = coeff % dcoeff == 0 and all(
+                powers.get(name, 0) >= exp for name, exp in dmono
+            )
+            if divisible:
+                for name, exp in dmono:
+                    powers[name] -= exp
+                qmono = tuple(sorted((n, e) for n, e in powers.items() if e))
+                quotient[qmono] = quotient.get(qmono, 0) + coeff // dcoeff
+            else:
+                remainder[mono] = remainder.get(mono, 0) + coeff
+        q = SymExpr(quotient)
+        r = SymExpr(remainder)
+        r_lo, r_hi = r.bounds(env)
+        if not (-d_lo <= r_lo and r_hi < d_lo):
+            return None
+        lo = q if r_lo >= 0 else q - SymExpr.const(1)
+        hi = q - SymExpr.const(1) if r_hi < 0 else q
+        return lo, hi
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self.terms.items()):
+            factors = "*".join(
+                name if exp == 1 else f"{name}**{exp}" for name, exp in mono
+            )
+            if not factors:
+                parts.append(str(coeff))
+            elif coeff == 1:
+                parts.append(factors)
+            elif coeff == -1:
+                parts.append(f"-{factors}")
+            else:
+                parts.append(f"{coeff}*{factors}")
+        out = " + ".join(parts).replace("+ -", "- ")
+        return out
+
+    __repr__ = __str__
+
+
+class ParamEnv:
+    """Declared parameter ranges plus analyzer-minted fresh lengths."""
+
+    def __init__(self, ranges: Optional[Mapping[str, Tuple[float, float]]] = None):
+        # Finite range ends stay python ints for exact arithmetic near
+        # 2**63; only ±inf is a float.
+        self.ranges: Dict[str, Tuple[float, float]] = {
+            name: (_exactify(lo), _exactify(hi))
+            for name, (lo, hi) in (ranges or {}).items()
+        }
+        self._fresh = 0
+
+    def range_of(self, name: str) -> Tuple[float, float]:
+        return self.ranges.get(name, (-_INF, _INF))
+
+    def declare(self, name: str, lo: float, hi: float) -> SymExpr:
+        self.ranges[name] = (_exactify(lo), _exactify(hi))
+        return SymExpr.var(name)
+
+    def fresh(self, label: str, lo: float, hi: float) -> SymExpr:
+        """Mint a fresh symbol for a data-dependent extent in [lo, hi]."""
+        self._fresh += 1
+        name = f"_{label}{self._fresh}"
+        return self.declare(name, lo, hi)
+
+
+# --------------------------------------------------------------------------
+# symbolic intervals
+# --------------------------------------------------------------------------
+
+#: Interval endpoints: a SymExpr, or +/-inf floats for unbounded sides.
+End = Union[SymExpr, float]
+
+
+def _end_bounds(end: End, env: ParamEnv) -> Tuple[float, float]:
+    if isinstance(end, SymExpr):
+        return end.bounds(env)
+    return end, end
+
+
+def _as_expr(value: Union[int, float, SymExpr]) -> End:
+    if isinstance(value, SymExpr):
+        return value
+    if isinstance(value, float) and math.isinf(value):
+        return value
+    if isinstance(value, float) and not value.is_integer():
+        # conservative: round outward is the caller's job; keep floats
+        return value
+    return SymExpr.const(int(value))
+
+
+@dataclass(frozen=True)
+class SInterval:
+    """Closed interval with symbolic endpoints (``[lo, hi]``)."""
+
+    lo: End
+    hi: End
+
+    @staticmethod
+    def top() -> "SInterval":
+        return SInterval(-_INF, _INF)
+
+    @staticmethod
+    def const(value: Union[int, float, SymExpr]) -> "SInterval":
+        end = _as_expr(value)
+        return SInterval(end, end)
+
+    @staticmethod
+    def of(lo: Union[int, float, SymExpr], hi: Union[int, float, SymExpr]) -> "SInterval":
+        return SInterval(_as_expr(lo), _as_expr(hi))
+
+    # -- numeric projections ----------------------------------------------
+
+    def num_lo(self, env: ParamEnv) -> float:
+        """Smallest concrete value admitted over the parameter box."""
+        return _end_bounds(self.lo, env)[0]
+
+    def num_hi(self, env: ParamEnv) -> float:
+        """Largest concrete value admitted over the parameter box."""
+        return _end_bounds(self.hi, env)[1]
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == -_INF and self.hi == _INF
+
+    def exact(self) -> Optional[SymExpr]:
+        """The single symbolic value, when degenerate."""
+        if isinstance(self.lo, SymExpr) and self.lo == self.hi:
+            return self.lo
+        return None
+
+    # -- lattice -----------------------------------------------------------
+
+    def hull(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        return SInterval(
+            _min_end(self.lo, other.lo, env, lower=True),
+            _max_end(self.hi, other.hi, env, lower=False),
+        )
+
+    def meet(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        # The *larger* lower end and *smaller* upper end; on incomparable
+        # symbolic ends keep self's (sound only for refinement where the
+        # other side is a known constraint — callers pass constraints as
+        # `other` with comparable numeric ends).
+        lo = _max_end(self.lo, other.lo, env, lower=True)
+        hi = _min_end(self.hi, other.hi, env, lower=False)
+        return SInterval(lo, hi)
+
+    def same(self, other: "SInterval") -> bool:
+        return self.lo == other.lo and self.hi == other.hi
+
+    # -- arithmetic --------------------------------------------------------
+
+    def add(self, other: "SInterval") -> "SInterval":
+        return SInterval(
+            _add_end(self.lo, other.lo, lower=True),
+            _add_end(self.hi, other.hi, lower=False),
+        )
+
+    def sub(self, other: "SInterval") -> "SInterval":
+        return SInterval(
+            _add_end(self.lo, _neg_end(other.hi), lower=True),
+            _add_end(self.hi, _neg_end(other.lo), lower=False),
+        )
+
+    def neg(self) -> "SInterval":
+        return SInterval(_neg_end(self.hi), _neg_end(self.lo))
+
+    def mul(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        # Precise symbolic product for the common nonnegative case.
+        if (
+            isinstance(self.lo, SymExpr)
+            and isinstance(other.lo, SymExpr)
+            and self.num_lo(env) >= 0.0
+            and other.num_lo(env) >= 0.0
+            and isinstance(self.hi, SymExpr)
+            and isinstance(other.hi, SymExpr)
+        ):
+            return SInterval(self.lo * other.lo, self.hi * other.hi)
+        lo1, hi1 = _end_bounds(self.lo, env)[0], _end_bounds(self.hi, env)[1]
+        lo2, hi2 = _end_bounds(other.lo, env)[0], _end_bounds(other.hi, env)[1]
+        products = [
+            _mul_num(lo1, lo2), _mul_num(lo1, hi2),
+            _mul_num(hi1, lo2), _mul_num(hi1, hi2),
+        ]
+        return SInterval.of(min(products), max(products))
+
+    def floordiv(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        divisor = other.exact()
+        if divisor is not None and isinstance(self.hi, SymExpr):
+            hi_b = self.hi.floordiv(divisor, env)
+            lo_b = self.lo.floordiv(divisor, env) if isinstance(self.lo, SymExpr) else None
+            if hi_b is not None and lo_b is not None:
+                return SInterval(lo_b[0], hi_b[1])
+        lo1 = self.num_lo(env)
+        hi1 = self.num_hi(env)
+        lo2 = other.num_lo(env)
+        hi2 = other.num_hi(env)
+        if lo2 <= 0.0 <= hi2:
+            return SInterval.top()
+        quotients = [
+            _floordiv_num(lo1, lo2), _floordiv_num(lo1, hi2),
+            _floordiv_num(hi1, lo2), _floordiv_num(hi1, hi2),
+        ]
+        return SInterval.of(min(quotients), max(quotients))
+
+    def mod(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        """``x % d`` for provably-positive ``d`` (numpy sign convention)."""
+        if other.num_lo(env) > 0.0:
+            if self.num_lo(env) >= 0.0:
+                hi = other.hi
+                if isinstance(hi, SymExpr):
+                    hi = hi - SymExpr.const(1)
+                # Result <= d.hi - 1 always; tighten to x.hi only when
+                # provably smaller (a numeric min would trade the exact
+                # symbolic divisor bound for an incomparable constant).
+                if _le_end(self.hi, hi, env):
+                    hi = self.hi
+                return SInterval(SymExpr.const(0), hi)
+            hi = other.hi
+            hi = hi - SymExpr.const(1) if isinstance(hi, SymExpr) else hi
+            return SInterval(SymExpr.const(0), hi)
+        return SInterval.top()
+
+    def minimum(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        return SInterval(
+            _min_end(self.lo, other.lo, env, lower=True),
+            _min_end(self.hi, other.hi, env, lower=False),
+        )
+
+    def maximum(self, other: "SInterval", env: ParamEnv) -> "SInterval":
+        return SInterval(
+            _max_end(self.lo, other.lo, env, lower=True),
+            _max_end(self.hi, other.hi, env, lower=False),
+        )
+
+    def widen(self, newer: "SInterval", env: ParamEnv) -> "SInterval":
+        """Jump endpoints that moved to the numeric box edge (or infinity)."""
+        lo = self.lo
+        if not _le_end(self.lo, newer.lo, env):
+            lo = -_INF
+        hi = self.hi
+        if not _le_end(newer.hi, self.hi, env):
+            hi = _INF
+        return SInterval(lo, hi)
+
+    def contains(self, other: "SInterval", env: ParamEnv) -> bool:
+        """True iff ``other`` provably sits inside ``self``."""
+        return _le_end(self.lo, other.lo, env) and _le_end(other.hi, self.hi, env)
+
+    def __str__(self) -> str:
+        return f"[{self.lo}, {self.hi}]"
+
+
+# -- endpoint helpers -------------------------------------------------------
+
+
+def _add_end(a: End, b: End, lower: bool) -> End:
+    """Endpoint sum; mixed symbolic/float sides collapse soundly."""
+    if isinstance(a, float):
+        a = _wrap_num(a)
+    if isinstance(b, float):
+        b = _wrap_num(b)
+    if isinstance(a, SymExpr) and isinstance(b, SymExpr):
+        return a + b
+    # At least one side is a float (±inf from TOP/widening, or a finite
+    # numeric fallback).  Infinity dominates; a finite float plus a
+    # non-constant symbol has no representation, so drop to ±inf on the
+    # sound side.
+    for side in (a, b):
+        if isinstance(side, float) and math.isinf(side):
+            return side
+    for side in (a, b):
+        if isinstance(side, SymExpr) and not side.is_const:
+            return -_INF if lower else _INF
+    fa = float(a.const_value) if isinstance(a, SymExpr) else float(a)
+    fb = float(b.const_value) if isinstance(b, SymExpr) else float(b)
+    return _wrap_num(fa + fb)
+
+
+def _wrap_num(value: float) -> End:
+    """Integral numerics back to exact SymExpr consts; keep ±inf floats."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return value
+    if isinstance(value, float) and not value.is_integer():
+        return value
+    return SymExpr.const(int(value))
+
+
+def _neg_end(end: End) -> End:
+    if isinstance(end, SymExpr):
+        return -end
+    return -end
+
+
+def _mul_num(x: float, y: float) -> float:
+    if x == 0.0 or y == 0.0:
+        return 0.0
+    return x * y
+
+
+def _floordiv_num(x: float, y: float) -> float:
+    if y == 0:
+        return _INF if x >= 0 else -_INF
+    if isinstance(x, int) and isinstance(y, int):
+        return x // y  # exact for arbitrary magnitude
+    if math.isinf(x) and math.isinf(y):
+        return 0
+    q = x / y
+    return math.floor(q) if math.isfinite(q) else q
+
+
+def _le_end(a: End, b: End, env: ParamEnv) -> bool:
+    """True iff ``a <= b`` for every parameter assignment (provable)."""
+    if isinstance(a, float) and a == -_INF:
+        return True
+    if isinstance(b, float) and b == _INF:
+        return True
+    if isinstance(a, SymExpr) and isinstance(b, SymExpr):
+        diff_lo, _ = (b - a).bounds(env)
+        return diff_lo >= 0.0
+    fa = _end_bounds(a, env)[1]
+    fb = _end_bounds(b, env)[0]
+    return fa <= fb
+
+
+def _min_end(a: End, b: End, env: ParamEnv, lower: bool) -> End:
+    if _le_end(a, b, env):
+        return a
+    if _le_end(b, a, env):
+        return b
+    # incomparable: take the sound numeric side
+    if lower:
+        return _wrap_num(min(_end_bounds(a, env)[0], _end_bounds(b, env)[0]))
+    return _wrap_num(min(_end_bounds(a, env)[1], _end_bounds(b, env)[1]))
+
+
+def _max_end(a: End, b: End, env: ParamEnv, lower: bool) -> End:
+    if _le_end(a, b, env):
+        return b
+    if _le_end(b, a, env):
+        return a
+    if lower:
+        return _wrap_num(max(_end_bounds(a, env)[0], _end_bounds(b, env)[0]))
+    return _wrap_num(max(_end_bounds(a, env)[1], _end_bounds(b, env)[1]))
+
+
+# --------------------------------------------------------------------------
+# expression parsing (annotation strings -> SymExpr)
+# --------------------------------------------------------------------------
+
+
+def parse_expr(text: Union[int, str]) -> SymExpr:
+    """Parse an annotation expression (``"n-1"``, ``"32*w"``) to SymExpr."""
+    if isinstance(text, int):
+        return SymExpr.const(text)
+    node = ast.parse(str(text), mode="eval").body
+    return _from_ast(node)
+
+
+def _from_ast(node: ast.AST) -> SymExpr:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return SymExpr.const(node.value)
+    if isinstance(node, ast.Name):
+        return SymExpr.var(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_from_ast(node.operand)
+    if isinstance(node, ast.BinOp):
+        left, right = _from_ast(node.left), _from_ast(node.right)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+        if isinstance(node.op, ast.Pow):
+            exp = right.const_value
+            if exp is not None and exp >= 0:
+                out = SymExpr.const(1)
+                for _ in range(exp):
+                    out = out * left
+                return out
+    raise ValueError(f"unsupported annotation expression: {ast.dump(node)}")

@@ -1,0 +1,573 @@
+"""Transfer functions: numpy idioms and trusted kernel summaries.
+
+Each function here maps abstract inputs (:class:`~.values.ArrayVal`)
+to an abstract result, mirroring the numpy operations the annotated
+host kernels actually use — broadcasting arithmetic, ``argsort`` /
+``lexsort`` / ``searchsorted``, fancy indexing, ``repeat`` / ``tile`` /
+``concatenate``, ``cumsum``, ``bincount``, ``packbits`` / ``view``.
+The interpreter (:mod:`.interp`) drives the AST walk and calls in here
+for the array math; checker callbacks (overflow, OOB) are threaded
+through the analyzer object.
+
+``SUMMARIES`` holds hand-written call summaries for the repo's packing
+primitives — :func:`repro.structures.soa.pack_rowid` and friends — that
+are sharper than their declared return contracts: they propagate call
+site shapes, prove the joint ``row * n + id <= int64 max`` obligation
+(recording it in the analyzer's proven-obligation ledger), and carry
+uniqueness through the pack (``pack_rowid`` output is all-distinct
+whenever either coordinate array is).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .dtypes import int_range, is_bool, is_integer, promote
+from .sym import ParamEnv, SInterval, SymExpr
+from .values import ArrayVal, Shape, broadcast_shapes
+
+__all__ = ["SUMMARIES", "INT64_MAX"]
+
+INT64_MAX = 2**63 - 1
+
+_INF = float("inf")
+
+
+# --------------------------------------------------------------------------
+# shape helpers
+# --------------------------------------------------------------------------
+
+
+def dim_product(shape: Shape) -> Optional[SymExpr]:
+    """Symbolic element count, when every dim is known."""
+    if shape is None or any(d is None for d in shape):
+        return None
+    out = SymExpr.const(1)
+    for d in shape:
+        out = out * d
+    return out
+
+
+def first_dim(shape: Shape) -> Optional[SymExpr]:
+    if shape is None or not shape:
+        return None
+    return shape[0]
+
+
+def nonneg(ival: SInterval, env: ParamEnv) -> bool:
+    return ival.num_lo(env) >= 0.0
+
+
+# --------------------------------------------------------------------------
+# elementwise arithmetic
+# --------------------------------------------------------------------------
+
+
+def binop_ival(op: str, a: ArrayVal, b: ArrayVal, env: ParamEnv) -> SInterval:
+    """Interval transfer of one elementwise binary op."""
+    x, y = a.ival, b.ival
+    if op == "+":
+        return x.add(y)
+    if op == "-":
+        return x.sub(y)
+    if op == "*":
+        return x.mul(y, env)
+    if op == "//":
+        return x.floordiv(y, env)
+    if op == "%":
+        return x.mod(y, env)
+    if op == "<<":
+        shift = y.exact()
+        if shift is not None and shift.const_value is not None:
+            return x.mul(SInterval.const(2 ** shift.const_value), env)
+        return SInterval.top()
+    if op == ">>":
+        shift = y.exact()
+        if shift is not None and shift.const_value is not None:
+            return x.floordiv(SInterval.const(2 ** shift.const_value), env)
+        return SInterval.top()
+    if op == "|":
+        return _or_ival(a, b, env)
+    if op == "&":
+        return _and_ival(a, b, env)
+    if op == "^":
+        if nonneg(x, env) and nonneg(y, env):
+            return SInterval.of(0, _pow2_cap(x, y, env))
+        return SInterval.top()
+    if op == "/":
+        return SInterval.top()
+    return SInterval.top()
+
+
+def _pow2_cap(x: SInterval, y: SInterval, env: ParamEnv) -> float:
+    """Smallest ``2**k - 1`` covering both upper bounds (numeric)."""
+    hi = max(x.num_hi(env), y.num_hi(env))
+    if hi == _INF:
+        return _INF
+    hi = int(hi)
+    cap = 1
+    while cap - 1 < hi:
+        cap <<= 1
+    return cap - 1
+
+
+def _or_ival(a: ArrayVal, b: ArrayVal, env: ParamEnv) -> SInterval:
+    """``a | b`` for nonneg ints: bounded by ``a + b`` and the pow2 cap.
+
+    The symbolic ``a.hi + b.hi`` endpoint is kept when it is provably
+    the tighter bound — that is what keeps ``(tgt << 32) | low`` at the
+    exact ``n * 2**32 - 1`` a later ``>> 32`` can divide back down.
+    """
+    x, y = a.ival, b.ival
+    if is_bool(a.dtype) and is_bool(b.dtype):
+        return SInterval.of(0, 1)
+    if not (nonneg(x, env) and nonneg(y, env)):
+        return SInterval.top()
+    lo = x.maximum(y, env).lo  # a|b >= max(a, b) >= each lower bound
+    sum_hi = x.add(y).hi
+    cap = _pow2_cap(x, y, env)
+    if isinstance(sum_hi, SymExpr):
+        hi_num = SInterval.of(0, sum_hi).num_hi(env)
+        hi = sum_hi if hi_num <= cap else SInterval.of(0, cap).hi
+    else:
+        hi = min(sum_hi, cap)
+    return SInterval(lo, hi)
+
+
+def _and_ival(a: ArrayVal, b: ArrayVal, env: ParamEnv) -> SInterval:
+    x, y = a.ival, b.ival
+    if is_bool(a.dtype) and is_bool(b.dtype):
+        return SInterval.of(0, 1)
+    if nonneg(x, env) and nonneg(y, env):
+        # a & b <= min(a, b)
+        return SInterval(SymExpr.const(0), x.minimum(y, env).hi)
+    return SInterval.top()
+
+
+def invert_ival(a: ArrayVal, env: ParamEnv) -> SInterval:
+    """``~a`` for unsigned dtypes: ``dtype_max - a`` reversed."""
+    if is_bool(a.dtype):
+        return SInterval.of(0, 1)
+    rng = int_range(a.dtype) if a.dtype else None
+    if rng and rng[0] == 0 and nonneg(a.ival, env):
+        top = SInterval.const(rng[1])
+        return top.sub(a.ival)
+    return SInterval.top()
+
+
+# --------------------------------------------------------------------------
+# constructors / rearrangers
+# --------------------------------------------------------------------------
+
+
+def arange_val(
+    stop: ArrayVal, env: ParamEnv, dtype: Optional[str], start: Optional[ArrayVal] = None
+) -> ArrayVal:
+    lo = start.ival.lo if start is not None else SymExpr.const(0)
+    stop_exact = stop.const_value()
+    if stop_exact is not None:
+        length: Optional[SymExpr] = stop_exact
+        if start is not None:
+            s = start.const_value()
+            length = stop_exact - s if s is not None else None
+        hi = stop_exact - SymExpr.const(1)
+    else:
+        length = None
+        hi = stop.ival.hi
+        if isinstance(hi, SymExpr):
+            hi = hi - SymExpr.const(1)
+    return ArrayVal(
+        shape=(length,),
+        dtype=dtype or "int64",
+        ival=SInterval(lo, hi),
+        unique=True,
+        sorted_=True,
+    )
+
+
+def filled_val(shape: Shape, dtype: str, ival: SInterval) -> ArrayVal:
+    return ArrayVal(shape=shape, dtype=dtype, ival=ival)
+
+
+def repeat_val(x: ArrayVal, reps: ArrayVal, env: ParamEnv) -> ArrayVal:
+    """``np.repeat``: in-place expansion keeps order, loses uniqueness."""
+    length: Optional[SymExpr] = None
+    r = reps.const_value()
+    if r is not None and x.rank == 1 and x.shape[0] is not None:
+        length = x.shape[0] * r
+    return ArrayVal(
+        shape=(length,),
+        dtype=x.dtype,
+        ival=x.ival,
+        unique=False,
+        sorted_=x.sorted_ and x.rank == 1,
+    )
+
+
+def tile_val(x: ArrayVal, reps: ArrayVal, env: ParamEnv) -> ArrayVal:
+    length: Optional[SymExpr] = None
+    r = reps.const_value()
+    if r is not None and x.rank == 1 and x.shape[0] is not None:
+        length = x.shape[0] * r
+    return ArrayVal(shape=(length,), dtype=x.dtype, ival=x.ival)
+
+
+def concat_val(parts: Sequence[ArrayVal], env: ParamEnv, axis: int) -> ArrayVal:
+    if not parts:
+        return ArrayVal.top()
+    ival = parts[0].ival
+    dtype = parts[0].dtype
+    for p in parts[1:]:
+        ival = ival.hull(p.ival, env)
+        dtype = promote(dtype, p.dtype)
+    shape: Shape = None
+    ranks = {p.rank for p in parts}
+    if len(ranks) == 1 and None not in ranks:
+        rank = parts[0].rank
+        if 0 <= axis < rank:
+            dims = []
+            for i in range(rank):
+                if i == axis:
+                    total = SymExpr.const(0)
+                    for p in parts:
+                        d = p.shape[i]
+                        if d is None:
+                            total = None
+                            break
+                        total = total + d
+                    dims.append(total)
+                else:
+                    ds = {p.shape[i] for p in parts}
+                    dims.append(ds.pop() if len(ds) == 1 else None)
+            shape = tuple(dims)
+    return ArrayVal(shape=shape, dtype=dtype, ival=ival)
+
+
+def ravel_val(x: ArrayVal) -> ArrayVal:
+    return ArrayVal(
+        shape=(dim_product(x.shape),),
+        dtype=x.dtype,
+        ival=x.ival,
+        unique=x.unique,
+        base=x.base,
+    )
+
+
+def view_val(x: ArrayVal, dtype: str) -> ArrayVal:
+    """Reinterpret-cast: last dim scales by the itemsize ratio."""
+    import numpy as np
+
+    shape: Shape = None
+    if x.shape is not None and x.dtype is not None and x.rank:
+        old = np.dtype(x.dtype).itemsize
+        new = np.dtype(dtype).itemsize
+        last = x.shape[-1]
+        if last is not None:
+            if old == new:
+                scaled: Optional[SymExpr] = last
+            elif old > new and old % new == 0:
+                scaled = last * SymExpr.const(old // new)
+            elif new > old and new % old == 0:
+                div = last.floordiv(SymExpr.const(new // old), ParamEnv())
+                scaled = div[0] if div and div[0] == div[1] else None
+            else:
+                scaled = None
+            shape = x.shape[:-1] + (scaled,)
+    rng = int_range(dtype)
+    ival = SInterval.of(rng[0], rng[1]) if rng else SInterval.top()
+    return ArrayVal(shape=shape, dtype=dtype, ival=ival, base=x.base)
+
+
+def sort_val(x: ArrayVal) -> ArrayVal:
+    return x.with_(sorted_=True, base=None)
+
+
+def unique_val(x: ArrayVal, env: ParamEnv) -> ArrayVal:
+    count = dim_product(x.shape)
+    length = env.fresh("uniq", 0, SInterval.of(0, count).num_hi(env) if count else _INF)
+    return ArrayVal(
+        shape=(length,), dtype=x.dtype, ival=x.ival, unique=True, sorted_=True
+    )
+
+
+def argsort_val(x: ArrayVal, env: ParamEnv, axis: Optional[int]) -> ArrayVal:
+    """Permutation indices of one axis (the last, for ``axis=1`` tables)."""
+    if x.shape is None:
+        return ArrayVal(shape=None, dtype="int64", ival=_index_ival(None), unique=x.rank == 1)
+    dim = x.shape[-1] if axis in (1, -1) and x.rank and x.rank > 1 else x.shape[0] if x.rank else None
+    return ArrayVal(
+        shape=x.shape,
+        dtype="int64",
+        ival=_index_ival(dim),
+        unique=x.rank == 1,
+    )
+
+
+def lexsort_val(keys: Sequence[ArrayVal], env: ParamEnv) -> ArrayVal:
+    dim = None
+    for k in keys:
+        if k.rank == 1 and k.shape[0] is not None:
+            dim = k.shape[0]
+            break
+    return ArrayVal(shape=(dim,), dtype="int64", ival=_index_ival(dim), unique=True)
+
+
+def _index_ival(dim: Optional[SymExpr]) -> SInterval:
+    if dim is None:
+        return SInterval(SymExpr.const(0), _INF)
+    return SInterval(SymExpr.const(0), dim - SymExpr.const(1))
+
+
+def searchsorted_val(a: ArrayVal, v: ArrayVal) -> ArrayVal:
+    """Insertion positions in ``[0, len(a)]`` with ``v``'s shape."""
+    dim = first_dim(a.shape)
+    hi = dim if dim is not None else _INF
+    return ArrayVal(shape=v.shape, dtype="int64", ival=SInterval(SymExpr.const(0), hi))
+
+
+def cumsum_val(x: ArrayVal, env: ParamEnv, axis: Optional[int]) -> ArrayVal:
+    """Running sum: nonneg input stays in ``[0, hi * axis_len]``."""
+    count = None
+    if x.shape is not None and x.rank:
+        count = x.shape[-1 if axis in (1, -1) else 0] if axis is not None else dim_product(x.shape)
+    if nonneg(x.ival, env):
+        hi = x.ival.hi
+        if count is not None and isinstance(hi, SymExpr):
+            hi = hi * count
+        elif count is not None:
+            hi = SInterval.of(0, hi).mul(SInterval.const(count), env).hi
+        else:
+            hi = _INF
+        return ArrayVal(
+            shape=x.shape,
+            dtype=x.dtype if is_integer(x.dtype) else "int64" if x.dtype is None or is_bool(x.dtype) else x.dtype,
+            ival=SInterval(SymExpr.const(0), hi),
+            sorted_=x.rank == 1 or axis in (1, -1),
+        )
+    return ArrayVal(shape=x.shape, dtype=x.dtype, ival=SInterval.top())
+
+
+def accumulate_val(x: ArrayVal) -> ArrayVal:
+    """ufunc.accumulate (maximum/minimum): values stay within input bounds."""
+    return x.with_(unique=False, sorted_=True, base=None)
+
+
+def bincount_val(x: ArrayVal, env: ParamEnv, minlength: Optional[ArrayVal]) -> ArrayVal:
+    from .sym import _le_end  # sound dim: minlength when x.hi <= minlength-1
+
+    dim = None
+    if minlength is not None:
+        m = minlength.const_value()
+        if m is not None and _le_end(x.ival.hi, m - SymExpr.const(1), env):
+            dim = m
+    count = dim_product(x.shape)
+    hi = count if count is not None else _INF
+    return ArrayVal(
+        shape=(dim,), dtype="int64", ival=SInterval(SymExpr.const(0), hi)
+    )
+
+
+def packbits_val(x: ArrayVal, env: ParamEnv) -> ArrayVal:
+    """axis=1 bit packing: last dim becomes ``ceil(dim / 8)``."""
+    shape: Shape = None
+    if x.shape is not None and x.rank and x.shape[-1] is not None:
+        padded = x.shape[-1] + SymExpr.const(7)
+        div = padded.floordiv(SymExpr.const(8), env)
+        last = div[1] if div else None
+        shape = x.shape[:-1] + (last,)
+    return ArrayVal(shape=shape, dtype="uint8", ival=SInterval.of(0, 255))
+
+
+def tri_val(n: ArrayVal, m: ArrayVal, dtype: str) -> ArrayVal:
+    return ArrayVal(
+        shape=(n.const_value(), m.const_value()),
+        dtype=dtype,
+        ival=SInterval.of(0, 1),
+    )
+
+
+def take_along_axis_val(a: ArrayVal, idx: ArrayVal) -> ArrayVal:
+    return ArrayVal(shape=idx.shape, dtype=a.dtype, ival=a.ival)
+
+
+def where_val(c: ArrayVal, a: ArrayVal, b: ArrayVal, env: ParamEnv) -> Tuple[ArrayVal, Optional[tuple]]:
+    shape, conflict = broadcast_shapes(c.shape, a.shape)
+    shape2, conflict2 = broadcast_shapes(shape, b.shape)
+    return (
+        ArrayVal(
+            shape=shape2,
+            dtype=promote(a.dtype, b.dtype),
+            ival=a.ival.hull(b.ival, env),
+        ),
+        conflict or conflict2,
+    )
+
+
+def minmax_val(op: str, a: ArrayVal, b: ArrayVal, env: ParamEnv) -> Tuple[ArrayVal, Optional[tuple]]:
+    shape, conflict = broadcast_shapes(a.shape, b.shape)
+    ival = a.ival.minimum(b.ival, env) if op == "minimum" else a.ival.maximum(b.ival, env)
+    return ArrayVal(shape=shape, dtype=promote(a.dtype, b.dtype), ival=ival), conflict
+
+
+def reduce_val(x: ArrayVal, env: ParamEnv, op: str, axis: Optional[int]) -> ArrayVal:
+    """``sum`` / ``min`` / ``max`` / ``any`` / ``all`` / ``mean`` reductions."""
+    shape: Shape = ()
+    if axis is not None and x.shape is not None and x.rank:
+        ax = axis % x.rank
+        shape = tuple(d for i, d in enumerate(x.shape) if i != ax)
+    elif axis is not None:
+        shape = None
+    if op in ("any", "all"):
+        return ArrayVal(shape=shape, dtype="bool", ival=SInterval.of(0, 1))
+    if op in ("min", "max"):
+        return ArrayVal(shape=shape, dtype=x.dtype, ival=x.ival)
+    if op == "mean":
+        return ArrayVal(shape=shape, dtype="float64", ival=x.ival)
+    # sum over `count` elements
+    count = None
+    if x.shape is not None:
+        count = x.shape[axis % x.rank] if axis is not None and x.rank else dim_product(x.shape)
+    if is_bool(x.dtype):
+        hi = count if count is not None else _INF
+        return ArrayVal(shape=shape, dtype="int64", ival=SInterval(SymExpr.const(0), hi))
+    if count is not None and nonneg(x.ival, env):
+        hi = x.ival.hi
+        hi = hi * count if isinstance(hi, SymExpr) else _INF
+        dtype = x.dtype if x.dtype and not is_bool(x.dtype) else "int64"
+        return ArrayVal(shape=shape, dtype="int64" if is_integer(dtype) else dtype,
+                        ival=SInterval(SymExpr.const(0), hi))
+    if is_integer(x.dtype) or x.dtype is None:
+        return ArrayVal(shape=shape, dtype="int64", ival=SInterval.top())
+    return ArrayVal(shape=shape, dtype=x.dtype, ival=SInterval.top())
+
+
+# --------------------------------------------------------------------------
+# trusted summaries for the packing primitives
+# --------------------------------------------------------------------------
+
+
+def _summary_pack_rowid(analyzer, loc: str, args: List[ArrayVal]):
+    """``pack_rowid(rows, ids, n)``: joint int64 proof + shape/uniqueness.
+
+    The obligation is exactly what the runtime guard asserts: ``ids``
+    in ``[0, n)``, ``rows`` nonnegative, and ``rows.hi * n + (n - 1)``
+    representable in int64.  ``rows`` beyond ``n - 1`` is legal (nested
+    packs widen the row coordinate); only the product bound matters.
+    """
+    env = analyzer.env
+    rows, ids, n = args[0], args[1], args[2]
+    nval = n.const_value()
+    if nval is None:
+        analyzer.warn(
+            "packed-key-overflow", loc,
+            "pack_rowid modulus is not a known parameter expression; "
+            "cannot prove the int64 bound",
+        )
+        key = SInterval.top()
+    else:
+        n_iv = SInterval.const(nval)
+        key = rows.ival.mul(n_iv, env).add(ids.ival)
+        ok = True
+        if not nonneg(rows.ival, env):
+            analyzer.warn("packed-key-overflow", loc, "cannot prove pack_rowid rows >= 0")
+            ok = False
+        if not nonneg(ids.ival, env):
+            analyzer.warn("packed-key-overflow", loc, "cannot prove pack_rowid ids >= 0")
+            ok = False
+        from .sym import _le_end
+
+        if not _le_end(ids.ival.hi, nval - SymExpr.const(1), env):
+            analyzer.warn(
+                "packed-key-overflow", loc,
+                f"cannot prove pack_rowid ids <= {nval} - 1 "
+                "(keys would not decode uniquely)",
+            )
+            ok = False
+        hi = key.num_hi(env)
+        if hi > INT64_MAX:
+            analyzer.report_overflow(loc, key.hi, "int64", "pack_rowid key row * n + id")
+            ok = False
+        if ok:
+            analyzer.prove(
+                loc,
+                f"pack_rowid key <= {key.hi} <= {int(hi)} fits int64 "
+                f"over the declared parameter box",
+            )
+    shape, conflict = broadcast_shapes(rows.shape, ids.shape)
+    if conflict:
+        analyzer.report_broadcast(loc, conflict, "pack_rowid(rows, ids)")
+    return ArrayVal(
+        shape=shape,
+        dtype="int64",
+        ival=key.meet(SInterval.of(0, INT64_MAX), env),
+        unique=rows.unique or ids.unique,
+    )
+
+
+def _summary_unpack_rowid(analyzer, loc: str, args: List[ArrayVal]):
+    env = analyzer.env
+    keys, n = args[0], args[1]
+    nval = n.const_value()
+    if nval is None:
+        top = ArrayVal(shape=keys.shape, dtype="int64", ival=SInterval.top())
+        return (top, top)
+    n_iv = SInterval.const(nval)
+    rows = ArrayVal(
+        shape=keys.shape, dtype="int64", ival=keys.ival.floordiv(n_iv, env)
+    )
+    ids = ArrayVal(shape=keys.shape, dtype="int64", ival=keys.ival.mod(n_iv, env))
+    return (rows, ids)
+
+
+def _summary_pack_keys(analyzer, loc: str, args: List[ArrayVal]):
+    env = analyzer.env
+    dists, ids = args[0], args[1]
+    if not nonneg(ids.ival, env):
+        analyzer.warn("packed-key-overflow", loc, "cannot prove pack_keys ids >= 0")
+    elif ids.ival.num_hi(env) > 2**32 - 1:
+        analyzer.report_overflow(
+            loc, ids.ival.hi, "uint32", "pack_keys id (low 32 bits)"
+        )
+    else:
+        analyzer.prove(loc, f"pack_keys ids <= {ids.ival.hi} fit the low 32 bits")
+    shape, conflict = broadcast_shapes(dists.shape, ids.shape)
+    if conflict:
+        analyzer.report_broadcast(loc, conflict, "pack_keys(dists, ids)")
+    return ArrayVal(
+        shape=shape, dtype="uint64", ival=SInterval.of(0, 2**64 - 1), unique=ids.unique
+    )
+
+
+def _summary_unpack_ids(analyzer, loc: str, args: List[ArrayVal]):
+    keys = args[0]
+    return ArrayVal(shape=keys.shape, dtype="int64", ival=SInterval.of(0, 2**32 - 1))
+
+
+def _summary_unpack_distances(analyzer, loc: str, args: List[ArrayVal]):
+    keys = args[0]
+    return ArrayVal(shape=keys.shape, dtype="float32", ival=SInterval.top())
+
+
+def _summary_rank_within_groups(analyzer, loc: str, args: List[ArrayVal]):
+    """Per-run rank of a sorted 1-D array: ``[0, len - 1]``."""
+    x = args[0]
+    dim = first_dim(x.shape)
+    return ArrayVal(shape=(dim,), dtype="int64", ival=_index_ival(dim))
+
+
+def _summary_ragged_arange(analyzer, loc: str, args: List[ArrayVal]):
+    return ArrayVal(
+        shape=(None,), dtype="int64", ival=SInterval(SymExpr.const(0), _INF)
+    )
+
+
+#: qualname -> summary(analyzer, location, argvals) -> ArrayVal | tuple.
+SUMMARIES = {
+    "repro.structures.soa.pack_rowid": _summary_pack_rowid,
+    "repro.structures.soa.unpack_rowid": _summary_unpack_rowid,
+    "repro.structures.soa.pack_keys": _summary_pack_keys,
+    "repro.structures.soa.unpack_ids": _summary_unpack_ids,
+    "repro.structures.soa.unpack_distances": _summary_unpack_distances,
+    "repro.graphs.nn_descent._rank_within_groups": _summary_rank_within_groups,
+    "repro.graphs.nn_descent._ragged_arange": _summary_ragged_arange,
+}

@@ -1,0 +1,163 @@
+"""Abstract values for the array interpreter.
+
+An :class:`ArrayVal` abstracts one ndarray (or scalar: rank 0) by
+
+* ``shape`` — tuple of symbolic dims (:class:`~.sym.SymExpr`) or ``None``
+  for an unknown extent; ``None`` for the whole tuple = unknown rank,
+* ``dtype`` — numpy dtype name, or ``None`` for a weak python scalar,
+* ``ival`` — elementwise value bounds as a symbolic interval,
+* ``unique`` / ``sorted_`` — flattened-distinctness and last-axis order
+  facts (used by the nondeterminism and aliasing passes),
+* ``base`` — the id() of the buffer this value views, for aliasing.
+
+Values are *immutable in spirit*: every transfer function builds a new
+ArrayVal, so mask-refinement facts keyed by ``id(value)`` (see
+``interp.py``) can never survive a reassignment — reassigning a name
+produces a fresh object and silently drops stale refinements, which is
+the sound direction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from .sym import ParamEnv, SInterval, SymExpr
+
+__all__ = ["ArrayVal", "Shape", "broadcast_shapes", "shape_str"]
+
+#: A shape: per-dim SymExpr (None = unknown extent), or None = unknown rank.
+Shape = Optional[Tuple[Optional[SymExpr], ...]]
+
+
+@dataclass(frozen=True, eq=False)
+class ArrayVal:
+    """Abstraction of one array or scalar value."""
+
+    shape: Shape
+    dtype: Optional[str]
+    ival: SInterval
+    unique: bool = False
+    sorted_: bool = False
+    #: id() of the underlying buffer for view-aliasing; None = fresh.
+    base: Optional[int] = None
+
+    # dataclass(eq=False) keeps identity semantics: mask-refinement facts
+    # are keyed by id(self) and must not unify across distinct objects.
+
+    @staticmethod
+    def top() -> "ArrayVal":
+        return ArrayVal(shape=None, dtype=None, ival=SInterval.top())
+
+    @staticmethod
+    def scalar(
+        ival: SInterval, dtype: Optional[str] = None, **facts: bool
+    ) -> "ArrayVal":
+        return ArrayVal(shape=(), dtype=dtype, ival=ival, **facts)
+
+    @staticmethod
+    def const(value: int, dtype: Optional[str] = None) -> "ArrayVal":
+        return ArrayVal(shape=(), dtype=dtype, ival=SInterval.const(value))
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.shape is None else len(self.shape)
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape == ()
+
+    def const_value(self) -> Optional[SymExpr]:
+        """The single symbolic value when this is a degenerate scalar."""
+        if self.is_scalar:
+            return self.ival.exact()
+        return None
+
+    def with_(self, **changes) -> "ArrayVal":
+        return replace(self, **changes)
+
+    def join(self, other: "ArrayVal", env: ParamEnv) -> "ArrayVal":
+        """Least upper bound at control-flow merges."""
+        return ArrayVal(
+            shape=_join_shapes(self.shape, other.shape),
+            dtype=self.dtype if self.dtype == other.dtype else None,
+            ival=self.ival.hull(other.ival, env),
+            unique=self.unique and other.unique,
+            sorted_=self.sorted_ and other.sorted_,
+            base=self.base if self.base == other.base else None,
+        )
+
+    def same(self, other: "ArrayVal") -> bool:
+        """Structural equality (for loop-fixpoint stability checks)."""
+        return (
+            self.shape == other.shape
+            and self.dtype == other.dtype
+            and self.ival.same(other.ival)
+            and self.unique == other.unique
+            and self.sorted_ == other.sorted_
+        )
+
+    def widened(self, newer: "ArrayVal", env: ParamEnv) -> "ArrayVal":
+        joined = self.join(newer, env)
+        return joined.with_(ival=self.ival.widen(joined.ival, env))
+
+    def __str__(self) -> str:
+        return f"array(shape={shape_str(self.shape)}, dtype={self.dtype}, {self.ival})"
+
+
+def _join_shapes(a: Shape, b: Shape) -> Shape:
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(da if _dims_eq(da, db) else None for da, db in zip(a, b))
+
+
+def _dims_eq(a: Optional[SymExpr], b: Optional[SymExpr]) -> bool:
+    # Unknown dims compare equal to themselves for join stability.
+    if a is None or b is None:
+        return a is None and b is None
+    return a == b
+
+
+def broadcast_shapes(a: Shape, b: Shape) -> Tuple[Shape, Optional[Tuple[int, str, str]]]:
+    """Numpy broadcasting of two symbolic shapes.
+
+    Returns ``(result_shape, conflict)``; ``conflict`` is ``(axis,
+    dim_a, dim_b)`` (axis counted from the end) when two known dims are
+    provably different and neither is 1 — a broadcast-mismatch finding.
+    Unknown dims broadcast silently (no claim either way).
+    """
+    if a is None or b is None:
+        return None, None
+    one = SymExpr.const(1)
+    out = []
+    conflict = None
+    for axis, (da, db) in enumerate(
+        itertools.zip_longest(reversed(a), reversed(b), fillvalue=one)
+    ):
+        if da is None or db is None:
+            out.append(None)
+        elif da == db:
+            out.append(da)
+        elif da == one:
+            out.append(db)
+        elif db == one:
+            out.append(da)
+        elif da.is_const and db.is_const:
+            # Provably different constants, neither 1: hard mismatch.
+            conflict = (axis, str(da), str(db))
+            out.append(None)
+        else:
+            # Symbolically different (e.g. n vs k): report unless one
+            # could equal the other; distinct declared params are a
+            # mismatch for at least one assignment, which is what the
+            # checker reports (shapes must match for ALL assignments).
+            conflict = (axis, str(da), str(db))
+            out.append(None)
+    return tuple(reversed(out)), conflict
+
+
+def shape_str(shape: Shape) -> str:
+    if shape is None:
+        return "?"
+    return "(" + ", ".join("?" if d is None else str(d) for d in shape) + ")"

@@ -1,0 +1,186 @@
+"""Kernel annotations for the array-program static verifier.
+
+Vectorized host kernels opt into :mod:`repro.analysis.arrays` — the
+shape/dtype/overflow abstract interpreter — by decorating a module-level
+function with :func:`array_kernel` and declaring
+
+* the symbolic **parameters** the kernel is proven over (``{"n": (1,
+  2**31)}`` means *every* ``n`` in that range, not one concrete launch),
+* per-argument **array specs** (:func:`arr`): symbolic dims, dtype, and
+  elementwise value bounds as affine/polynomial expressions over the
+  parameters (``hi="n-1"``),
+* optional **return contracts** — trusted summaries used at call sites
+  inside other verified kernels (see DESIGN.md Sec. 14 for the
+  assume-guarantee caveat).
+
+This module is deliberately dependency-free (no numpy, no repro
+imports): hot modules like :mod:`repro.structures.soa` import the
+decorator at module top, and routing it through
+``repro.analysis.__init__`` would create an import cycle with
+:mod:`repro.core`.  The decorator returns the function unchanged — the
+annotation is metadata for the analyzer, with zero runtime cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "ArraySpec",
+    "ScalarSpec",
+    "OpaqueSpec",
+    "KernelAnnotation",
+    "arr",
+    "scalar",
+    "opaque",
+    "array_kernel",
+    "iter_array_annotations",
+    "get_annotation",
+]
+
+#: A dimension or bound: an int literal or an expression string over the
+#: declared parameters (``"n"``, ``"n-1"``, ``"32*w"``, ``"k0*k0-1"``).
+Expr = Union[int, str]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Declared abstraction of one array argument.
+
+    ``dims`` is the symbolic shape (``None`` = any shape; bounds then
+    apply elementwise regardless of rank).  ``lo``/``hi`` bound every
+    element (``None`` = unknown on that side).  ``unique`` asserts the
+    flattened elements are pairwise distinct; ``sorted_`` that they are
+    nondecreasing along the last axis.
+    """
+
+    dims: Optional[Tuple[Expr, ...]]
+    dtype: str = "int64"
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+    unique: bool = False
+    sorted_: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSpec:
+    """A scalar argument: exact (``scalar("n")``) or ranged (``lo``/``hi``).
+
+    ``expr`` pins the scalar to a parameter expression; when it is
+    ``None`` the scalar is only known to lie in ``[lo, hi]``.
+    """
+
+    expr: Optional[Expr] = None
+    dtype: str = "int64"
+    lo: Optional[Expr] = None
+    hi: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class OpaqueSpec:
+    """An argument the analyzer treats as unknown (RNG, recorders, ...)."""
+
+
+ArgSpec = Union[ArraySpec, ScalarSpec, OpaqueSpec]
+
+
+def arr(
+    *dims: Expr,
+    dtype: str = "int64",
+    lo: Optional[Expr] = None,
+    hi: Optional[Expr] = None,
+    unique: bool = False,
+    sorted_: bool = False,
+) -> ArraySpec:
+    """Declare an array argument; ``arr()`` with no dims = any shape."""
+    return ArraySpec(
+        dims=dims if dims else None,
+        dtype=dtype,
+        lo=lo,
+        hi=hi,
+        unique=unique,
+        sorted_=sorted_,
+    )
+
+
+def scalar(
+    expr: Optional[Expr] = None,
+    dtype: str = "int64",
+    lo: Optional[Expr] = None,
+    hi: Optional[Expr] = None,
+) -> ScalarSpec:
+    """Declare a scalar argument: exact expression or ``[lo, hi]`` range."""
+    return ScalarSpec(expr=expr, dtype=dtype, lo=lo, hi=hi)
+
+
+def opaque() -> OpaqueSpec:
+    """Declare an argument the analyzer must not rely on."""
+    return OpaqueSpec()
+
+
+@dataclass(frozen=True)
+class KernelAnnotation:
+    """One registered array kernel: the function plus its declarations."""
+
+    func: Callable
+    name: str
+    module: str
+    params: Mapping[str, Tuple[int, int]]
+    args: Mapping[str, ArgSpec]
+    returns: Optional[Sequence[ArraySpec]] = None
+    #: Rule names waived for this kernel (expected findings).
+    waive: Tuple[str, ...] = ()
+    #: Registry the kernel belongs to: "default" for production kernels,
+    #: "known-bad" for the deliberately broken CI fixtures.
+    registry: str = "default"
+
+
+#: qualified name -> annotation, in registration (definition) order.
+_REGISTRY: Dict[str, KernelAnnotation] = {}
+
+
+def array_kernel(
+    params: Optional[Mapping[str, Tuple[int, int]]] = None,
+    args: Optional[Mapping[str, ArgSpec]] = None,
+    returns: Optional[Sequence[ArraySpec]] = None,
+    waive: Sequence[str] = (),
+    registry: str = "default",
+) -> Callable[[Callable], Callable]:
+    """Register a vectorized host kernel for static verification.
+
+    The decorated function is returned unchanged.  ``params`` maps each
+    symbolic parameter to its closed ``(lo, hi)`` range; the verifier
+    proves the kernel for every assignment in the box.  ``args`` maps
+    argument names to :func:`arr`/:func:`scalar`/:func:`opaque` specs;
+    unlisted arguments are opaque.  ``returns`` is a trusted contract
+    (one :func:`arr` per returned value) other kernels may assume.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        qualname = f"{func.__module__}.{func.__qualname__}"
+        _REGISTRY[qualname] = KernelAnnotation(
+            func=func,
+            name=func.__qualname__,
+            module=func.__module__,
+            params=dict(params or {}),
+            args=dict(args or {}),
+            returns=tuple(returns) if returns is not None else None,
+            waive=tuple(waive),
+            registry=registry,
+        )
+        return func
+
+    return decorate
+
+
+def iter_array_annotations(registry: str = "default") -> Iterator[KernelAnnotation]:
+    """Registered kernels from one registry, in definition order."""
+    for annotation in _REGISTRY.values():
+        if annotation.registry == registry:
+            yield annotation
+
+
+def get_annotation(qualname: str) -> Optional[KernelAnnotation]:
+    """Look up one annotation by ``module.qualname`` (None if absent)."""
+    return _REGISTRY.get(qualname)

@@ -43,6 +43,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel
 from repro.core.config import SearchConfig
 from repro.core.song import (
     EXACT_VISITED_BACKENDS,
@@ -64,6 +65,27 @@ from repro.structures.soa import (
 from repro.structures.visited import VisitedBackend
 
 __all__ = ["BatchedSongSearcher"]
+
+
+@array_kernel(
+    params={"n": (1, 2**31), "B": (1, 2**20), "L": (1, 2**16)},
+    args={
+        "cand": arr("B", "L", lo=-1, hi="n-1"),
+        "valid": arr("B", "L", dtype="bool"),
+    },
+    returns=[arr("B", "L", dtype="bool")],
+)
+def _first_occurrence_mask(cand: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Keep only each lane's first valid occurrence of every vertex id.
+
+    The batched twin of the serial ``seen_this_round`` set: slot ``j``
+    is dropped when any earlier valid slot ``i`` holds the same vertex.
+    O(L^2) bitmask over the round's candidate window, ``L`` = slots.
+    """
+    num_slots = cand.shape[1]
+    same = cand[:, :, None] == cand[:, None, :]
+    earlier = np.tri(num_slots, num_slots, -1, dtype=bool)
+    return valid & ~(same & valid[:, None, :] & earlier[None]).any(axis=2)
 
 
 class BatchedSongSearcher:
@@ -309,17 +331,11 @@ class _LockstepState:
         neighbors = self.adj[popped_ids]  # (B, ws, degree)
         valid = (pop_mask[:, :, None] & (neighbors != PAD)).reshape(self.b, -1)
         cand = neighbors.reshape(self.b, -1)
-        num_slots = cand.shape[1]
         meter.read_graph_row(int(pop_mask.sum()) * self.degree)
         meter.visited_test(int(valid.sum()))
         cand_safe = np.where(valid, cand, 0)
         valid &= ~self.visited[self._rows, cand_safe]
-        # First-occurrence dedup within the round (the serial
-        # ``seen_this_round`` set): slot j is a duplicate when any earlier
-        # valid slot i holds the same vertex.  O(L^2) bitmask, L = slots.
-        same = cand[:, :, None] == cand[:, None, :]
-        earlier = np.tri(num_slots, num_slots, -1, dtype=bool)
-        valid &= ~(same & valid[:, None, :] & earlier[None]).any(axis=2)
+        valid = _first_occurrence_mask(cand, valid)
         n_cand = valid.sum(axis=1)
 
         # ---- Stage 2: one fused bulk distance computation ----------------

@@ -35,8 +35,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel, opaque, scalar
 from repro.graphs.bruteforce_knn import knn_neighbors, medoid
 from repro.graphs.storage import PAD, FixedDegreeGraph
+from repro.structures.soa import pack_rowid, unpack_rowid
 
 __all__ = ["build_dpg"]
 
@@ -113,6 +115,16 @@ def _diversify_batched(
     return out
 
 
+@array_kernel(
+    params={"n": (2, 2**28), "keep": (1, 64), "cap": (1, 512), "degree": (2, 64)},
+    args={
+        "fwd": arr("n", "keep", lo=0, hi="n-1"),
+        "table": arr("n", "cap", lo=0, hi="n-1"),
+        "degree": scalar("degree"),
+        "rec": opaque(),
+    },
+    returns=[arr("n", "degree", dtype="int64", lo=-1, hi="n-1")],
+)
 def _undirect_batched(
     fwd: np.ndarray, table: np.ndarray, degree: int, rec
 ) -> np.ndarray:
@@ -138,8 +150,8 @@ def _undirect_batched(
     # reverse band: forward edges enumerated row-major *are* the serial
     # arrival order, so ranking each target's in-edges by that flat index
     # reproduces it
-    comp = c_f * np.int64(n * keep) + np.arange(n * keep, dtype=np.int64)
-    order = np.argsort(comp)
+    comp = pack_rowid(c_f, np.arange(n * keep, dtype=np.int64), n * keep)
+    order = np.argsort(comp)  # comp is unique: flat index breaks every tie
     w_r = c_f[order]
     c_r = w_f[order]
     p_r = keep + _rank_within_groups(w_r)
@@ -157,14 +169,13 @@ def _undirect_batched(
     rec.record_flat_sort(len(w_all), "undirect")
 
     # dedup each (vertex, candidate) to its strongest band
-    vc = w_all * np.int64(n) + c_all
+    vc = pack_rowid(w_all, c_all, n)
     order = np.lexsort((p_all, vc))
     vc_s, p_s = vc[order], p_all[order]
     first = np.ones(len(vc_s), dtype=bool)
     first[1:] = vc_s[1:] != vc_s[:-1]
     vc_s, p_s = vc_s[first], p_s[first]
-    w_k = vc_s // n
-    c_k = vc_s - w_k * n
+    w_k, c_k = unpack_rowid(vc_s, n)
     order = np.lexsort((p_s, w_k))
     w_k, c_k = w_k[order], c_k[order]
     rank = _rank_within_groups(w_k)

@@ -39,17 +39,59 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel, scalar
 from repro.distances import get_metric
 from repro.graphs._repair import attach_orphans
 from repro.graphs._search import greedy_search
 from repro.graphs.bruteforce_knn import knn_neighbors, medoid
 from repro.graphs.storage import PAD, FixedDegreeGraph
+from repro.structures.soa import pack_rowid, unpack_rowid
 
 __all__ = ["NSGBuilder", "build_nsg"]
 
 #: Queries per lockstep candidate-pool sweep (bounds the searcher's
 #: per-batch frontier/visited state).
 _POOL_CHUNK = 1024
+
+
+@array_kernel(
+    params={"n": (2, 2**31), "E": (1, 2**40)},
+    args={
+        "owner": arr("E", lo=0, hi="n-1"),
+        "cand": arr("E", lo=0, hi="n-1"),
+        "dist": arr("E", dtype="float64"),
+        "n": scalar("n"),
+    },
+    returns=[
+        arr(lo=0, hi="n-1"),
+        arr(lo=0, hi="n-1"),
+        arr(dtype="float64"),
+        arr(lo=0),
+    ],
+)
+def _dedup_pool_edges(
+    owner: np.ndarray, cand: np.ndarray, dist: np.ndarray, n: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dedup flat pool edges and rank them per owner by distance.
+
+    Each ``(owner, cand)`` pair keeps its smallest distance, survivors
+    are sorted per owner by ``(distance, cand)``, and ``rank`` is each
+    edge's 0-based position within its owner's run — ready for a
+    ``pool[owner, rank]`` scatter.
+    """
+    from repro.graphs.nn_descent import _rank_within_groups
+
+    vc = pack_rowid(owner, cand, n)
+    order = np.lexsort((dist, vc))
+    vc_s, dist_s = vc[order], dist[order]
+    keep = np.ones(len(vc_s), dtype=bool)
+    keep[1:] = vc_s[1:] != vc_s[:-1]
+    vc_s, dist_s = vc_s[keep], dist_s[keep]
+    owner_k, cand_k = unpack_rowid(vc_s, n)
+    order = np.lexsort((cand_k, dist_s, owner_k))
+    owner_k, cand_k, dist_s = owner_k[order], cand_k[order], dist_s[order]
+    rank = _rank_within_groups(owner_k)
+    return owner_k, cand_k, dist_s, rank
 
 
 class NSGBuilder:
@@ -158,11 +200,7 @@ class NSGBuilder:
         """
         from repro.core.batched import BatchedSongSearcher
         from repro.core.config import SearchConfig
-        from repro.graphs.nn_descent import (
-            _pair_distances,
-            _ragged_arange,
-            _rank_within_groups,
-        )
+        from repro.graphs.nn_descent import _pair_distances, _ragged_arange
         from repro.simt.build_cost import maybe_recorder
 
         rec = maybe_recorder(self.cost)
@@ -226,18 +264,8 @@ class NSGBuilder:
         dist = pool_d.ravel()
         valid = (cand >= 0) & (cand != owner)
         owner, cand, dist = owner[valid], cand[valid], dist[valid]
-        vc = owner * n + cand
-        order = np.lexsort((dist, vc))
-        vc_s, dist_s = vc[order], dist[order]
-        keep = np.ones(len(vc_s), dtype=bool)
-        keep[1:] = vc_s[1:] != vc_s[:-1]
-        vc_s, dist_s = vc_s[keep], dist_s[keep]
-        owner_k = vc_s // n
-        cand_k = vc_s - owner_k * n
-        order = np.lexsort((cand_k, dist_s, owner_k))
-        owner_k, cand_k, dist_s = owner_k[order], cand_k[order], dist_s[order]
-        rank = _rank_within_groups(owner_k)
-        rec.record_flat_sort(len(vc), "pool-dedup")
+        owner_k, cand_k, dist_s, rank = _dedup_pool_edges(owner, cand, dist, n)
+        rec.record_flat_sort(len(owner), "pool-dedup")
 
         ci = np.full((n, width), PAD, dtype=np.int64)
         cd = np.full((n, width), np.inf, dtype=np.float64)

@@ -13,7 +13,27 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel, scalar
 from repro.graphs.storage import FixedDegreeGraph
+from repro.structures.soa import pack_rowid
+
+
+@array_kernel(
+    params={"n": (1, 2**31), "E": (1, 2**40)},
+    args={
+        "src": arr("E", lo=0, hi="n-1"),
+        "dst": arr("E", lo=0, hi="n-1"),
+        "n": scalar("n"),
+    },
+    returns=[arr("E", dtype="bool")],
+)
+def _reverse_hit_mask(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """Per-edge flag: does the reversed edge ``(dst, src)`` exist too?"""
+    fwd = np.sort(pack_rowid(src, dst, n))
+    rev = pack_rowid(dst, src, n)
+    pos = np.searchsorted(fwd, rev)
+    np.minimum(pos, len(fwd) - 1, out=pos)
+    return fwd[pos] == rev
 
 
 @dataclass
@@ -107,11 +127,7 @@ def reverse_edge_coverage(graph: FixedDegreeGraph) -> float:
     src, dst = src[valid], dst[valid]
     if not len(src):
         return 0.0
-    fwd = np.sort(src * n + dst)
-    rev = dst * n + src
-    pos = np.searchsorted(fwd, rev)
-    np.minimum(pos, len(fwd) - 1, out=pos)
-    return float((fwd[pos] == rev).mean())
+    return float(_reverse_hit_mask(src, dst, n).mean())
 
 
 def edge_length_percentiles(

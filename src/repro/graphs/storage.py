@@ -12,7 +12,25 @@ from typing import Iterable, List, Sequence
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel, scalar
+from repro.structures.soa import pack_rowid
+
 PAD = -1
+
+
+@array_kernel(
+    params={"n": (1, 2**31), "E": (0, 2**40)},
+    args={
+        "owners": arr("E", lo=0, hi="n-1"),
+        "ids": arr("E", lo=0, hi="n-1"),
+        "n": scalar("n"),
+    },
+)
+def _has_duplicate_edges(owners: np.ndarray, ids: np.ndarray, n: int) -> bool:
+    """True when any ``(owner, id)`` edge appears twice in the flat lists."""
+    comp = pack_rowid(owners, ids, n)
+    comp.sort()
+    return bool(np.any(comp[1:] == comp[:-1]))
 
 
 class FixedDegreeGraph:
@@ -111,9 +129,7 @@ class FixedDegreeGraph:
             owners = np.repeat(np.arange(n, dtype=np.int32), counts)
             if np.any(ids == owners):
                 raise ValueError("self-loops are not allowed")
-            comp = owners.astype(np.int64) * n + ids
-            comp.sort()
-            if len(comp) > 1 and np.any(comp[1:] == comp[:-1]):
+            if _has_duplicate_edges(owners, ids, n):
                 raise ValueError("duplicate neighbors within a row")
         adj[~valid] = PAD
         graph._adj = np.ascontiguousarray(adj)

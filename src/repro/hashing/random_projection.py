@@ -12,6 +12,23 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel
+
+
+@array_kernel(
+    params={"n": (1, 2**31), "w": (1, 64)},
+    args={"signs": arr("n", "32*w", dtype="bool")},
+    returns=[arr("n", "w", dtype="uint32", lo=0, hi=2**32 - 1)],
+)
+def pack_sign_bits(signs: np.ndarray) -> np.ndarray:
+    """Pack ``(n, 32*w)`` sign bits into ``(n, w)`` uint32 words.
+
+    Little-endian bit order within each word, matching the paper's
+    signature layout: bit ``j`` of word ``k`` is sign ``32*k + j``.
+    """
+    bits = np.packbits(signs, axis=1, bitorder="little")
+    return bits.view(np.uint32)
+
 
 class SignRandomProjection:
     """Compress float vectors to packed sign bits.
@@ -62,8 +79,7 @@ class SignRandomProjection:
                 f"expected dim {self.dim}, got {data.shape[1]}"
             )
         signs = (data @ self._directions) >= 0  # (n, num_bits) bool
-        bits = np.packbits(signs, axis=1, bitorder="little")
-        return bits.view(np.uint32).reshape(len(data), self.num_words)
+        return pack_sign_bits(signs).reshape(len(data), self.num_words)
 
     def memory_bytes(self, n: int) -> int:
         """Storage for ``n`` signatures."""

@@ -22,9 +22,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.annotations import arr, array_kernel, scalar
+
 __all__ = [
     "PAD_KEY",
     "pack_keys",
+    "pack_rowid",
+    "unpack_rowid",
     "unpack_distances",
     "unpack_ids",
     "BatchedTopK",
@@ -38,7 +42,66 @@ _SIGN32 = np.uint32(0x80000000)
 _LOW32 = np.uint64(0xFFFFFFFF)
 _SHIFT = np.uint64(32)
 
+_INT64_MAX = 9223372036854775807
 
+
+@array_kernel(
+    params={"n": (1, 2**31)},
+    args={
+        "rows": arr(lo=0, hi="n-1"),
+        "ids": arr(lo=0, hi="n-1"),
+        "n": scalar("n"),
+    },
+    returns=[arr(dtype="int64", lo=0, hi="n*n-1")],
+)
+def pack_rowid(rows: np.ndarray, ids: np.ndarray, n: int) -> np.ndarray:
+    """Pack ``(row, id)`` pairs into the composite key ``row * n + id``.
+
+    The single checked entry point for every composite row/id key in the
+    batched builders.  ``ids`` must lie in ``[0, n)`` (so the key decodes
+    uniquely) and the largest key must fit ``int64``; both bounds are
+    asserted here once — O(1) reductions next to O(m log m) sorts — and
+    proven statically by the array verifier for every declared parameter
+    range.  ``rows`` may exceed ``n`` (nested packs use a widened row
+    coordinate); only the product bound matters.
+    """
+    rows = np.asarray(rows)
+    ids = np.asarray(ids)
+    n = int(n)
+    if rows.size:
+        if int(ids.min()) < 0 or int(ids.max()) >= n:
+            raise ValueError("pack_rowid: ids must lie in [0, n)")
+        if int(rows.min()) < 0 or int(rows.max()) > (_INT64_MAX - (n - 1)) // n:
+            raise OverflowError("pack_rowid: row * n + id exceeds int64")
+    return rows * np.int64(n) + ids
+
+
+@array_kernel(
+    params={"n": (1, 2**31)},
+    args={"keys": arr(lo=0, hi="n*n-1"), "n": scalar("n")},
+    returns=[
+        arr(dtype="int64", lo=0, hi="n-1"),
+        arr(dtype="int64", lo=0, hi="n-1"),
+    ],
+)
+def unpack_rowid(keys: np.ndarray, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pack_rowid`: composite keys back to ``(rows, ids)``.
+
+    ``ids`` lands in ``[0, n)`` by construction of the modulus; the
+    ``rows`` bound holds for any key packed by :func:`pack_rowid` with
+    row coordinates below ``n`` (the common, non-nested case).
+    """
+    return np.divmod(keys, np.int64(n))
+
+
+@array_kernel(
+    params={"n": (1, 2**32)},
+    args={
+        "dists": arr(dtype="float32"),
+        "ids": arr(lo=0, hi="n-1"),
+    },
+    returns=[arr(dtype="uint64")],
+)
 def pack_keys(dists: np.ndarray, ids: np.ndarray) -> np.ndarray:
     """Pack float32 distances and non-negative int ids into sortable uint64.
 
@@ -53,6 +116,10 @@ def pack_keys(dists: np.ndarray, ids: np.ndarray) -> np.ndarray:
     return (mapped.astype(np.uint64) << _SHIFT) | ids.astype(np.uint64)
 
 
+@array_kernel(
+    args={"keys": arr(dtype="uint64")},
+    returns=[arr(dtype="float32")],
+)
 def unpack_distances(keys: np.ndarray) -> np.ndarray:
     """Recover the float32 distances from packed keys.
 
@@ -64,6 +131,10 @@ def unpack_distances(keys: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(bits).view(np.float32)
 
 
+@array_kernel(
+    args={"keys": arr(dtype="uint64")},
+    returns=[arr(dtype="int64", lo=0, hi=2**32 - 1)],
+)
 def unpack_ids(keys: np.ndarray) -> np.ndarray:
     """Recover the vertex ids from packed keys (``PAD_KEY`` -> 0xFFFFFFFF)."""
     return (keys & _LOW32).astype(np.int64)

@@ -1,0 +1,242 @@
+"""Unit tests for the array verifier's abstract domains.
+
+Covers the symbolic polynomial layer (:class:`SymExpr` /
+:class:`ParamEnv`), the symbolic interval layer (:class:`SInterval`),
+the dtype lattice, and the counterexample search that turns an
+unprovable packed-key bound into the smallest concrete witness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.arrays.dtypes import int_range, is_integer, normalize, promote
+from repro.analysis.arrays.interp import find_counterexample
+from repro.analysis.arrays.sym import (
+    ParamEnv,
+    SInterval,
+    SymExpr,
+    parse_expr,
+)
+
+INT64_MAX = 2**63 - 1
+
+
+class TestSymExpr:
+    def test_const_and_var_arithmetic(self):
+        n = SymExpr.var("n")
+        e = n * n - n + SymExpr.const(3)
+        assert e.evaluate({"n": 10}) == 93
+        assert not e.is_const
+        assert e.params() == ("n",)
+
+    def test_equality_is_structural(self):
+        n = SymExpr.var("n")
+        assert n + SymExpr.const(1) == SymExpr.const(1) + n
+        assert n - n == SymExpr.const(0)
+        assert (n - n).is_const
+
+    def test_parse_expr_round_trips(self):
+        e = parse_expr("32*w - 1")
+        assert e.evaluate({"w": 2}) == 63
+        assert parse_expr(7).const_value == 7
+        assert parse_expr("n**2").evaluate({"n": 5}) == 25
+
+    def test_subst_composes_polynomials(self):
+        e = parse_expr("n*k + 1")
+        out = e.subst({"n": parse_expr("m - 1")})
+        assert out.evaluate({"m": 4, "k": 10}) == 31
+
+    def test_bounds_over_param_box(self):
+        env = ParamEnv({"n": (1, 100)})
+        lo, hi = parse_expr("2*n + 5").bounds(env)
+        assert (lo, hi) == (7, 205)
+
+    def test_bounds_are_per_monomial(self):
+        # Sound but not tight: n**2 - n takes its per-monomial corners
+        # independently, so lo dips below the true joint minimum.
+        env = ParamEnv({"n": (1, 10)})
+        lo, hi = parse_expr("n**2 - n").bounds(env)
+        assert lo <= 0 and hi >= 90
+
+    def test_bounds_exact_near_int64(self):
+        # Exact int arithmetic: 2**63 - 1 must not round through floats.
+        env = ParamEnv({"n": (1, 2**32)})
+        _, hi = parse_expr("n**2 - 1").bounds(env)
+        assert hi == 2**64 - 1
+        assert hi > INT64_MAX
+
+    def test_undeclared_param_is_unbounded(self):
+        env = ParamEnv()
+        lo, hi = parse_expr("n + 1").bounds(env)
+        assert lo == float("-inf") and hi == float("inf")
+
+
+class TestSymExprFloordiv:
+    def test_relational_rule(self):
+        # (n**2 - 1) // n == n - 1 exactly: the core precision the
+        # unpack_rowid transfer function relies on.
+        env = ParamEnv({"n": (1, 2**32)})
+        n = SymExpr.var("n")
+        bounds = (n * n - SymExpr.const(1)).floordiv(n, env)
+        assert bounds is not None
+        lo, hi = bounds
+        assert lo == hi == n - SymExpr.const(1)
+
+    def test_const_fast_path(self):
+        env = ParamEnv()
+        q = SymExpr.const(2**64 - 1).floordiv(SymExpr.const(2**32), env)
+        assert q is not None
+        assert q[0] == q[1] == SymExpr.const(2**32 - 1)
+
+    def test_zero_divisor_refused(self):
+        env = ParamEnv()
+        assert SymExpr.const(10).floordiv(SymExpr.const(0), env) is None
+
+    def test_remainder_too_wide_refused(self):
+        # (n + k) // n: the k remainder can exceed n, so no exact rule.
+        env = ParamEnv({"n": (1, 10), "k": (0, 100)})
+        expr = parse_expr("n + k")
+        assert expr.floordiv(SymExpr.var("n"), env) is None
+
+
+class TestSInterval:
+    def setup_method(self):
+        self.env = ParamEnv({"n": (1, 2**20), "k": (1, 64)})
+        self.n = SymExpr.var("n")
+        self.k = SymExpr.var("k")
+
+    def test_add_sub_stay_symbolic(self):
+        a = SInterval.of(0, self.n - SymExpr.const(1))
+        b = SInterval.const(1)
+        assert a.add(b).hi == self.n
+        assert a.sub(b).lo == SymExpr.const(-1)
+
+    def test_add_wraps_numeric_ends(self):
+        # A raw python int on one side must not collapse the symbolic
+        # side to +/-inf (the _wrap_num regression).
+        a = SInterval.of(0, self.n)
+        b = SInterval(SymExpr.const(0), 5.0)
+        assert a.add(b).hi == self.n + SymExpr.const(5)
+
+    def test_mul_nonnegative_is_exact(self):
+        a = SInterval.of(0, self.n - SymExpr.const(1))
+        b = SInterval.const(self.k)
+        hi = a.mul(b, self.env).hi
+        assert hi == (self.n - SymExpr.const(1)) * self.k
+
+    def test_floordiv_relational(self):
+        packed = SInterval.of(0, self.n * self.n - SymExpr.const(1))
+        out = packed.floordiv(SInterval.const(self.n), self.env)
+        assert out.lo == SymExpr.const(0)
+        assert out.hi == self.n - SymExpr.const(1)
+
+    def test_mod_prefers_symbolic_divisor_bound(self):
+        # [0, k*n**2 - 1] % n: the dividend's hi is incomparable with
+        # n - 1 numerically, but the divisor bound n - 1 is exact.
+        wide = SInterval.of(
+            0, self.k * self.n * self.n - SymExpr.const(1)
+        )
+        out = wide.mod(SInterval.const(self.n), self.env)
+        assert out.hi == self.n - SymExpr.const(1)
+
+    def test_mod_tightens_to_small_dividend(self):
+        # k <= 64 < 128, so x.hi is provably below the divisor bound and
+        # the result keeps the tighter dividend end.
+        small = SInterval.of(0, self.k)
+        out = small.mod(SInterval.const(SymExpr.const(128)), self.env)
+        assert out.hi == self.k
+
+    def test_mod_negative_dividend_stays_in_divisor_range(self):
+        signed = SInterval.of(SymExpr.const(-5), self.k)
+        out = signed.mod(SInterval.const(self.n), self.env)
+        assert out.lo == SymExpr.const(0)
+        assert out.hi == self.n - SymExpr.const(1)
+
+    def test_hull_and_meet(self):
+        a = SInterval.of(0, self.n)
+        b = SInterval.of(2, self.n + SymExpr.const(3))
+        h = a.hull(b, self.env)
+        assert h.lo == SymExpr.const(0) and h.hi == self.n + SymExpr.const(3)
+        m = a.meet(b, self.env)
+        assert m.lo == SymExpr.const(2) and m.hi == self.n
+
+    def test_contains_is_provability(self):
+        outer = SInterval.of(0, self.n)
+        inner = SInterval.of(1, self.n - SymExpr.const(1))
+        assert outer.contains(inner, self.env)
+        assert not inner.contains(outer, self.env)
+
+    def test_widen_jumps_unstable_ends(self):
+        a = SInterval.of(0, self.n)
+        grown = SInterval.of(0, self.n + SymExpr.const(1))
+        w = a.widen(grown, self.env)
+        assert w.lo == SymExpr.const(0)
+        assert w.hi == float("inf")
+        # A stable bound survives widening untouched.
+        assert a.widen(a, self.env).same(a)
+
+
+class TestDTypeLattice:
+    def test_promotion_matches_numpy(self):
+        for a, b in [
+            ("int32", "int64"),
+            ("uint32", "int64"),
+            ("int64", "float32"),
+            ("uint8", "uint32"),
+            ("bool", "int32"),
+        ]:
+            got = promote(a, b)
+            want = np.result_type(np.dtype(a), np.dtype(b)).name
+            assert got == want, (a, b, got, want)
+
+    def test_weak_scalar_adopts_array_dtype(self):
+        # NEP 50: a python int against an int32 array stays int32.
+        assert promote("int32", None) == "int32"
+        assert promote(None, "uint64") == "uint64"
+
+    def test_int_range_endpoints(self):
+        assert int_range("int64") == (-(2**63), 2**63 - 1)
+        assert int_range("uint32") == (0, 2**32 - 1)
+        assert int_range("bool") == (0, 1)
+        assert int_range("float64") is None
+
+    def test_normalize_and_predicates(self):
+        assert normalize("int") == np.dtype("int").name
+        assert is_integer("uint8") and not is_integer("float32")
+
+
+class TestCounterexampleSearch:
+    def test_issue_witness_for_packed_key(self):
+        # rows * n + ids with rows, ids <= n - 1: max is n**2 - 1, which
+        # first exceeds int64 at n = 3037000500 (ceil(2**31.5)).
+        env = ParamEnv({"n": (1, 2**32)})
+        expr = parse_expr("n**2 - 1")
+        witness = find_counterexample(expr, env, INT64_MAX)
+        assert witness == {"n": 3037000500}
+        assert expr.evaluate(witness) > INT64_MAX
+        assert expr.evaluate({"n": witness["n"] - 1}) <= INT64_MAX
+
+    def test_no_witness_when_bound_fits(self):
+        env = ParamEnv({"n": (1, 2**31)})
+        expr = parse_expr("n**2 - 1")
+        assert find_counterexample(expr, env, INT64_MAX) is None
+
+    def test_unbounded_param_defers(self):
+        env = ParamEnv()
+        expr = parse_expr("n**2")
+        assert find_counterexample(expr, env, INT64_MAX) is None
+
+    def test_multi_param_minimizes_each(self):
+        env = ParamEnv({"a": (1, 1000), "b": (1, 1000)})
+        expr = parse_expr("a*b")
+        witness = find_counterexample(expr, env, 10_000)
+        assert witness is not None
+        assert expr.evaluate(witness) > 10_000
+        for name in ("a", "b"):
+            shrunk = dict(witness)
+            shrunk[name] -= 1
+            assert expr.evaluate(shrunk) <= 10_000 or shrunk[name] == 0
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

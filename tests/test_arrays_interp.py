@@ -1,0 +1,339 @@
+"""Behavioural tests for the array abstract interpreter.
+
+Each test defines a tiny kernel inline (registered under a throwaway
+``test`` registry so the default analysis run never sees it), analyzes
+it, and asserts on findings and proven obligations: transfer precision,
+mask refinement, slice arithmetic, loop widening, contract calls, and
+the syntactic nondeterminism sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.arrays.interp import analyze_kernel
+from repro.analysis.arrays.nondet import scan_source
+from repro.annotations import arr, array_kernel, get_annotation, scalar
+
+REG = "test-interp"
+
+
+def analyze(func):
+    ann = get_annotation(f"{func.__module__}.{func.__qualname__}")
+    assert ann is not None, "kernel did not register"
+    return analyze_kernel(ann)
+
+
+def rules(findings):
+    return sorted({f.rule for f in findings})
+
+
+class TestOverflowChecker:
+    def test_safe_pack_is_clean_and_proven(self):
+        @array_kernel(
+            params={"n": (1, 2**31)},
+            args={
+                "rows": arr("E", lo=0, hi="n-1"),
+                "ids": arr("E", lo=0, hi="n-1"),
+                "n": scalar("n"),
+            },
+            registry=REG,
+        )
+        def safe_pack(rows, ids, n):
+            return rows * np.int64(n) + ids
+
+        findings, proven = analyze(safe_pack)
+        assert findings == []
+
+    def test_overflowing_pack_reports_counterexample(self):
+        @array_kernel(
+            params={"n": (1, 2**32)},
+            args={
+                "rows": arr("E", lo=0, hi="n-1"),
+                "ids": arr("E", lo=0, hi="n-1"),
+                "n": scalar("n"),
+            },
+            registry=REG,
+        )
+        def wide_pack(rows, ids, n):
+            return rows * np.int64(n) + ids
+
+        findings, _ = analyze(wide_pack)
+        errors = [f for f in findings if f.severity.value == "error"]
+        assert errors and all(f.rule == "packed-key-overflow" for f in errors)
+        assert any("n=3037000500" in f.message for f in errors)
+
+    def test_uint64_headroom_accepts_shifted_pack(self):
+        @array_kernel(
+            params={"n": (1, 2**31)},
+            args={
+                "tgt": arr("E", dtype="uint64", lo=0, hi="n-1"),
+                "low": arr("E", dtype="uint64", lo=0, hi=2**32 - 1),
+            },
+            registry=REG,
+        )
+        def shift_pack(tgt, low):
+            return (tgt << np.uint64(32)) | low
+
+        findings, _ = analyze(shift_pack)
+        assert findings == []
+
+
+class TestBroadcastChecker:
+    def test_incompatible_dims_error(self):
+        @array_kernel(
+            params={"n": (2, 100), "k": (2, 100)},
+            args={"a": arr("n"), "b": arr("k")},
+            registry=REG,
+        )
+        def mismatched(a, b):
+            return a + b
+
+        findings, _ = analyze(mismatched)
+        assert rules(findings) == ["broadcast-mismatch"]
+
+    def test_newaxis_outer_product_is_clean(self):
+        @array_kernel(
+            params={"n": (1, 100), "k": (1, 100)},
+            args={"a": arr("n"), "b": arr("k")},
+            registry=REG,
+        )
+        def outer(a, b):
+            return a[:, None] * b[None, :]
+
+        findings, _ = analyze(outer)
+        assert findings == []
+
+
+class TestIndexChecker:
+    def test_provable_oob_gather_errors(self):
+        @array_kernel(
+            params={"n": (1, 100), "E": (1, 100)},
+            args={"data": arr("n"), "idx": arr("E", lo=0, hi="n")},
+            registry=REG,
+        )
+        def oob(data, idx):
+            return data[idx]
+
+        findings, _ = analyze(oob)
+        assert rules(findings) == ["fancy-index-oob"]
+        assert findings[0].severity.value == "error"
+
+    def test_in_bounds_gather_is_silent(self):
+        @array_kernel(
+            params={"n": (1, 100), "E": (1, 100)},
+            args={"data": arr("n"), "idx": arr("E", lo=0, hi="n-1")},
+            registry=REG,
+        )
+        def fine(data, idx):
+            return data[idx]
+
+        findings, _ = analyze(fine)
+        assert findings == []
+
+    def test_clamp_then_gather_is_silent(self):
+        # np.minimum against len(x) - 1 must refine the index interval.
+        @array_kernel(
+            params={"n": (1, 100), "E": (1, 100)},
+            args={"data": arr("n"), "idx": arr("E", lo=0, hi="n")},
+            registry=REG,
+        )
+        def clamped(data, idx):
+            pos = np.minimum(idx, len(data) - 1)
+            return data[pos]
+
+        findings, _ = analyze(clamped)
+        assert findings == []
+
+    def test_mask_refinement_tracks_compressed_values(self):
+        # data[keep] under keep = idx < n refines the gathered values.
+        @array_kernel(
+            params={"n": (1, 100), "E": (1, 100)},
+            args={"data": arr("n"), "idx": arr("E", lo=0, hi=2**20)},
+            registry=REG,
+        )
+        def masked(data, idx):
+            keep = idx < len(data)
+            return data[idx[keep]]
+
+        findings, _ = analyze(masked)
+        assert findings == []
+
+    def test_slice_arithmetic_keeps_dims_aligned(self):
+        # x[1:] and x[:-1] both have extent n - 1: the dedup idiom.
+        @array_kernel(
+            params={"n": (2, 2**20)},
+            args={"x": arr("n", dtype="int64")},
+            registry=REG,
+        )
+        def dedup_mask(x):
+            return x[1:] != x[:-1]
+
+        findings, _ = analyze(dedup_mask)
+        assert findings == []
+
+
+class TestAliasingChecker:
+    def test_scatter_add_through_dup_index_errors(self):
+        @array_kernel(
+            params={"n": (2, 100), "E": (2, 100)},
+            args={
+                "out": arr("n", dtype="float64"),
+                "idx": arr("E", lo=0, hi="n-1"),
+                "v": arr("E", dtype="float64"),
+            },
+            registry=REG,
+        )
+        def scatter(out, idx, v):
+            out[idx] += v
+            return out
+
+        findings, _ = analyze(scatter)
+        assert rules(findings) == ["inplace-aliasing"]
+
+    def test_unique_index_scatter_is_clean(self):
+        @array_kernel(
+            params={"n": (2, 100)},
+            args={
+                "out": arr("n", dtype="float64"),
+                "x": arr("n", dtype="float64"),
+            },
+            registry=REG,
+        )
+        def scatter_arange(out, x):
+            idx = np.arange(len(out))
+            out[idx] += x
+            return out
+
+        findings, _ = analyze(scatter_arange)
+        assert findings == []
+
+
+class TestNondetChecker:
+    def test_bare_argsort_on_dup_keys_warns(self):
+        @array_kernel(
+            params={"E": (2, 100)},
+            args={"keys": arr("E", lo=0, hi=10)},
+            registry=REG,
+        )
+        def tiebreak(keys):
+            return np.argsort(keys)
+
+        findings, _ = analyze(tiebreak)
+        assert rules(findings) == ["nondet-sort"]
+
+    def test_bare_argsort_on_unique_keys_is_proven(self):
+        @array_kernel(
+            params={"n": (2, 2**20)},
+            args={"vals": arr("n", dtype="int64")},
+            registry=REG,
+        )
+        def rank_unique(vals):
+            keys = np.arange(len(vals))
+            return np.argsort(keys)
+
+        findings, proven = analyze(rank_unique)
+        assert findings == []
+        assert any("unique" in p for p in proven)
+
+
+class TestControlFlow:
+    def test_branch_join_hulls_values(self):
+        @array_kernel(
+            params={"n": (1, 100)},
+            args={"x": arr("n", lo=0, hi="n-1"), "flag": scalar("n")},
+            registry=REG,
+        )
+        def branchy(x, flag):
+            if flag > 0:
+                y = x + 1
+            else:
+                y = x
+            return y
+
+        findings, _ = analyze(branchy)
+        assert findings == []
+
+    def test_loop_widening_terminates_without_findings(self):
+        @array_kernel(
+            params={"n": (1, 100)},
+            args={"x": arr("n", dtype="float64")},
+            registry=REG,
+        )
+        def looped(x):
+            acc = x
+            for _ in range(3):
+                acc = acc + x
+            return acc
+
+        findings, _ = analyze(looped)
+        assert findings == []
+
+
+class TestContractCalls:
+    def test_call_into_summarized_kernel_uses_contract(self):
+        # pack_rowid's summary proves the int64 bound at the call site
+        # and propagates uniqueness for the downstream argsort.
+        @array_kernel(
+            params={"n": (2, 2**28)},
+            args={
+                "src": arr("E", lo=0, hi="n-1"),
+                "dst": arr("E", lo=0, hi="n-1"),
+                "n": scalar("n"),
+            },
+            registry=REG,
+        )
+        def pack_and_sort(src, dst, n):
+            from repro.structures.soa import pack_rowid
+
+            keys = pack_rowid(src, dst, n)
+            return np.sort(keys)
+
+        findings, proven = analyze(pack_and_sort)
+        assert findings == []
+        assert any("pack_rowid" in p and "int64" in p for p in proven)
+
+
+class TestNondetScan:
+    def test_bare_argsort_flagged(self):
+        src = "import numpy as np\n\ndef f(x):\n    return np.argsort(x)\n"
+        found = scan_source(src, "mod.py")
+        assert [f.rule for f in found] == ["nondet-sort"]
+
+    def test_stable_kind_passes(self):
+        src = "import numpy as np\n\ndef f(x):\n    return np.argsort(x, kind='stable')\n"
+        assert scan_source(src, "mod.py") == []
+
+    def test_seedless_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert [f.rule for f in scan_source(src, "mod.py")] == ["nondet-rng"]
+
+    def test_seeded_default_rng_passes(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert scan_source(src, "mod.py") == []
+
+    def test_legacy_global_rng_flagged(self):
+        src = "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(4)\n"
+        assert [f.rule for f in scan_source(src, "mod.py")] == [
+            "nondet-rng",
+            "nondet-rng",
+        ]
+
+    def test_wall_clock_flagged(self):
+        src = "import time\n\ndef g():\n    return time.perf_counter()\n"
+        assert [f.rule for f in scan_source(src, "mod.py")] == ["nondet-clock"]
+
+    def test_allow_comment_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "# lint: allow(nondet-sort)\n"
+            "order = np.argsort([3, 1, 2])\n"
+        )
+        assert scan_source(src, "mod.py") == []
+
+    def test_kernel_spans_excluded(self):
+        src = "import numpy as np\n\ndef f(x):\n    return np.argsort(x)\n"
+        assert scan_source(src, "mod.py", exclude_spans=[(3, 4)]) == []
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])
