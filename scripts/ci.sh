@@ -19,8 +19,15 @@ python -m repro.analysis --verify --strict
 
 # Array-program verifier: shape/dtype/overflow abstract interpretation
 # of every @array_kernel host kernel + the nondeterminism sweep, against
-# the committed findings baseline (currently empty).
-python -m repro.analysis --arrays-only --strict \
+# the committed findings baseline (currently empty).  The text report
+# prints per-engine wall times and any engine over 60 s warns on stderr.
+python -m repro.analysis --engines arrays --strict \
+    --baseline scripts/analysis_baseline.json
+
+# Async-concurrency analyzer over the serving layer: atomicity across
+# await, lock-order inversion, virtual-time determinism, task hygiene
+# (DESIGN.md Sec. 15), against the same consolidated baseline.
+python -m repro.analysis --engines aio --strict \
     --baseline scripts/analysis_baseline.json
 
 # Negative control: the verify gate must FAIL on the known-bad fixture
@@ -38,6 +45,15 @@ fi
 if python -m repro.analysis --arrays-only --strict --include-known-bad \
         >/dev/null 2>&1; then
     echo "ci: array verifier accepted the known-bad kernels — gate is broken" >&2
+    exit 1
+fi
+
+# Same negative control for the aio engine: the known-bad coroutine
+# fixtures (lost update across await, ABBA lock cycle, wall-clock read,
+# rw writer-upgrade, dropped task, ...) must each fail the strict gate.
+if python -m repro.analysis --aio-only --strict --include-known-bad \
+        >/dev/null 2>&1; then
+    echo "ci: aio analyzer accepted the known-bad coroutines — gate is broken" >&2
     exit 1
 fi
 

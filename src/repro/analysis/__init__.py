@@ -22,13 +22,29 @@ Two engines, both runnable as ``python -m repro.analysis`` and gated in
   domain — proving packed-key dtype bounds (with smallest concrete
   counterexamples when they fail), broadcast compatibility, fancy-index
   bounds, scatter aliasing safety, and determinism of tie-breaking —
-  plus a syntactic nondeterminism sweep over hot modules and ``serve/``.
+  plus a syntactic nondeterminism sweep over hot modules and ``serve/``;
+* the **async-concurrency analyzer** (:mod:`repro.analysis.aio`, opt-in
+  via ``--aio``) statically checks the coroutine code of the serving
+  layer — atomicity of read-modify-writes across await points (with an
+  inferred field→lock protection map and ``# aio: guarded-by``
+  annotations), lock-order-inversion cycles including ``AsyncRWLock``
+  writer upgrades, virtual-time determinism (wall-clock reads, seedless
+  RNG, set-ordered task spawns), and task hygiene (unawaited
+  coroutines, dropped ``create_task`` handles, gather policy on
+  shutdown paths).
 
 See DESIGN.md Section 9 for the hazard taxonomy and rule catalogue,
-Section 10 for the SIMT abstract domains and invariant encodings, and
-Section 14 for the array verifier's domains and soundness caveats.
+Section 10 for the SIMT abstract domains and invariant encodings,
+Section 14 for the array verifier's domains and soundness caveats, and
+Section 15 for the aio engine's call-graph and checker semantics.
 """
 
+from repro.analysis.aio import (
+    AIO_RULES,
+    analyze_source as analyze_aio_source,
+    build_call_graph,
+    check_aio,
+)
 from repro.analysis.arrays import (
     ANNOTATED_MODULES,
     ARRAY_RULES,
@@ -110,4 +126,8 @@ __all__ = [
     "check_arrays",
     "find_counterexample",
     "verify_array_kernels",
+    "AIO_RULES",
+    "analyze_aio_source",
+    "build_call_graph",
+    "check_aio",
 ]

@@ -1,41 +1,60 @@
 """CLI for the analysis engines: ``python -m repro.analysis``.
 
-Runs the kernel sanitizer over every registered microkernel, the
-hot-path linter over ``src/repro``, and (with ``--verify``) the static
-verifier — abstract interpretation of every registered kernel plus the
-Theorem 1–3 search-invariant checks — prints one line per finding, and
-exits non-zero when findings gate the build:
+Six engines share this entry point:
 
-* exit 1 if any ``error``-severity finding is present;
-* with ``--strict``, ``warning`` findings also fail (the CI setting).
+* ``sanitizer`` — trace-based SIMT kernel sanitizer over every
+  registered microkernel;
+* ``lint`` — hot-path linter over ``src/repro``;
+* ``verifier`` — static SIMT verifier (abstract interpretation of every
+  registered kernel plus the Theorem 1–3 search-invariant checks);
+* ``streams`` — stream-program hazard checker over the device model;
+* ``arrays`` — array-program verifier (symbolic shapes, dtype lattice,
+  value intervals, packed-key overflow proofs) plus the syntactic
+  nondeterminism sweep;
+* ``aio`` — async-concurrency analyzer over the serving layer
+  (atomicity across await, lock-order inversion, virtual-time
+  determinism, task hygiene; DESIGN.md Sec. 15).
 
-``--arrays`` adds the array-program verifier — abstract interpretation
-of every ``@array_kernel``-annotated host kernel (symbolic shapes,
-dtype lattice, value intervals; packed-key overflow proofs with
-concrete counterexamples) plus the syntactic nondeterminism sweep over
-hot-marked modules and ``serve/``.  ``--baseline FILE`` suppresses
-accepted array findings and flags stale suppressions.
+``--engines NAME[,NAME...]`` selects exactly the engines to run; the
+older flags remain as aliases (``--sanitize-only``, ``--lint-only``,
+``--verify-only`` = verifier+streams, ``--arrays-only``, ``--aio-only``,
+and the additive ``--verify`` / ``--arrays`` / ``--aio``).  With no
+selector the default set is sanitizer+lint.
 
-``--sanitize-only`` / ``--lint-only`` / ``--verify-only`` /
-``--arrays-only`` restrict to one engine; ``--json`` emits
-machine-readable findings instead of text, sorted by (severity,
-location, rule, message) so reports are deterministic across runs.
-``--include-known-bad`` adds the deliberately broken fixture kernels to
-the verify and arrays sets — the negative control ci.sh uses to prove
-the gates actually fail.
+Exit status: 1 if any ``error``-severity finding is present; with
+``--strict``, ``warning`` findings also fail (the CI setting).
+
+``--baseline FILE`` points at the consolidated baseline
+(``scripts/analysis_baseline.json``) whose per-engine ``suppress``
+sections drop accepted findings; stale entries surface as warnings.
+``--json`` emits machine-readable findings (one object per line, with an
+``engine`` key) in a deterministic cross-engine order.
+``--include-known-bad`` adds each engine's deliberately broken fixtures
+— the negative control ci.sh uses to prove the gates actually fail.
+Per-engine wall times are reported in text mode and any engine slower
+than 60 s warns on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis.baseline import apply_baseline, load_baseline_sections
 from repro.analysis.findings import Finding, split_by_severity
 from repro.analysis.lint import lint_tree
 from repro.analysis.registry import iter_kernel_specs, sanitize_kernel, verify_kernel
+
+#: Engine names accepted by ``--engines``, in canonical run order.
+ENGINE_NAMES = ("sanitizer", "lint", "verifier", "streams", "arrays", "aio")
+
+#: Seconds after which an engine's runtime warns on stderr.
+SLOW_ENGINE_S = 60.0
 
 
 def _default_lint_root() -> Path:
@@ -44,8 +63,114 @@ def _default_lint_root() -> Path:
 
 
 def _finding_sort_key(f: Finding):
-    """Deterministic report order: errors first, then by place and rule."""
-    return (f.severity.value != "error", f.location, f.rule, f.message)
+    """Deterministic cross-engine order: errors first, then by place."""
+    return (
+        f.severity.value != "error",
+        f.location,
+        f.rule,
+        f.engine,
+        f.message,
+    )
+
+
+def _run_sanitizer(include_known_bad: bool, lint_root) -> List[Finding]:
+    out: List[Finding] = []
+    for spec in iter_kernel_specs():
+        out.extend(sanitize_kernel(spec))
+    return out
+
+
+def _run_lint(include_known_bad: bool, lint_root) -> List[Finding]:
+    return lint_tree(lint_root or _default_lint_root())
+
+
+def _run_verifier(include_known_bad: bool, lint_root) -> List[Finding]:
+    from repro.analysis.verifier.fixtures import iter_known_bad_specs
+    from repro.analysis.verifier.invariants import check_all_invariants
+
+    out: List[Finding] = []
+    for spec in iter_kernel_specs():
+        out.extend(verify_kernel(spec).findings)
+    if include_known_bad:
+        for spec in iter_known_bad_specs():
+            out.extend(verify_kernel(spec).findings)
+    out.extend(check_all_invariants())
+    return out
+
+
+def _run_streams(include_known_bad: bool, lint_root) -> List[Finding]:
+    from repro.analysis.streams import check_stream_programs
+
+    return check_stream_programs(include_known_bad=include_known_bad)
+
+
+def _run_arrays(include_known_bad: bool, lint_root) -> List[Finding]:
+    from repro.analysis.arrays import check_arrays
+
+    return check_arrays(include_known_bad=include_known_bad)
+
+
+def _run_aio(include_known_bad: bool, lint_root) -> List[Finding]:
+    from repro.analysis.aio import check_aio
+
+    return check_aio(include_known_bad=include_known_bad)
+
+
+_ENGINE_RUNNERS: Dict[str, Callable[..., List[Finding]]] = {
+    "sanitizer": _run_sanitizer,
+    "lint": _run_lint,
+    "verifier": _run_verifier,
+    "streams": _run_streams,
+    "arrays": _run_arrays,
+    "aio": _run_aio,
+}
+
+
+def run_engines(
+    engines: Sequence[str],
+    strict: bool = False,
+    include_known_bad: bool = False,
+    lint_root: Optional[Path] = None,
+    baseline: Optional[Path] = None,
+    timings: Optional[Dict[str, float]] = None,
+) -> "tuple[List[Finding], int]":
+    """Run the named engines; returns ``(findings, exit_code)``.
+
+    Findings are stamped with their engine name, filtered through the
+    engine's section of the consolidated baseline, and sorted with
+    :func:`_finding_sort_key`.  When ``timings`` is a dict, per-engine
+    wall seconds are recorded into it.
+    """
+    for name in engines:
+        if name not in _ENGINE_RUNNERS:
+            raise ValueError(
+                f"unknown engine {name!r}; expected one of {ENGINE_NAMES}"
+            )
+    sections = load_baseline_sections(baseline) if baseline else {}
+    findings: List[Finding] = []
+    for name in ENGINE_NAMES:
+        if name not in engines:
+            continue
+        started = time.perf_counter()
+        raw = _ENGINE_RUNNERS[name](include_known_bad, lint_root)
+        elapsed = time.perf_counter() - started
+        if timings is not None:
+            timings[name] = elapsed
+        if elapsed > SLOW_ENGINE_S:
+            print(
+                f"repro.analysis: warning: engine {name!r} took "
+                f"{elapsed:.1f}s (> {SLOW_ENGINE_S:.0f}s)",
+                file=sys.stderr,
+            )
+        stamped = [
+            f if f.engine else dataclasses.replace(f, engine=name)
+            for f in raw
+        ]
+        findings.extend(apply_baseline(stamped, sections, name))
+    findings.sort(key=_finding_sort_key)
+    errors, warnings = split_by_severity(findings)
+    failed = bool(errors) or (strict and bool(warnings))
+    return findings, 1 if failed else 0
 
 
 def run_analysis(
@@ -54,49 +179,59 @@ def run_analysis(
     lint: bool = True,
     verify: bool = False,
     arrays: bool = False,
+    aio: bool = False,
     include_known_bad: bool = False,
     lint_root: Optional[Path] = None,
     baseline: Optional[Path] = None,
+    timings: Optional[Dict[str, float]] = None,
 ) -> "tuple[List[Finding], int]":
-    """Run the selected engines; returns ``(findings, exit_code)``."""
-    findings: List[Finding] = []
+    """Back-compat wrapper: boolean engine toggles over :func:`run_engines`.
+
+    ``verify=True`` selects both the static verifier and the
+    stream-hazard checker, matching the historical ``--verify`` flag.
+    """
+    engines: List[str] = []
     if sanitize:
-        for spec in iter_kernel_specs():
-            findings.extend(sanitize_kernel(spec))
+        engines.append("sanitizer")
     if lint:
-        findings.extend(lint_tree(lint_root or _default_lint_root()))
+        engines.append("lint")
     if verify:
-        from repro.analysis.streams import check_stream_programs
-        from repro.analysis.verifier.fixtures import iter_known_bad_specs
-        from repro.analysis.verifier.invariants import check_all_invariants
-
-        for spec in iter_kernel_specs():
-            findings.extend(verify_kernel(spec).findings)
-        if include_known_bad:
-            for spec in iter_known_bad_specs():
-                findings.extend(verify_kernel(spec).findings)
-        findings.extend(check_all_invariants())
-        findings.extend(
-            check_stream_programs(include_known_bad=include_known_bad)
-        )
+        engines.extend(["verifier", "streams"])
     if arrays:
-        from repro.analysis.arrays import check_arrays
+        engines.append("arrays")
+    if aio:
+        engines.append("aio")
+    return run_engines(
+        engines,
+        strict=strict,
+        include_known_bad=include_known_bad,
+        lint_root=lint_root,
+        baseline=baseline,
+        timings=timings,
+    )
 
-        findings.extend(
-            check_arrays(
-                include_known_bad=include_known_bad, baseline=baseline
+
+def _parse_engines(spec: str) -> List[str]:
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if not names:
+        raise argparse.ArgumentTypeError("--engines needs at least one name")
+    for name in names:
+        if name not in ENGINE_NAMES:
+            raise argparse.ArgumentTypeError(
+                f"unknown engine {name!r}; expected one of "
+                + ",".join(ENGINE_NAMES)
             )
-        )
-    findings.sort(key=_finding_sort_key)
-    errors, warnings = split_by_severity(findings)
-    failed = bool(errors) or (strict and bool(warnings))
-    return findings, 1 if failed else 0
+    return names
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="SIMT kernel sanitizer + static verifier + hot-path lint",
+        description=(
+            "analysis engines: SIMT sanitizer, hot-path lint, static "
+            "verifier, stream hazards, array verifier, async-concurrency "
+            "(aio)"
+        ),
     )
     parser.add_argument(
         "--strict",
@@ -107,10 +242,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--json", action="store_true", help="emit findings as JSON lines"
     )
     parser.add_argument(
+        "--engines",
+        type=_parse_engines,
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="run exactly these engines "
+        f"({','.join(ENGINE_NAMES)}); overrides the default "
+        "sanitizer+lint set and the additive flags",
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
-        help="also run the static verifier (abstract interpretation of every "
-        "registered kernel + Theorem 1-3 invariant checks)",
+        help="also run the static verifier + stream-hazard checker "
+        "(abstract interpretation of every registered kernel + Theorem "
+        "1-3 invariant checks)",
     )
     parser.add_argument(
         "--arrays",
@@ -119,36 +264,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         "abstract interpretation of @array_kernel hosts + nondet sweep)",
     )
     parser.add_argument(
+        "--aio",
+        action="store_true",
+        help="also run the async-concurrency analyzer over the serving "
+        "layer (atomicity across await, lock order, determinism, task "
+        "hygiene)",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
         default=None,
-        help="findings-baseline JSON for the array verifier "
-        '({"suppress": [{"rule", "location"}]}); stale entries warn',
+        help="consolidated findings-baseline JSON with per-engine "
+        '"suppress" sections (scripts/analysis_baseline.json); stale '
+        "entries warn",
     )
     parser.add_argument(
         "--include-known-bad",
         action="store_true",
-        help="verify the known-bad fixture kernels too (negative CI control; "
-        "implies a failing exit)",
+        help="run each engine's known-bad fixtures too (negative CI "
+        "control; implies a failing exit)",
     )
     engine = parser.add_mutually_exclusive_group()
     engine.add_argument(
         "--sanitize-only",
         action="store_true",
-        help="run only the kernel sanitizer",
+        help="run only the kernel sanitizer (alias of --engines sanitizer)",
     )
     engine.add_argument(
-        "--lint-only", action="store_true", help="run only the hot-path linter"
+        "--lint-only",
+        action="store_true",
+        help="run only the hot-path linter (alias of --engines lint)",
     )
     engine.add_argument(
         "--verify-only",
         action="store_true",
-        help="run only the static verifier",
+        help="run only the static verifier + stream checker "
+        "(alias of --engines verifier,streams)",
     )
     engine.add_argument(
         "--arrays-only",
         action="store_true",
-        help="run only the array-program verifier",
+        help="run only the array-program verifier (alias of --engines arrays)",
+    )
+    engine.add_argument(
+        "--aio-only",
+        action="store_true",
+        help="run only the async-concurrency analyzer "
+        "(alias of --engines aio)",
     )
     parser.add_argument(
         "--lint-root",
@@ -158,21 +320,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    only = (
-        args.sanitize_only
-        or args.lint_only
-        or args.verify_only
-        or args.arrays_only
-    )
-    findings, code = run_analysis(
+    if args.engines is not None:
+        engines = args.engines
+    elif args.sanitize_only:
+        engines = ["sanitizer"]
+    elif args.lint_only:
+        engines = ["lint"]
+    elif args.verify_only:
+        engines = ["verifier", "streams"]
+    elif args.arrays_only:
+        engines = ["arrays"]
+    elif args.aio_only:
+        engines = ["aio"]
+    else:
+        engines = ["sanitizer", "lint"]
+        if args.verify:
+            engines.extend(["verifier", "streams"])
+        if args.arrays:
+            engines.append("arrays")
+        if args.aio:
+            engines.append("aio")
+
+    timings: Dict[str, float] = {}
+    findings, code = run_engines(
+        engines,
         strict=args.strict,
-        sanitize=args.sanitize_only or not only,
-        lint=args.lint_only or not only,
-        verify=args.verify_only or ((not only) and args.verify),
-        arrays=args.arrays_only or ((not only) and args.arrays),
         include_known_bad=args.include_known_bad,
         lint_root=args.lint_root,
         baseline=args.baseline,
+        timings=timings,
     )
     errors, warnings = split_by_severity(findings)
     if args.json:
@@ -184,17 +360,23 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "severity": f.severity.value,
                         "location": f.location,
                         "message": f.message,
+                        "engine": f.engine,
                     }
                 )
             )
     else:
         for f in findings:
             print(f.format())
+        timing = ", ".join(
+            f"{name}={timings[name]:.2f}s"
+            for name in ENGINE_NAMES
+            if name in timings
+        )
         label = "FAIL" if code else "OK"
         strict_note = ", strict" if args.strict else ""
         print(
             f"repro.analysis: {label} — {len(errors)} error(s), "
-            f"{len(warnings)} warning(s){strict_note}"
+            f"{len(warnings)} warning(s){strict_note} [{timing}]"
         )
     return code
 

@@ -1,0 +1,119 @@
+"""Coroutine call graph and transitive lock summaries.
+
+The extraction layer (:mod:`repro.analysis.aio.model`) records *call
+sites* with syntactic targets: ``Class.method`` for ``self.m(...)``,
+``function`` for bare names, and ``?.method`` for attribute calls whose
+receiver is an unknown local.  This module links those sites against the
+function table of the analyzed module set and computes, per function, a
+fixpoint **may-acquire** summary: the set of ``(token, kind, mode)``
+lock acquisitions the function may perform directly or through any
+callee reachable without spawning a new task (``create_task`` spawns
+run in their own context, so a spawn does not propagate acquisitions to
+the spawner).
+
+Resolution rules (deliberately conservative):
+
+* ``Class.method`` resolves exactly;
+* a bare ``function`` target resolves to a module-level function of that
+  name in any analyzed module;
+* ``?.method`` (unknown receiver) resolves, **for lock summaries only**,
+  to every method of that name across the analyzed classes — this keeps
+  the deadlock checker sound across ``replica.run_batch(...)`` style
+  calls through router locals at the cost of possible over-approximation
+  (waivable with ``# aio: allow(aio-lock-order)``).
+
+The graph also serves the task-hygiene checker: :meth:`CallGraph.is_coroutine`
+answers whether a call target definitely names an ``async def``, which
+is what makes a bare (un-awaited) call a lost coroutine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.analysis.aio.model import FunctionModel, ModuleModel
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+LockToken = Tuple[str, str, str]  # (token, kind, mode)
+
+
+@dataclass
+class CallGraph:
+    """Linked function table plus transitive lock summaries."""
+
+    #: qualname -> function model (methods under ``Class.method``).
+    functions: Dict[str, FunctionModel] = field(default_factory=dict)
+    #: method name -> qualnames sharing it (for ``?.method`` resolution).
+    by_method: Dict[str, List[str]] = field(default_factory=dict)
+    #: qualname -> resolved callee qualnames (excluding spawns).
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    #: qualname -> every (token, kind, mode) it may acquire transitively.
+    may_acquire: Dict[str, FrozenSet[LockToken]] = field(default_factory=dict)
+
+    def is_coroutine(self, target: str) -> bool:
+        """True when ``target`` definitely names an ``async def``.
+
+        ``?.method`` targets answer True only if *every* method of that
+        name is async — an un-awaited call must not be flagged when a
+        same-named sync method exists somewhere.
+        """
+        if target in self.functions:
+            return self.functions[target].is_async
+        if target.startswith("?."):
+            quals = self.by_method.get(target[2:], [])
+            return bool(quals) and all(
+                self.functions[q].is_async for q in quals
+            )
+        return False
+
+    def resolve(self, fn: FunctionModel, target: str) -> List[str]:
+        """Qualnames a call-site target may refer to (summary scope)."""
+        if target in self.functions:
+            return [target]
+        if target.startswith("?."):
+            return self.by_method.get(target[2:], [])
+        return []
+
+
+def _direct_acquires(fn: FunctionModel) -> Set[LockToken]:
+    return {(a.token, a.kind, a.mode) for a in fn.acquisitions}
+
+
+def build_call_graph(modules: Sequence[ModuleModel]) -> CallGraph:
+    """Link modules into one :class:`CallGraph` with fixpoint summaries."""
+    graph = CallGraph()
+    for module in modules:
+        for fn in module.all_functions():
+            graph.functions[fn.qualname] = fn
+            if fn.cls is not None:
+                graph.by_method.setdefault(fn.name, []).append(fn.qualname)
+    for qual, fn in graph.functions.items():
+        callees: List[str] = []
+        for site in fn.calls:
+            if site.style == "task":
+                continue  # spawned context: acquisitions don't propagate
+            for resolved in graph.resolve(fn, site.target):
+                if resolved != qual:
+                    callees.append(resolved)
+        graph.edges[qual] = callees
+
+    # Fixpoint: may_acquire = direct ∪ union over callees.
+    summaries: Dict[str, Set[LockToken]] = {
+        qual: _direct_acquires(fn) for qual, fn in graph.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for qual, callees in graph.edges.items():
+            acc = summaries[qual]
+            before = len(acc)
+            for callee in callees:
+                acc |= summaries[callee]
+            if len(acc) != before:
+                changed = True
+    graph.may_acquire = {
+        qual: frozenset(locks) for qual, locks in summaries.items()
+    }
+    return graph

@@ -44,12 +44,18 @@ class Finding:
     message:
         Human-readable explanation with the concrete evidence (lanes,
         addresses, counts).
+    engine:
+        Which analysis engine produced the finding (``sanitizer``,
+        ``lint``, ``verifier``, ``streams``, ``arrays``, ``aio``).
+        Engines may leave it empty; the CLI stamps it when assembling a
+        cross-engine report.
     """
 
     rule: str
     severity: Severity
     location: str
     message: str
+    engine: str = ""
 
     def format(self) -> str:
         """One-line report rendering."""

@@ -34,8 +34,9 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass
-from typing import Awaitable, Callable, Deque, List
+from typing import Awaitable, Callable, Deque, Dict, List
 
+from repro.serve.clock import gather_all
 from repro.serve.request import ServeRequest
 
 __all__ = ["BATCH_MODES", "BatchPolicy", "BatchSizeController", "DynamicBatcher"]
@@ -145,7 +146,10 @@ class DynamicBatcher:
         self.pending: Deque[ServeRequest] = deque()
         self._arrival = asyncio.Event()
         self._stopping = False
-        self._inflight: set = set()
+        # Insertion-ordered (dict, not set) so shutdown awaits in-flight
+        # dispatch tasks in spawn order — deterministic on the virtual
+        # clock, where set hash order would vary run to run.
+        self._inflight: Dict[asyncio.Task, None] = {}
         self._slots: asyncio.Semaphore | None = None
 
     # -- producer side ---------------------------------------------------
@@ -208,10 +212,10 @@ class DynamicBatcher:
                 for _ in range(min(target, len(self.pending)))
             ]
             task = asyncio.create_task(self._run_dispatch(batch))
-            self._inflight.add(task)
-            task.add_done_callback(self._inflight.discard)
+            self._inflight[task] = None
+            task.add_done_callback(lambda t: self._inflight.pop(t, None))
         if self._inflight:
-            await asyncio.gather(*tuple(self._inflight))
+            await gather_all(*tuple(self._inflight))
 
     async def _run_dispatch(self, batch: List[ServeRequest]) -> None:
         try:
@@ -222,4 +226,4 @@ class DynamicBatcher:
     async def drain(self) -> None:
         """Wait for every in-flight dispatch task to finish."""
         while self._inflight:
-            await asyncio.gather(*tuple(self._inflight))
+            await gather_all(*tuple(self._inflight))

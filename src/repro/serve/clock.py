@@ -27,9 +27,26 @@ from __future__ import annotations
 
 import asyncio
 import heapq
-from typing import Any, Coroutine
+from typing import Any, Awaitable, Coroutine, List
 
-__all__ = ["VirtualTimeEventLoop", "run_virtual"]
+__all__ = ["VirtualTimeEventLoop", "gather_all", "run_virtual"]
+
+
+async def gather_all(*aws: Awaitable[Any]) -> List[Any]:
+    """Await every awaitable to completion, then surface the first error.
+
+    ``asyncio.gather`` without ``return_exceptions`` abandons the
+    remaining awaits on the first failure — on a shutdown path that
+    leaks still-running tasks past ``stop()``.  This helper always runs
+    everything to completion (``return_exceptions=True``) and only then
+    re-raises the first exception, in argument order, so teardown is
+    both complete and deterministic.
+    """
+    results = await asyncio.gather(*aws, return_exceptions=True)
+    for result in results:
+        if isinstance(result, BaseException):
+            raise result
+    return results
 
 
 class VirtualTimeEventLoop(asyncio.SelectorEventLoop):

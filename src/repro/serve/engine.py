@@ -311,9 +311,13 @@ class OnlineServeEngine:
     def __init__(self, index: OnlineSongIndex, name: str = "online0") -> None:
         self.index = index
         self.name = name
-        self._snapshot_engine: Optional[SimulatedGpuEngine] = None
-        self._snapshot_generation = -1
-        self._snapshot_dtoh_owed = 0.0
+        # The snapshot cache is only touched while the owning Replica
+        # holds its rw-lock (read side for lazy rebuild during searches,
+        # write side for inserts); the aio analyzer enforces the declared
+        # guard on any future coroutine that mutates these directly.
+        self._snapshot_engine: Optional[SimulatedGpuEngine] = None  # aio: guarded-by(Replica._rw)
+        self._snapshot_generation = -1  # aio: guarded-by(Replica._rw)
+        self._snapshot_dtoh_owed = 0.0  # aio: guarded-by(Replica._rw)
 
     @property
     def device(self):

@@ -69,8 +69,9 @@ class ServeRequest:
 class ServeResponse:
     """Terminal record of one request.
 
-    ``status`` is ``"ok"`` for served requests and ``"shed"`` for load
-    shedding; shed responses carry a ``shed_reason`` and no results.
+    ``status`` is ``"ok"`` for served requests, ``"shed"`` for load
+    shedding (with a ``shed_reason`` and no results), or ``"error"``
+    when the pipeline raised (with the exception text in ``error``).
     Latencies are in (simulated or wall) seconds.
     """
 
@@ -88,6 +89,7 @@ class ServeResponse:
     replica: str = ""
     shed_reason: str = ""
     recall: Optional[float] = None
+    error: str = ""
 
     @property
     def ok(self) -> bool:

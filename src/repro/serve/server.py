@@ -38,6 +38,7 @@ from repro.serve.admission import (
     default_tiers,
 )
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.clock import gather_all
 from repro.serve.engine import SimulatedGpuEngine
 from repro.serve.metrics import ServeMetrics
 from repro.serve.request import INSERT, SEARCH, ServeRequest, ServeResponse
@@ -83,7 +84,9 @@ class SongServer:
         )
         self._run_task: Optional[asyncio.Task] = None
         self._next_id = 0
-        self._insert_tasks: set = set()
+        # Insertion-ordered (dict, not set): stop() awaits inserts in
+        # submission order, keeping virtual-clock shutdown deterministic.
+        self._insert_tasks: Dict[asyncio.Task, None] = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -101,7 +104,7 @@ class SongServer:
         await self._run_task
         self._run_task = None
         while self._insert_tasks:
-            await asyncio.gather(*tuple(self._insert_tasks))
+            await gather_all(*tuple(self._insert_tasks))
         await self.batcher.drain()
 
     # -- client API ------------------------------------------------------
@@ -148,8 +151,8 @@ class SongServer:
         self.metrics.on_arrival(self.batcher.queue_depth)
         self.metrics.on_admit()
         task = asyncio.create_task(self._run_insert(request))
-        self._insert_tasks.add(task)
-        task.add_done_callback(self._insert_tasks.discard)
+        self._insert_tasks[task] = None
+        task.add_done_callback(lambda t: self._insert_tasks.pop(t, None))
         return await request.future
 
     # -- pipeline internals ----------------------------------------------
@@ -251,6 +254,24 @@ class SongServer:
             )
 
     async def _run_insert(self, request: ServeRequest) -> None:
+        try:
+            await self._run_insert_inner(request)
+        except Exception as exc:
+            # Resolve the caller's future even on failure: an unresolved
+            # future would park submit_insert() forever.  The response is
+            # the delivery path for the error — re-raising here would
+            # only orphan the exception on a task nobody retrieves (the
+            # done-callback pops finished tasks before stop() gathers).
+            request.resolve(
+                ServeResponse(
+                    request_id=request.request_id,
+                    kind=INSERT,
+                    status="error",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+    async def _run_insert_inner(self, request: ServeRequest) -> None:
         loop = asyncio.get_running_loop()
         replica = self.router.pick_writable()
         outcome = await replica.run_inserts(request.payload[None, :])

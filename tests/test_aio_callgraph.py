@@ -1,0 +1,132 @@
+"""Call-graph tests: resolution rules, may-acquire fixpoint, spawn
+boundaries, and coroutine identification."""
+
+from repro.analysis.aio.callgraph import build_call_graph
+from repro.analysis.aio.model import extract_module
+
+
+def graph_of(*sources):
+    return build_call_graph([extract_module(s) for s in sources])
+
+
+SRC = """\
+import asyncio
+
+class A:
+    def __init__(self):
+        self._lock = asyncio.Lock()
+
+    async def leaf(self):
+        async with self._lock:
+            pass
+
+    async def mid(self):
+        await self.leaf()
+
+    async def top(self):
+        await self.mid()
+
+    def sync_helper(self):
+        pass
+
+async def free():
+    pass
+"""
+
+
+class TestResolution:
+    def test_function_table_qualnames(self):
+        g = graph_of(SRC)
+        assert "A.leaf" in g.functions
+        assert "A.mid" in g.functions
+        assert "free" in g.functions
+
+    def test_self_call_resolves_exactly(self):
+        g = graph_of(SRC)
+        assert g.edges["A.mid"] == ["A.leaf"]
+
+    def test_unknown_receiver_resolves_by_method_name(self):
+        src = (
+            "class B:\n"
+            "    async def work(self):\n"
+            "        pass\n"
+            "async def driver(b):\n"
+            "    await b.work()\n"
+        )
+        g = graph_of(src)
+        assert g.edges["driver"] == ["B.work"]
+
+    def test_is_coroutine(self):
+        g = graph_of(SRC)
+        assert g.is_coroutine("A.leaf")
+        assert g.is_coroutine("free")
+        assert not g.is_coroutine("A.sync_helper")
+        assert not g.is_coroutine("unknown_name")
+
+    def test_ambiguous_method_coroutine_requires_all_async(self):
+        src = (
+            "class X:\n"
+            "    async def go(self):\n"
+            "        pass\n"
+            "class Y:\n"
+            "    def go(self):\n"
+            "        pass\n"
+        )
+        g = graph_of(src)
+        # ?.go may be X.go (async) or Y.go (sync): not definitely a coroutine.
+        assert not g.is_coroutine("?.go")
+
+
+class TestMayAcquire:
+    def test_direct_acquisition(self):
+        g = graph_of(SRC)
+        assert ("A._lock", "lock", "x") in g.may_acquire["A.leaf"]
+
+    def test_transitive_through_two_levels(self):
+        g = graph_of(SRC)
+        assert ("A._lock", "lock", "x") in g.may_acquire["A.top"]
+
+    def test_spawn_does_not_propagate(self):
+        src = (
+            "import asyncio\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self._lock = asyncio.Lock()\n"
+            "    async def leaf(self):\n"
+            "        async with self._lock:\n"
+            "            pass\n"
+            "    async def spawner(self):\n"
+            "        t = asyncio.create_task(self.leaf())\n"
+            "        await t\n"
+        )
+        g = graph_of(src)
+        assert g.may_acquire["A.spawner"] == frozenset()
+
+    def test_recursive_call_terminates(self):
+        src = (
+            "import asyncio\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self._lock = asyncio.Lock()\n"
+            "    async def ping(self):\n"
+            "        async with self._lock:\n"
+            "            await self.pong()\n"
+            "    async def pong(self):\n"
+            "        await self.ping()\n"
+        )
+        g = graph_of(src)
+        assert ("A._lock", "lock", "x") in g.may_acquire["A.pong"]
+
+    def test_cross_module_linking(self):
+        lib = (
+            "import asyncio\n"
+            "class Lib:\n"
+            "    def __init__(self):\n"
+            "        self._m = asyncio.Lock()\n"
+            "    async def locked(self):\n"
+            "        async with self._m:\n"
+            "            pass\n"
+        )
+        app = "async def use(lib):\n    await lib.locked()\n"
+        g = graph_of(lib, app)
+        assert ("Lib._m", "lock", "x") in g.may_acquire["use"]

@@ -74,7 +74,10 @@ class TestMainEntryPoint:
         lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
         records = [json.loads(line) for line in lines]
         assert records and records[0]["rule"] == "hot-loop"
-        assert set(records[0]) == {"rule", "severity", "location", "message"}
+        assert set(records[0]) == {
+            "rule", "severity", "location", "message", "engine",
+        }
+        assert records[0]["engine"] == "lint"
 
 
 class TestVerifyEngine:
@@ -117,7 +120,9 @@ class TestVerifyEngine:
         ]
         assert records
         for record in records:
-            assert set(record) == {"rule", "severity", "location", "message"}
+            assert set(record) == {
+                "rule", "severity", "location", "message", "engine",
+            }
         locations = [r["location"] for r in records]
         assert locations == sorted(locations)  # all error-severity here
 
@@ -171,19 +176,22 @@ GOLDEN_SCHEMA = {
     "severity": str,
     "location": str,
     "message": str,
+    "engine": str,
 }
 
 #: Rules every full --json run over the seeded inputs must mention, one
 #: per seedable engine: verifier/stream rules come from the known-bad
 #: fixtures, lint from a seeded tree, arrays from the known-bad array
-#: kernels.  The sanitizer has no CLI-seedable bad input (its hazard
-#: traces live in test_analysis_sanitizer.py); its golden expectation
-#: is the clean empty run asserted separately below.
+#: kernels, aio from the known-bad coroutine fixtures.  The sanitizer
+#: has no CLI-seedable bad input (its hazard traces live in
+#: test_analysis_sanitizer.py); its golden expectation is the clean
+#: empty run asserted separately below.
 ENGINE_SENTINEL_RULES = {
     "verifier": "static-oob-shared",
     "streams": "stream-hazard",
     "lint": "hot-loop",
     "arrays": "packed-key-overflow",
+    "aio": "aio-atomicity",
 }
 
 
@@ -199,6 +207,7 @@ class TestGoldenJson:
             "--strict",
             "--verify",
             "--arrays",
+            "--aio",
             "--include-known-bad",
             "--lint-root",
             str(lint_root),
@@ -252,10 +261,24 @@ class TestGoldenJson:
     def test_records_sorted_errors_first_then_location(self, golden):
         _, records = golden
         keys = [
-            (r["severity"] != "error", r["location"], r["rule"], r["message"])
+            (
+                r["severity"] != "error",
+                r["location"],
+                r["rule"],
+                r["engine"],
+                r["message"],
+            )
             for r in records
         ]
         assert keys == sorted(keys)
+
+    def test_every_record_carries_its_engine(self, golden):
+        _, records = golden
+        engines = {r["engine"] for r in records}
+        assert engines <= {
+            "sanitizer", "lint", "verifier", "streams", "arrays", "aio",
+        }
+        assert {"lint", "verifier", "streams", "arrays", "aio"} <= engines
 
 
 class TestModuleInvocation:

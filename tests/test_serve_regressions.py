@@ -1,0 +1,169 @@
+"""Regression tests for the serve-layer fixes surfaced by the aio
+analyzer: complete teardown via gather_all, error-resolved insert
+futures, and insertion-ordered task tracking."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.online import OnlineSongIndex
+from repro.serve import OnlineServeEngine, Replica
+from repro.serve.batcher import BatchPolicy
+from repro.serve.clock import gather_all, run_virtual
+from repro.serve.request import INSERT, ServeResponse
+from repro.serve.server import ServerConfig, SongServer
+
+RNG = np.random.default_rng(7)
+
+
+def small_server():
+    """A one-replica server over an online index (insertable write path)."""
+    index = OnlineSongIndex(8, m=4, ef_construction=16)
+    index.add(RNG.standard_normal((32, 8)).astype(np.float32))
+    cfg = ServerConfig(
+        base=SearchConfig(k=5, queue_size=16),
+        batch=BatchPolicy(mode="fixed", batch_size=4, max_wait_s=0.0005),
+    )
+    return SongServer([Replica(OnlineServeEngine(index))], cfg)
+
+
+class TestGatherAll:
+    def test_runs_all_to_completion_before_raising(self):
+        async def scenario():
+            done = []
+
+            async def ok(tag, delay):
+                await asyncio.sleep(delay)
+                done.append(tag)
+                return tag
+
+            async def boom():
+                await asyncio.sleep(0.001)
+                raise RuntimeError("first")
+
+            with pytest.raises(RuntimeError, match="first"):
+                # The failing awaitable finishes before the slow one; a
+                # plain gather would abandon the slow task mid-flight.
+                await gather_all(boom(), ok("slow", 0.5))
+            return done
+
+        assert run_virtual(scenario()) == ["slow"]
+
+    def test_raises_first_error_in_argument_order(self):
+        async def scenario():
+            async def fail(msg, delay):
+                await asyncio.sleep(delay)
+                raise ValueError(msg)
+
+            # "a" is listed first but fails *last*; argument order wins.
+            with pytest.raises(ValueError, match="a"):
+                await gather_all(fail("a", 0.5), fail("b", 0.001))
+
+        run_virtual(scenario())
+
+    def test_returns_results_in_order_on_success(self):
+        async def scenario():
+            async def val(v, delay):
+                await asyncio.sleep(delay)
+                return v
+
+            return await gather_all(val(1, 0.3), val(2, 0.1), val(3, 0.2))
+
+        assert run_virtual(scenario()) == [1, 2, 3]
+
+
+class TestInsertErrorPath:
+    def test_failed_insert_resolves_caller_with_error_status(self):
+        async def scenario():
+            server = small_server()
+            await server.start()
+
+            async def explode(payload):
+                raise RuntimeError("replica down")
+
+            # Break every replica's write path.
+            for replica in server.router.replicas:
+                replica.run_inserts = explode
+            response = await server.submit_insert(
+                RNG.standard_normal(8).astype(np.float32)
+            )
+            # stop() must not hang on (or re-raise from) the failed
+            # task: the error was already delivered via the response.
+            await server.stop()
+            return response
+
+        response = run_virtual(scenario())
+        assert isinstance(response, ServeResponse)
+        assert response.kind == INSERT
+        assert response.status == "error"
+        assert "RuntimeError" in response.error
+        assert "replica down" in response.error
+
+    def test_successful_insert_unchanged(self):
+        async def scenario():
+            server = small_server()
+            await server.start()
+            response = await server.submit_insert(
+                RNG.standard_normal(8).astype(np.float32)
+            )
+            await server.stop()
+            return response
+
+        response = run_virtual(scenario())
+        assert response.status == "ok"
+        assert response.error == ""
+
+
+class TestTaskTracking:
+    def test_insert_tasks_tracked_in_submission_order(self):
+        async def scenario():
+            server = small_server()
+            await server.start()
+            started = []
+            real_run = server._run_insert
+
+            async def spy(request):
+                started.append(request.request_id)
+                await real_run(request)
+
+            server._run_insert = spy
+            ids = []
+            pending = []
+            for _ in range(5):
+                vec = RNG.standard_normal(8).astype(np.float32)
+                pending.append(asyncio.ensure_future(server.submit_insert(vec)))
+                await asyncio.sleep(0)
+            responses = await asyncio.gather(*pending)
+            ids = [r.request_id for r in responses]
+            await server.stop()
+            return ids, started
+
+        ids, started = run_virtual(scenario())
+        # Dict-based tracking keeps submission order: tasks start FIFO.
+        assert started == sorted(started)
+        assert sorted(ids) == started
+
+    def test_insert_task_set_drains_after_stop(self):
+        async def scenario():
+            server = small_server()
+            await server.start()
+            for _ in range(3):
+                await server.submit_insert(
+                    RNG.standard_normal(8).astype(np.float32)
+                )
+            await server.stop()
+            return len(server._insert_tasks)
+
+        assert run_virtual(scenario()) == 0
+
+    def test_batcher_inflight_is_dict(self):
+        async def scenario():
+            server = small_server()
+            await server.start()
+            kind = type(server.batcher._inflight)
+            await server.stop()
+            return kind
+
+        assert run_virtual(scenario()) is dict

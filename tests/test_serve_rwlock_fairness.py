@@ -1,0 +1,156 @@
+"""Property-based fairness tests for AsyncRWLock on the virtual clock.
+
+The lock documents two guarantees (DESIGN.md Sec. 9):
+
+* FIFO admission: waiters are served in arrival order, except that
+  adjacent queued readers may enter together.
+* No writer starvation: once a writer queues, readers arriving later
+  queue behind it instead of piggybacking on the active read phase.
+
+Hypothesis drives random arrival schedules; every schedule runs under
+``run_virtual`` so interleavings are deterministic and instant.
+"""
+
+import asyncio
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.clock import run_virtual
+from repro.serve.router import AsyncRWLock
+
+# Each schedule is a sequence of ("r" | "w") arrivals.  Arrival order is
+# the task spawn order; every task yields once before acquiring so the
+# queue builds up while a long initial writer holds the lock.
+SCHEDULES = st.lists(st.sampled_from("rw"), min_size=1, max_size=12)
+
+
+async def _run_schedule(kinds):
+    """Queue every arrival behind an initial writer; record admissions.
+
+    Returns (admit_order, max_concurrent_readers, invariant_ok).
+    """
+    lock = AsyncRWLock()
+    admit = []
+    active = {"r": 0, "w": 0}
+    ok = True
+
+    async def reader(idx):
+        await lock.acquire_read()
+        admit.append(idx)
+        active["r"] += 1
+        nonlocal ok
+        if active["w"]:
+            ok = False
+        await asyncio.sleep(0.001)
+        active["r"] -= 1
+        lock.release_read()
+
+    async def writer(idx):
+        await lock.acquire_write()
+        admit.append(idx)
+        active["w"] += 1
+        nonlocal ok
+        if active["w"] > 1 or active["r"]:
+            ok = False
+        await asyncio.sleep(0.001)
+        active["w"] -= 1
+        lock.release_write()
+
+    # Hold the lock exclusively while all arrivals queue up, so admission
+    # order reflects queue policy rather than racing the initial grab.
+    await lock.acquire_write()
+    tasks = []
+    for idx, kind in enumerate(kinds):
+        coro = reader(idx) if kind == "r" else writer(idx)
+        tasks.append(asyncio.create_task(coro))
+    await asyncio.sleep(0)  # let every task reach its acquire
+    lock.release_write()
+    await asyncio.gather(*tasks)
+    return admit, ok
+
+
+def expected_order(kinds):
+    """FIFO admission order: strictly increasing indices.
+
+    With every waiter queued before the lock frees, _wake admits the
+    head of the queue (plus adjacent readers) each release, so the
+    admission sequence is exactly arrival order.
+    """
+    return list(range(len(kinds)))
+
+
+class TestFairness:
+    @settings(max_examples=60, deadline=None)
+    @given(SCHEDULES)
+    def test_fifo_admission(self, kinds):
+        admit, ok = run_virtual(_run_schedule(kinds))
+        assert ok, "exclusion invariant violated"
+        assert admit == expected_order(kinds)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=8))
+    def test_writer_not_starved_by_late_readers(self, before, after):
+        """A writer queued behind readers admits before readers that
+        arrive after it, no matter how many pile up."""
+        kinds = "r" * before + "w" + "r" * after
+
+        async def scenario():
+            lock = AsyncRWLock()
+            admit = []
+
+            async def reader(tag):
+                await lock.acquire_read()
+                admit.append(tag)
+                await asyncio.sleep(0.001)
+                lock.release_read()
+
+            async def writer(tag):
+                await lock.acquire_write()
+                admit.append(tag)
+                await asyncio.sleep(0.001)
+                lock.release_write()
+
+            tasks = []
+            for i in range(before):
+                tasks.append(asyncio.create_task(reader(("early", i))))
+            await asyncio.sleep(0)  # early readers now hold the lock
+            tasks.append(asyncio.create_task(writer(("writer", 0))))
+            await asyncio.sleep(0)  # writer queued
+            for i in range(after):
+                tasks.append(asyncio.create_task(reader(("late", i))))
+            await asyncio.gather(*tasks)
+            return admit
+
+        admit = run_virtual(scenario())
+        writer_pos = admit.index(("writer", 0))
+        early = [i for i, t in enumerate(admit) if t[0] == "early"]
+        late = [i for i, t in enumerate(admit) if t[0] == "late"]
+        assert all(i < writer_pos for i in early)
+        assert all(i > writer_pos for i in late)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=10))
+    def test_adjacent_readers_admit_together(self, n):
+        """All-reader queues drain in one wake: every reader is active
+        simultaneously before any releases."""
+
+        async def scenario():
+            lock = AsyncRWLock()
+            peak = {"now": 0, "max": 0}
+
+            async def reader():
+                await lock.acquire_read()
+                peak["now"] += 1
+                peak["max"] = max(peak["max"], peak["now"])
+                await asyncio.sleep(0.001)
+                peak["now"] -= 1
+                lock.release_read()
+
+            await lock.acquire_write()
+            tasks = [asyncio.create_task(reader()) for _ in range(n)]
+            await asyncio.sleep(0)
+            lock.release_write()
+            await asyncio.gather(*tasks)
+            return peak["max"]
+
+        assert run_virtual(scenario()) == n
