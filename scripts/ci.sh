@@ -4,8 +4,10 @@
 # batched graph construction (speedup + graph-recall gap gates), and the
 # serving layer (fixed batching misses the p99 SLO at overload while the
 # SLO-aware policy holds it; the multi-stream sweep must scale QPS
-# within its pinned band and keep recall bit-identical).  Each smoke
-# runs in well under 60 s.
+# within its pinned band and keep recall bit-identical), and the
+# out-of-core tier (a 10x-over-budget dataset served under SLO, with
+# prefetch beating serial demand fetches inside a pinned band).  Each
+# smoke runs in well under 60 s.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -69,12 +71,15 @@ python -m pytest -x -q
 python -m benchmarks.bench_batched_engine --smoke
 python -m benchmarks.bench_build_speed --smoke
 python -m benchmarks.bench_serving --smoke
+python -m benchmarks.bench_outofcore --smoke
 
-# The build and serving smokes must have produced every gated artifact
-# (bench_build_speed writes BENCH_build.json and the three-way
-# serial-NSG / batched-NSG / CAGRA race in BENCH_cagra.json).
+# The build, serving and out-of-core smokes must have produced every
+# gated artifact (bench_build_speed writes BENCH_build.json and the
+# three-way serial-NSG / batched-NSG / CAGRA race in BENCH_cagra.json;
+# bench_outofcore pins the prefetch-vs-serial overlap band in
+# BENCH_outofcore.json).
 for artifact in BENCH_build.json BENCH_cagra.json \
-        BENCH_serve.json BENCH_streams.json; do
+        BENCH_serve.json BENCH_streams.json BENCH_outofcore.json; do
     if [ ! -f "benchmarks/results/$artifact" ]; then
         echo "ci: missing benchmark artifact $artifact" >&2
         exit 1

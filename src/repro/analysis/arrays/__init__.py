@@ -76,6 +76,8 @@ ANNOTATED_MODULES = (
     "repro.graphs._repair",
     "repro.core.batched",
     "repro.hashing.random_projection",
+    "repro.tiered.cache",
+    "repro.tiered.index",
 )
 
 

@@ -116,6 +116,32 @@ def cmd_search(args) -> int:
         selected_insertion=True,
         visited_deletion=True,
     )
+    tier = _tier_from_args(args)
+    if tier is not None:
+        from repro.eval import batch_recall as _recall
+        from repro.tiered import TieredServeEngine
+
+        engine = TieredServeEngine(
+            graph,
+            dataset.data,
+            tier,
+            device=_device_from_args(args),
+            prefetch=not args.no_prefetch,
+        )
+        outcome = engine.run_batch(dataset.queries, config)
+        recall = _recall(outcome.results, dataset.ground_truth(args.k))
+        detail = outcome.detail["tier"]
+        print(f"device   : {engine.device.name}")
+        print(f"tier     : {detail['codec']} (overfetch k'={detail['overfetch_k']})")
+        print(f"resident : {detail['resident_bytes'] / 1024:.0f} KB "
+              f"({detail['compression_ratio']:.1f}x compression)")
+        print(f"queries  : {dataset.num_queries}")
+        print(f"recall@{args.k:<3}: {recall:.4f}")
+        qps = dataset.num_queries / outcome.service_seconds
+        print(f"QPS      : {qps:,.0f} (modelled)")
+        print(f"fetched  : {detail['fetch_bytes'] / 1024:.0f} KB over PCIe "
+              f"({detail['page_hits']} page hits, {detail['page_misses']} misses)")
+        return 0
     if args.engine == "sim":
         index = GpuSongIndex(graph, dataset.data, device=args.device)
         results, timing = index.search_batch(dataset.queries, config)
@@ -247,8 +273,10 @@ def cmd_serve(args) -> int:
         dataset.data,
         config,
         num_replicas=args.replicas,
-        device=args.device,
+        device=_device_from_args(args),
         streams=args.streams,
+        tier=_tier_from_args(args),
+        prefetch=not args.no_prefetch,
     )
     gt = dataset.ground_truth(args.k)
 
@@ -301,12 +329,14 @@ def cmd_loadtest(args) -> int:
         seed=args.seed,
         ground_truth=dataset.ground_truth(args.k),
         num_replicas=args.replicas,
-        device=args.device,
+        device=_device_from_args(args),
         policies=policies,
         max_queue=args.max_queue,
         batch_size=args.batch_size,
         max_batch=args.max_batch,
         streams=args.streams,
+        tier=_tier_from_args(args),
+        prefetch=not args.no_prefetch,
     )
     print(format_serving_table(series))
     if args.out:
@@ -318,6 +348,68 @@ def cmd_loadtest(args) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"\nwrote {args.out}")
     return 0
+
+
+def _add_tier_args(parser: argparse.ArgumentParser) -> None:
+    """Out-of-core tier flags shared by search/serve/loadtest."""
+    parser.add_argument(
+        "--tier", choices=["off", "bits", "pq"], default="off",
+        help="serve through the out-of-core compressed tier",
+    )
+    parser.add_argument(
+        "--tier-bits", type=int, default=128,
+        help="signature bits for --tier bits (multiple of 32)",
+    )
+    parser.add_argument("--tier-pq-m", type=int, default=8)
+    parser.add_argument("--tier-pq-ksub", type=int, default=16)
+    parser.add_argument(
+        "--tier-overfetch", type=int, default=4,
+        help="candidates re-ranked per requested k",
+    )
+    parser.add_argument(
+        "--tier-page-rows", type=int, default=64,
+        help="full-precision rows per PCIe page",
+    )
+    parser.add_argument(
+        "--tier-cache-pages", type=int, default=32,
+        help="device-resident hot pages (0 disables the cache)",
+    )
+    parser.add_argument(
+        "--no-prefetch", action="store_true",
+        help="serial demand fetches instead of staged/overlapped pages",
+    )
+    parser.add_argument(
+        "--memory-budget-mb", type=float, default=None,
+        help="override the device's resident-memory budget (MB)",
+    )
+
+
+def _tier_from_args(args):
+    """``TieredConfig`` from CLI flags, or ``None`` when --tier off."""
+    if getattr(args, "tier", "off") == "off":
+        return None
+    from repro.tiered import TieredConfig
+
+    return TieredConfig(
+        codec=args.tier,
+        num_bits=args.tier_bits,
+        pq_m=args.tier_pq_m,
+        pq_ksub=args.tier_pq_ksub,
+        overfetch=args.tier_overfetch,
+        page_rows=args.tier_page_rows,
+        cache_pages=args.tier_cache_pages,
+    )
+
+
+def _device_from_args(args):
+    """Device preset, with the budget override applied when given."""
+    from repro.simt.device import get_device
+
+    device = get_device(args.device)
+    budget = getattr(args, "memory_budget_mb", None)
+    if budget is not None:
+        device = device.with_overrides(memory_budget_gb=budget / 1024.0)
+    return device
 
 
 def _add_serving_args(parser: argparse.ArgumentParser) -> None:
@@ -346,6 +438,7 @@ def _add_serving_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch-size", type=int, default=8)
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--max-queue", type=int, default=256)
+    _add_tier_args(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -391,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["sim", "serial", "batched"], default="sim",
         help="sim = modelled GPU kernel; serial/batched = host wall clock",
     )
+    _add_tier_args(p_search)
     p_search.set_defaults(func=cmd_search)
 
     p_sweep = sub.add_parser("sweep", help="QPS-recall sweep of one or more methods")

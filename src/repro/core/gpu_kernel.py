@@ -30,7 +30,7 @@ from repro.distances import get_metric
 from repro.graphs.storage import FixedDegreeGraph
 from repro.simt.device import DeviceSpec, get_device
 from repro.simt.kernel import KernelLauncher, KernelResult
-from repro.simt.memory import SharedMemoryBudget
+from repro.simt.memory import CapacityLedger, SharedMemoryBudget
 from repro.simt.profiler import StageProfiler
 from repro.simt.warp import Warp
 from repro.structures.visited import VisitedBackend, VisitedSet
@@ -162,6 +162,17 @@ class GpuSongIndex:
         ``(n, d)`` dataset, resident in simulated global memory.
     device:
         Device preset name or :class:`DeviceSpec`.
+    resident_bytes:
+        Bytes this index keeps in device global memory.  Defaults to
+        graph + dataset; the tiered index passes the *compressed* store
+        footprint instead, because its traversal array is a host-side
+        proxy for codes that live packed on the device.
+    allow_oversubscription:
+        When the resident footprint exceeds the device budget, warn
+        (``ResourceWarning``) instead of raising
+        :class:`~repro.simt.memory.DeviceMemoryExceeded`.  Documented
+        escape hatch for pricing reference runs on datasets the card
+        could not actually hold.
     """
 
     def __init__(
@@ -169,6 +180,8 @@ class GpuSongIndex:
         graph: FixedDegreeGraph,
         data: np.ndarray,
         device: str = "v100",
+        resident_bytes: Optional[int] = None,
+        allow_oversubscription: bool = False,
     ) -> None:
         self.graph = graph
         data = np.asarray(data)
@@ -180,6 +193,13 @@ class GpuSongIndex:
         self.device: DeviceSpec = get_device(device)
         self.searcher = SongSearcher(graph, self.data)
         self.launcher = KernelLauncher(self.device)
+        if resident_bytes is None:
+            resident_bytes = self.index_memory_bytes() + self.dataset_memory_bytes()
+        self.resident_bytes = int(resident_bytes)
+        self.ledger = CapacityLedger(self.device)
+        self.ledger.reserve(
+            "index", self.resident_bytes, allow_oversubscription
+        )
 
     # -- memory accounting ----------------------------------------------------
 
@@ -191,8 +211,7 @@ class GpuSongIndex:
         return int(self.data.nbytes)
 
     def fits_in_device_memory(self) -> bool:
-        total = self.index_memory_bytes() + self.dataset_memory_bytes()
-        return self.launcher.cost_model.fits_in_memory(total)
+        return self.resident_bytes <= self.device.memory_bytes
 
     def placement(self, config: SearchConfig) -> Placement:
         """Decide which structures fit in shared memory (Sec. VIII)."""

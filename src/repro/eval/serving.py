@@ -84,12 +84,17 @@ def sweep_serving(
     batch_size: int = 8,
     max_batch: int = 64,
     streams: int = 1,
+    tier=None,
+    prefetch: bool = True,
 ) -> Dict[str, List[LoadtestReport]]:
     """Loadtest every ``(policy, offered rate)`` pair; return report curves.
 
     Each point runs on a fresh server and a fresh virtual-time loop with
     the same arrival seed, so curves are directly comparable and the
-    whole sweep is deterministic.
+    whole sweep is deterministic.  ``tier`` (a
+    :class:`~repro.tiered.TieredConfig`) routes every replica through
+    the out-of-core tier; ``prefetch`` toggles staged/overlapped page
+    fetches vs serial demand fetches for that tier.
     """
     base = base or SearchConfig(k=10, queue_size=64)
     series: Dict[str, List[LoadtestReport]] = {}
@@ -112,6 +117,8 @@ def sweep_serving(
                     num_replicas=num_replicas,
                     device=device,
                     streams=streams,
+                    tier=tier,
+                    prefetch=prefetch,
                 ),
                 queries,
                 rate_qps=float(rate),

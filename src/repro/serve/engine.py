@@ -91,6 +91,11 @@ class SimulatedGpuEngine:
         Simulated device preset name.
     name:
         Replica label used in responses and metrics.
+    resident_bytes / allow_oversubscription:
+        Forwarded to :class:`GpuSongIndex`'s capacity ledger — an
+        over-budget resident footprint raises
+        :class:`~repro.simt.memory.DeviceMemoryExceeded` unless
+        oversubscription is explicitly allowed.
     """
 
     def __init__(
@@ -99,8 +104,16 @@ class SimulatedGpuEngine:
         data: np.ndarray,
         device: str = "v100",
         name: str = "gpu0",
+        resident_bytes: Optional[int] = None,
+        allow_oversubscription: bool = False,
     ) -> None:
-        self.index = GpuSongIndex(graph, data, device=device)
+        self.index = GpuSongIndex(
+            graph,
+            data,
+            device=device,
+            resident_bytes=resident_bytes,
+            allow_oversubscription=allow_oversubscription,
+        )
         self.batched = BatchedSongSearcher(
             graph, self.index.data, parent=self.index.searcher
         )
@@ -121,18 +134,36 @@ class SimulatedGpuEngine:
 
     # -- pricing ---------------------------------------------------------
 
+    def _distance_profile(self, config: SearchConfig, dim: int):
+        """``(flops_per_distance_fn, cost_dim)`` used to price distances.
+
+        ``cost_dim`` is the per-point size in 4-byte words the meter
+        charges bandwidth for.  The default full-precision profile is
+        the metric's flop count over the true dimension; the tiered
+        engine overrides this with the compressed store's profile (e.g.
+        XOR+popcount over packed signature words).
+        """
+        metric = get_metric(config.metric)
+        return metric.flops_per_distance, dim
+
+    def _chunk_htod_bytes(self, chunk_queries: np.ndarray) -> int:
+        """HtoD bytes for one chunk's query upload (hook for subclasses)."""
+        return int(chunk_queries.nbytes)
+
     def _replay_lane(
         self, config: SearchConfig, placement, stats: SearchStats, dim: int
     ) -> Warp:
         """Meter one lane's aggregate counters onto a fresh warp."""
-        metric = get_metric(config.metric)
+        flops_fn, cost_dim = self._distance_profile(config, dim)
         warp = Warp(self.index.device)
-        meter = WarpMeter(warp, config, placement, metric.flops_per_distance)
+        meter = WarpMeter(warp, config, placement, flops_fn)
         degree = self.index.graph.degree
         # Query staging (mirrors GpuSongIndex.search_batch's kernel).
+        # Charged at cost_dim words: the device stages what it stores,
+        # which for a compressed tier is the packed code, not the proxy.
         warp.set_stage("locate")
-        warp.global_read_coalesced(dim * 4)
-        warp.shared_access(dim)
+        warp.global_read_coalesced(cost_dim * 4)
+        warp.shared_access(cost_dim)
         # Stage 1 aggregate: one pop per iteration plus the adjacency
         # rows and visited probes those pops trigger.
         row_slots = stats.iterations * config.probe_steps * degree
@@ -141,7 +172,7 @@ class SimulatedGpuEngine:
         meter.visited_test(row_slots)
         # Stage 2: every distance this lane computed, plus the seed.
         meter.stage("distance")
-        meter.bulk_distance(stats.distance_computations + 1, dim)
+        meter.bulk_distance(stats.distance_computations + 1, cost_dim)
         # Stage 3: structure maintenance proportional to accepted work.
         meter.stage("maintain")
         meter.topk_update(stats.iterations)
@@ -191,7 +222,7 @@ class SimulatedGpuEngine:
                 placement.shared_bytes_per_warp,
                 warps_per_group=warps_per_group,
             )
-            htod = cost.transfer_time(int(chunk_queries.nbytes))
+            htod = cost.transfer_time(self._chunk_htod_bytes(chunk_queries))
             dtoh = cost.transfer_time(len(lanes) * config.k * 8)
             chunks.append(
                 ChunkWork(

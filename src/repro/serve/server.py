@@ -341,23 +341,47 @@ def build_server(
     num_replicas: int = 1,
     device: str = "v100",
     streams: int = 1,
+    tier=None,
+    prefetch: bool = True,
 ) -> SongServer:
     """Convenience: a server over ``num_replicas`` copies of one index.
 
     Each replica models an independent device serving the same graph and
     dataset — the simplest production topology (full replication) — with
     ``streams`` CUDA-style streams per device (1 = the serial model).
+    With ``tier`` (a :class:`~repro.tiered.TieredConfig`) each replica
+    serves through the out-of-core tier instead: compressed-resident
+    traversal plus PCIe-metered exact re-ranking, with ``prefetch``
+    selecting staged/overlapped page fetches vs serial demand fetches.
     """
     if num_replicas <= 0:
         raise ValueError("num_replicas must be positive")
     config = config or ServerConfig()
-    replicas = [
-        Replica(
-            SimulatedGpuEngine(graph, data, device=device, name=f"gpu{i}"),
-            streams=streams,
-        )
-        for i in range(num_replicas)
-    ]
+    if tier is not None:
+        from repro.tiered.engine import TieredServeEngine
+
+        replicas = [
+            Replica(
+                TieredServeEngine(
+                    graph,
+                    data,
+                    tier,
+                    device=device,
+                    name=f"tiered{i}",
+                    prefetch=prefetch,
+                ),
+                streams=streams,
+            )
+            for i in range(num_replicas)
+        ]
+    else:
+        replicas = [
+            Replica(
+                SimulatedGpuEngine(graph, data, device=device, name=f"gpu{i}"),
+                streams=streams,
+            )
+            for i in range(num_replicas)
+        ]
     return SongServer(replicas, config)
 
 
@@ -370,6 +394,8 @@ def build_server_from_data(
     num_replicas: int = 1,
     device: str = "v100",
     streams: int = 1,
+    tier=None,
+    prefetch: bool = True,
 ) -> SongServer:
     """Build the index from raw vectors, then serve it.
 
@@ -397,4 +423,6 @@ def build_server_from_data(
         num_replicas=num_replicas,
         device=device,
         streams=streams,
+        tier=tier,
+        prefetch=prefetch,
     )

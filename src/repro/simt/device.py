@@ -9,7 +9,7 @@ precision.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,11 @@ class DeviceSpec:
         operation — heap sift step, hash probe, etc.
     global_latency_cycles:
         Latency of an uncovered global-memory transaction.
+    memory_budget_gb:
+        Optional cap on the bytes an index may declare device-resident.
+        ``None`` means the full ``global_memory_gb`` is available; the
+        out-of-core tier shrinks it to simulate datasets 10–100× larger
+        than the card without materialising them.
     """
 
     name: str
@@ -60,6 +65,18 @@ class DeviceSpec:
     pcie_latency_us: float = 10.0
     seq_op_cycles: int = 20
     global_latency_cycles: int = 400
+    memory_budget_gb: Optional[float] = None
+
+    @property
+    def memory_gb(self) -> float:
+        """Effective capacity: the budget override, else the full card."""
+        if self.memory_budget_gb is not None:
+            return self.memory_budget_gb
+        return self.global_memory_gb
+
+    @property
+    def memory_bytes(self) -> int:
+        return int(self.memory_gb * 1024**3)
 
     @property
     def total_cores(self) -> int:

@@ -13,11 +13,89 @@ Two concerns live here:
   memory optimizations) the visited table in the SM's shared memory.  The
   bytes a query needs determine how many warps fit on an SM — occupancy —
   and overflowing the per-SM capacity forces structures into global memory.
+
+* **Global-memory capacity** (:class:`CapacityLedger`): what is allowed to
+  be *resident* on the device at all.  Every index declares its footprint
+  through a named reservation; exceeding the device budget raises
+  :class:`DeviceMemoryExceeded` unless the caller explicitly opts into
+  oversubscription (used by reference runs that pretend the card is
+  bigger).  The out-of-core tier leans on this: shrink
+  ``DeviceSpec.memory_budget_gb`` and only the compressed store fits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+from repro.simt.device import DeviceSpec
+
+class DeviceMemoryExceeded(RuntimeError):
+    """A resident-memory reservation overflowed the device budget."""
+
+
+@dataclass
+class CapacityLedger:
+    """Named reservations against a device's global-memory budget.
+
+    The ledger is bookkeeping, not allocation: indices *declare* what
+    they keep resident (graph rows, vectors, compressed codes, cache
+    pages) and the ledger enforces the sum against
+    :attr:`DeviceSpec.memory_bytes`.  Reservations are keyed so a
+    component can re-declare (page cache resizes) or release.
+    """
+
+    device: DeviceSpec
+    reservations: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def budget_bytes(self) -> int:
+        return self.device.memory_bytes
+
+    @property
+    def reserved_bytes(self) -> int:
+        return sum(self.reservations.values())
+
+    @property
+    def headroom_bytes(self) -> int:
+        return self.budget_bytes - self.reserved_bytes
+
+    def would_fit(self, num_bytes: int) -> bool:
+        return num_bytes <= self.headroom_bytes
+
+    def reserve(
+        self, name: str, num_bytes: int, allow_oversubscription: bool = False
+    ) -> int:
+        """Declare ``num_bytes`` resident under ``name``.
+
+        Re-reserving a name replaces its previous figure.  On overflow
+        the reservation is still recorded (so reports show the true
+        demand) but :class:`DeviceMemoryExceeded` is raised — or, with
+        ``allow_oversubscription=True``, a :class:`ResourceWarning` is
+        emitted instead.  Oversubscription exists for *reference* runs
+        (e.g. pricing a full-precision baseline the card could not
+        actually hold); production paths should never pass it.
+        """
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        self.reservations[name] = int(num_bytes)
+        overflow = self.reserved_bytes - self.budget_bytes
+        if overflow > 0:
+            msg = (
+                f"device {self.device.name!r} over budget by {overflow} bytes: "
+                f"{self.reserved_bytes} reserved vs {self.budget_bytes} "
+                f"available ({dict(self.reservations)})"
+            )
+            if not allow_oversubscription:
+                del self.reservations[name]
+                raise DeviceMemoryExceeded(msg)
+            warnings.warn(msg, ResourceWarning, stacklevel=2)
+        return self.headroom_bytes
+
+    def release(self, name: str) -> None:
+        self.reservations.pop(name, None)
+
 
 #: Bytes served per coalesced transaction (cache line).
 COALESCED_TRANSACTION_BYTES = 128

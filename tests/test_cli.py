@@ -74,6 +74,31 @@ class TestParser:
         args = build_parser().parse_args(["loadtest", "--dataset", "sift"])
         assert args.graph == "nsw"
 
+    def test_tier_defaults(self):
+        for command in ("search", "serve", "loadtest"):
+            args = build_parser().parse_args([command, "--dataset", "sift"])
+            assert args.tier == "off"
+            assert args.tier_bits == 128
+            assert args.no_prefetch is False
+            assert args.memory_budget_mb is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "--dataset", "sift", "--tier", "zstd"]
+            )
+
+    def test_tier_flags_parse(self):
+        args = build_parser().parse_args(
+            ["loadtest", "--dataset", "sift", "--tier", "pq",
+             "--tier-pq-m", "16", "--tier-overfetch", "8",
+             "--tier-page-rows", "32", "--tier-cache-pages", "4",
+             "--no-prefetch", "--memory-budget-mb", "0.5"]
+        )
+        assert args.tier == "pq"
+        assert args.tier_pq_m == 16
+        assert args.tier_overfetch == 8
+        assert args.no_prefetch is True
+        assert args.memory_budget_mb == 0.5
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -179,6 +204,57 @@ class TestCommands:
             payload = json.load(f)
         assert set(payload) == {"fixed", "adaptive"}
         assert payload["fixed"][0]["offered_qps"] == 5000
+
+    def test_search_tier_bits(self, capsys):
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--k", "5", "--queue", "40", "--tier", "bits",
+             "--tier-bits", "64", "--tier-page-rows", "16",
+             "--tier-cache-pages", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tier     : bits" in out
+        assert "compression" in out
+        assert "recall@5" in out
+        assert "page hits" in out
+
+    def test_search_tier_pq_no_prefetch(self, capsys):
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--k", "5", "--queue", "40", "--tier", "pq",
+             "--tier-pq-m", "8", "--tier-pq-ksub", "16", "--no-prefetch"]
+        )
+        assert rc == 0
+        assert "tier     : pq" in capsys.readouterr().out
+
+    def test_search_tier_respects_memory_budget(self, capsys):
+        # A budget far below the dataset: the full-precision engine
+        # refuses, the tier serves.
+        rc = main(
+            ["search", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--k", "5", "--queue", "40", "--tier", "bits",
+             "--tier-bits", "64", "--tier-page-rows", "16",
+             "--tier-cache-pages", "2", "--memory-budget-mb", "0.15"]
+        )
+        assert rc == 0
+        assert "recall@5" in capsys.readouterr().out
+
+    def test_loadtest_tier_roundtrip(self, tmp_path, capsys):
+        out_path = str(tmp_path / "tier.json")
+        rc = main(
+            ["loadtest", "--dataset", "sift", "--n", "300", "--queries", "10",
+             "--rates", "2000", "--requests", "40", "--policy", "fixed",
+             "--tier", "bits", "--tier-bits", "64",
+             "--tier-page-rows", "16", "--out", out_path]
+        )
+        assert rc == 0
+        assert "fixed" in capsys.readouterr().out
+        import json
+
+        with open(out_path) as f:
+            payload = json.load(f)
+        assert payload["fixed"][0]["offered_qps"] == 2000
 
     def test_sweep_song_with_plot(self, capsys):
         rc = main(

@@ -1,0 +1,336 @@
+"""Out-of-core tier: stores, capacity ledger, cache, and the index."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.core.gpu_kernel import GpuSongIndex
+from repro.data import make_dataset
+from repro.eval.recall import batch_recall
+from repro.graphs import build_nsw
+from repro.simt.device import get_device
+from repro.simt.memory import CapacityLedger, DeviceMemoryExceeded
+from repro.structures.soa import PAD_KEY
+from repro.tiered import (
+    BitCodeStore,
+    PageCache,
+    PQCodeStore,
+    TieredConfig,
+    TieredIndex,
+    TieredServeEngine,
+)
+from repro.tiered.cache import rowids_to_pages
+from repro.tiered.codes import _unpack_bits, make_store
+from repro.tiered.index import rerank_sort_keys
+
+
+@pytest.fixture(scope="module")
+def small():
+    ds = make_dataset("sift", n=400, num_queries=12, seed=0)
+    graph = build_nsw(ds.data, m=6, ef_construction=32, seed=7)
+    return ds, graph
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        tier = TieredConfig()
+        assert tier.codec == "bits"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(codec="zstd"),
+            dict(num_bits=100),  # not a multiple of 32
+            dict(num_bits=0),
+            dict(overfetch=0),
+            dict(page_rows=0),
+            dict(cache_pages=-1),
+            dict(codec="pq", pq_m=0),
+            dict(codec="pq", pq_ksub=300),  # must fit uint8
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TieredConfig(**kwargs)
+
+    def test_with_options(self):
+        tier = TieredConfig().with_options(overfetch=9)
+        assert tier.overfetch == 9 and tier.codec == "bits"
+
+
+class TestStores:
+    def test_bits_proxy_squared_l2_is_hamming(self, small):
+        ds, _ = small
+        store = BitCodeStore(ds.data[:50], TieredConfig(num_bits=64))
+        proxy = store.traversal_data
+        assert proxy.shape == (50, 64) and proxy.dtype == np.float32
+        # Exact identity: squared L2 over 0/1 rows counts differing bits.
+        for i, j in [(0, 1), (3, 17), (20, 49)]:
+            sq_l2 = float(((proxy[i] - proxy[j]) ** 2).sum())
+            hamming = sum(
+                int(a ^ b).bit_count()
+                for a, b in zip(store.codes[i].tolist(), store.codes[j].tolist())
+            )
+            assert sq_l2 == hamming
+
+    def test_bits_query_encoding_matches_data_encoding(self, small):
+        ds, _ = small
+        store = BitCodeStore(ds.data[:50], TieredConfig(num_bits=64))
+        # Encoding a data row as a query gives the same proxy row.
+        np.testing.assert_array_equal(
+            store.encode_queries(ds.data[:5]), store.traversal_data[:5]
+        )
+
+    def test_unpack_roundtrip(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 2**32, size=(7, 2), dtype=np.uint32)
+        bits = _unpack_bits(codes, 64)
+        packed = np.packbits(
+            bits.astype(np.uint8), axis=1, bitorder="little"
+        ).view(np.uint32)
+        np.testing.assert_array_equal(packed, codes)
+
+    def test_pq_proxy_is_decoded_rows(self, small):
+        ds, _ = small
+        tier = TieredConfig(codec="pq", pq_m=8, pq_ksub=16)
+        store = PQCodeStore(ds.data[:80], tier)
+        decoded = store.quantizer.decode(store.codes).astype(np.float32)
+        np.testing.assert_array_equal(store.traversal_data, decoded)
+        # ADC identity: L2(query, decoded) is the ADC distance, so the
+        # query proxy is the raw query itself.
+        np.testing.assert_array_equal(
+            store.encode_queries(ds.queries[:3]),
+            ds.queries[:3].astype(np.float32),
+        )
+
+    def test_cost_profile(self, small):
+        ds, _ = small
+        bits = BitCodeStore(ds.data[:40], TieredConfig(num_bits=96))
+        assert bits.num_words == 3
+        assert bits.cost_dim == 3
+        assert bits.query_device_bytes == 12
+        assert bits.flops_per_distance() == 9
+        assert bits.device_code_bytes() == 40 * 3 * 4
+        pq = PQCodeStore(ds.data[:40], TieredConfig(codec="pq", pq_m=8, pq_ksub=16))
+        assert pq.cost_dim == 2
+        assert pq.flops_per_distance() == 16
+        assert pq.query_device_bytes == ds.data.shape[1] * 4
+
+    def test_make_store_dispatch(self, small):
+        ds, _ = small
+        assert isinstance(make_store(ds.data[:20], TieredConfig()), BitCodeStore)
+        assert isinstance(
+            make_store(ds.data[:20], TieredConfig(codec="pq", pq_ksub=8)),
+            PQCodeStore,
+        )
+
+
+class TestCapacityLedger:
+    def _device(self, budget_bytes: int):
+        return get_device("v100").with_overrides(
+            memory_budget_gb=budget_bytes / float(1024**3)
+        )
+
+    def test_reserve_release_and_headroom(self):
+        dev = self._device(1000)
+        ledger = CapacityLedger(dev)
+        ledger.reserve("a", 600)
+        assert ledger.reserved_bytes == 600
+        assert ledger.headroom_bytes == dev.memory_bytes - 600
+        assert ledger.would_fit(dev.memory_bytes - 600)
+        assert not ledger.would_fit(dev.memory_bytes)
+        ledger.release("a")
+        assert ledger.reserved_bytes == 0
+
+    def test_overflow_raises_and_rolls_back(self):
+        ledger = CapacityLedger(self._device(1000))
+        ledger.reserve("index", 900)
+        with pytest.raises(DeviceMemoryExceeded) as err:
+            ledger.reserve("cache", ledger.budget_bytes)
+        assert "index" in str(err.value)  # message lists reservations
+        assert "cache" not in ledger.reservations  # rolled back
+
+    def test_oversubscription_warns_instead(self):
+        ledger = CapacityLedger(self._device(1000))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ledger.reserve(
+                "big", ledger.budget_bytes + 1, allow_oversubscription=True
+            )
+        assert any(issubclass(w.category, ResourceWarning) for w in caught)
+        assert "big" in ledger.reservations
+
+    def test_gpu_index_enforces_budget(self, small):
+        ds, graph = small
+        dev = self._device(64 * 1024)  # far below data + graph
+        with pytest.raises(DeviceMemoryExceeded):
+            GpuSongIndex(graph, ds.data, device=dev)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            index = GpuSongIndex(
+                graph, ds.data, device=dev, allow_oversubscription=True
+            )
+        assert any(issubclass(w.category, ResourceWarning) for w in caught)
+        assert not index.fits_in_device_memory()
+
+    def test_memory_budget_override(self):
+        dev = get_device("v100")
+        shrunk = dev.with_overrides(memory_budget_gb=0.5)
+        assert shrunk.memory_bytes == int(0.5 * 1024**3)
+        assert dev.memory_gb == dev.global_memory_gb
+
+
+class TestPageCache:
+    def test_lru_eviction_order(self):
+        cache = PageCache(2)
+        hits, missed = cache.touch_run(np.array([1, 2, 1]))
+        assert hits == 1 and list(missed) == [1, 2]
+        # Touch 1 (hit, moves to back), admit 3 → evicts 2, not 1.
+        hits, missed = cache.touch_run(np.array([1, 3]))
+        assert hits == 1 and list(missed) == [3]
+        hits, missed = cache.touch_run(np.array([1, 2]))
+        assert hits == 1 and list(missed) == [2]
+
+    def test_zero_capacity_always_misses(self):
+        cache = PageCache(0)
+        hits, missed = cache.touch_run(np.array([5, 5, 5]))
+        assert hits == 0 and list(missed) == [5, 5, 5]
+
+    def test_counters_and_reset(self):
+        cache = PageCache(4)
+        cache.touch_run(np.array([1, 2, 1]))
+        assert (cache.hits, cache.misses) == (1, 2)
+        cache.reset()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert cache.touch_run(np.array([1]))[0] == 0  # cold again
+
+    def test_rowids_to_pages(self):
+        pages = rowids_to_pages(np.array([0, 15, 16, 100]), 16)
+        np.testing.assert_array_equal(pages, [0, 0, 1, 6])
+        assert pages.dtype == np.int64
+
+
+class TestRerankKeys:
+    def test_sorts_by_distance_then_id_with_padding(self):
+        dists = np.array([[3.0, 1.0, 1.0, 9.0]], dtype=np.float32)
+        ids = np.array([[7, 9, 2, 1]])
+        valid = np.array([[True, True, True, False]])
+        keys = rerank_sort_keys(dists, ids, valid)
+        from repro.structures.soa import unpack_distances, unpack_ids
+
+        assert keys[0, -1] == PAD_KEY  # invalid slot sorts last
+        np.testing.assert_array_equal(unpack_ids(keys[:, :3])[0], [2, 9, 7])
+        np.testing.assert_allclose(
+            unpack_distances(keys[:, :3])[0], [1.0, 1.0, 3.0]
+        )
+
+
+class TestTieredIndex:
+    TIER = TieredConfig(num_bits=256, overfetch=8, page_rows=16, cache_pages=2)
+
+    def test_residency_accounting(self, small):
+        ds, graph = small
+        idx = TieredIndex(graph, ds.data, self.TIER)
+        expected = (
+            graph.memory_bytes()
+            + idx.store.device_code_bytes()
+            + min(self.TIER.cache_pages, idx.num_pages) * idx.page_bytes
+        )
+        assert idx.resident_bytes == expected
+        assert idx.full_precision_bytes() == ds.data.nbytes + graph.memory_bytes()
+        assert idx.compression_ratio() > 1.0
+
+    def test_overfetch_panel_clamped_by_queue(self, small):
+        ds, graph = small
+        idx = TieredIndex(graph, ds.data, self.TIER)
+        assert idx.overfetch_k(SearchConfig(k=10, queue_size=100)) == 80
+        # The degradation ladder shrinks queue_size; the panel follows.
+        assert idx.overfetch_k(SearchConfig(k=10, queue_size=32)) == 32
+        assert idx.overfetch_k(SearchConfig(k=10, queue_size=10)) == 10
+
+    def test_recall_within_floor_of_full_precision(self, small):
+        ds, graph = small
+        config = SearchConfig(k=10, queue_size=120)
+        gt = ds.ground_truth(10)
+        from repro.core.batched import BatchedSongSearcher
+
+        full = BatchedSongSearcher(graph, ds.data).search_batch(
+            ds.queries, config
+        )
+        full_recall = batch_recall(full, gt)
+        tiered_recall = batch_recall(
+            TieredIndex(graph, ds.data, self.TIER).search_batch(
+                ds.queries, config
+            ),
+            gt,
+        )
+        assert full_recall > 0.9
+        # Over-fetch + exact re-rank holds recall near the
+        # full-precision searcher on the same graph.
+        assert tiered_recall >= full_recall - 0.3
+
+    def test_pq_codec_searches(self, small):
+        ds, graph = small
+        tier = TieredConfig(
+            codec="pq", pq_m=16, pq_ksub=16, overfetch=8, page_rows=16
+        )
+        idx = TieredIndex(graph, ds.data, tier)
+        results = idx.search_batch(ds.queries, SearchConfig(k=5, queue_size=80))
+        assert len(results) == ds.num_queries
+        assert all(len(r) == 5 for r in results)
+
+    def test_rerank_distances_are_exact(self, small):
+        ds, graph = small
+        config = SearchConfig(k=5, queue_size=80)
+        results = TieredIndex(graph, ds.data, self.TIER).search_batch(
+            ds.queries, config
+        )
+        for q, res in zip(ds.queries, results):
+            for dist, vertex in res:
+                exact = float(((q - ds.data[vertex]) ** 2).sum())
+                assert dist == pytest.approx(exact, rel=1e-5)
+
+    def test_rerank_plan_pages_cover_candidates(self, small):
+        ds, graph = small
+        idx = TieredIndex(graph, ds.data, self.TIER)
+        config = SearchConfig(k=5, queue_size=80)
+        _, stats, plan = idx.search_batch_with_stats(ds.queries, config)
+        assert len(stats) == ds.num_queries
+        assert len(plan.page_lists) == ds.num_queries
+        for pages, count in zip(plan.page_lists, plan.candidate_counts):
+            assert count > 0
+            # Ordered-unique: no duplicates, all within range.
+            assert len(set(pages.tolist())) == len(pages)
+            assert all(0 <= p < idx.num_pages for p in pages.tolist())
+
+
+class TestPrefetchIdentity:
+    def test_results_identical_prefetch_vs_serial(self, small):
+        ds, graph = small
+        tier = TieredConfig(num_bits=128, overfetch=8, page_rows=16, cache_pages=4)
+        config = SearchConfig(k=10, queue_size=100)
+        outs = {}
+        for prefetch in (True, False):
+            engine = TieredServeEngine(
+                graph, ds.data, tier, prefetch=prefetch
+            )
+            outs[prefetch] = engine.run_batch(ds.queries, config)
+        assert outs[True].results == outs[False].results
+        # Staging only changes the clock: prefetch must be faster.
+        assert outs[True].service_seconds < outs[False].service_seconds
+
+    def test_results_invariant_to_chunking(self, small):
+        ds, graph = small
+        tier = TieredConfig(num_bits=128, overfetch=8, page_rows=16, cache_pages=4)
+        config = SearchConfig(k=10, queue_size=100)
+        engine = TieredServeEngine(graph, ds.data, tier)
+        r1, chunks1, d1 = engine.chunked_batch(ds.queries, config, num_chunks=1)
+        engine.cache.reset()
+        r4, chunks4, d4 = engine.chunked_batch(ds.queries, config, num_chunks=4)
+        assert r1 == r4
+        assert len(chunks1) == 1 and len(chunks4) == 4
+        # Cache is touched in lane order either way.
+        assert d1["tier"]["page_hits"] == d4["tier"]["page_hits"]
+        assert d1["tier"]["page_misses"] == d4["tier"]["page_misses"]

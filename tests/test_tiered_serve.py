@@ -1,0 +1,154 @@
+"""Out-of-core tier behind the serving stack: router, ladder, streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SearchConfig
+from repro.eval.recall import batch_recall
+from repro.eval.serving import sweep_serving
+from repro.serve import (
+    AdmissionConfig,
+    BatchPolicy,
+    Replica,
+    ServerConfig,
+    build_server,
+    run_loadtest,
+)
+from repro.simt.device import get_device
+from repro.tiered import TieredConfig, TieredServeEngine
+
+TIER = TieredConfig(num_bits=128, overfetch=8, page_rows=16, cache_pages=4)
+
+
+def make_config(policy="reject", mode="fixed", slo_ms=50.0):
+    return ServerConfig(
+        base=SearchConfig(k=10, queue_size=100),
+        admission=AdmissionConfig(policy=policy, slo_p99_s=slo_ms / 1e3),
+        batch=BatchPolicy(mode=mode, batch_size=8, max_batch=16),
+    )
+
+
+def tier_loadtest(ds, graph, cfg, rate, prefetch=True, streams=1, n=120):
+    return run_loadtest(
+        lambda: build_server(
+            graph,
+            ds.data,
+            cfg,
+            streams=streams,
+            tier=TIER,
+            prefetch=prefetch,
+        ),
+        ds.queries,
+        rate_qps=rate,
+        num_requests=n,
+        seed=3,
+        ground_truth=ds.ground_truth(10),
+    )
+
+
+class TestTieredReplica:
+    def test_build_server_routes_through_tier(self, small_dataset, small_graph):
+        server = build_server(
+            small_graph, small_dataset.data, make_config(), tier=TIER
+        )
+        engines = [r.engine for r in server.router.replicas]
+        assert all(isinstance(e, TieredServeEngine) for e in engines)
+
+    def test_loadtest_completes_with_tier_recall(
+        self, small_dataset, small_graph
+    ):
+        report = tier_loadtest(small_dataset, small_graph, make_config(), 2000)
+        assert report.completed == 120
+        assert report.shed == 0
+        # Same batch engine underneath: serving recall equals the
+        # engine's own recall on the same config.
+        engine = TieredServeEngine(small_graph, small_dataset.data, TIER)
+        direct = engine.run_batch(
+            small_dataset.queries, SearchConfig(k=10, queue_size=100)
+        )
+        direct_recall = batch_recall(
+            direct.results, small_dataset.ground_truth(10)
+        )
+        assert report.recall == pytest.approx(direct_recall, abs=1e-9)
+
+    def test_prefetch_does_not_change_served_results(
+        self, small_dataset, small_graph
+    ):
+        cfg = make_config()
+        a = tier_loadtest(small_dataset, small_graph, cfg, 2000, prefetch=True)
+        b = tier_loadtest(small_dataset, small_graph, cfg, 2000, prefetch=False)
+        assert a.recall == b.recall
+        # ... but prefetch serves the same load strictly faster.
+        assert a.duration_s < b.duration_s
+
+    def test_deterministic_replay(self, small_dataset, small_graph):
+        cfg = make_config()
+        a = tier_loadtest(small_dataset, small_graph, cfg, 3000)
+        b = tier_loadtest(small_dataset, small_graph, cfg, 3000)
+        assert a.to_dict() == b.to_dict()
+
+
+class TestLadderInteraction:
+    def test_degradation_shrinks_overfetch_panel(
+        self, small_dataset, small_graph
+    ):
+        """Under overload the ladder degrades queue_size, which bounds
+        the over-fetch panel — recall drops but requests keep completing."""
+        cfg = make_config(policy="degrade", mode="adaptive", slo_ms=2.0)
+        report = tier_loadtest(
+            small_dataset, small_graph, cfg, 200_000, n=200
+        )
+        assert report.degraded_fraction > 0.0
+        assert report.completed > 0
+        tiers = report.metrics["tiers"]
+        assert any(int(t) > 0 for t in tiers)  # degraded tiers were used
+
+    def test_streams_leave_results_identical(self, small_dataset, small_graph):
+        cfg = make_config()
+        one = tier_loadtest(small_dataset, small_graph, cfg, 3000, streams=1)
+        two = tier_loadtest(small_dataset, small_graph, cfg, 3000, streams=2)
+        assert one.recall == two.recall
+
+
+class TestBudgetedServing:
+    def test_tier_serves_under_budget_full_precision_cannot(
+        self, small_dataset, small_graph
+    ):
+        from repro.serve.engine import SimulatedGpuEngine
+        from repro.simt.memory import DeviceMemoryExceeded
+        from repro.tiered import TieredIndex
+
+        sizing = TieredIndex(small_graph, small_dataset.data, TIER)
+        dev = get_device("v100").with_overrides(
+            memory_budget_gb=sizing.resident_bytes * 1.1 / float(1024**3)
+        )
+        with pytest.raises(DeviceMemoryExceeded):
+            SimulatedGpuEngine(small_graph, small_dataset.data, device=dev)
+        engine = TieredServeEngine(
+            small_graph, small_dataset.data, TIER, device=dev
+        )
+        out = engine.run_batch(
+            small_dataset.queries, SearchConfig(k=10, queue_size=64)
+        )
+        assert len(out.results) == small_dataset.num_queries
+        assert out.detail["tier"]["resident_bytes"] <= dev.memory_bytes
+
+
+class TestSweepServingTier:
+    def test_sweep_accepts_tier(self, small_dataset, small_graph):
+        series = sweep_serving(
+            small_graph,
+            small_dataset.data,
+            small_dataset.queries,
+            rates=[2000.0],
+            base=SearchConfig(k=10, queue_size=100),
+            slo_p99_s=0.05,
+            num_requests=60,
+            seed=3,
+            ground_truth=small_dataset.ground_truth(10),
+            policies=("fixed",),
+            tier=TIER,
+        )
+        point = series["fixed"][0]
+        assert point.completed == 60
+        assert point.recall is not None
